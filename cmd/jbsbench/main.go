@@ -1,0 +1,79 @@
+// Command jbsbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	jbsbench -list                 # show available experiments
+//	jbsbench fig7a fig11           # run selected experiments
+//	jbsbench all                   # run every table and figure
+//	jbsbench functional            # run the real-engine comparison
+//	jbsbench -csv out/ all         # also write per-experiment CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	lines := flag.Int("lines", 2000, "input records for the functional run")
+	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	flag.Parse()
+
+	emit := func(rep *bench.Report) {
+		fmt.Println(rep)
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "jbsbench:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*csvDir, rep.ID+".csv")
+		if err := os.WriteFile(path, []byte(rep.CSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "jbsbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		fmt.Printf("%-10s %s\n", "functional", "real-engine comparison on real sockets and files")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jbsbench [-list] <experiment-id ...|all|functional>")
+		os.Exit(2)
+	}
+	for _, arg := range args {
+		switch arg {
+		case "all":
+			for _, e := range bench.All() {
+				emit(e.Run())
+			}
+		case "functional":
+			cfg := bench.DefaultFunctionalConfig()
+			cfg.Lines = *lines
+			rep, err := bench.Functional(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+		default:
+			e, err := bench.ByID(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(e.Run())
+		}
+	}
+}

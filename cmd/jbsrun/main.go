@@ -1,0 +1,95 @@
+// Command jbsrun executes one MapReduce benchmark on the real in-process
+// engine — real input files, a real DFS, real shuffle traffic over real
+// sockets (or the emulated RDMA verbs) — under a chosen shuffle provider.
+//
+// Usage:
+//
+//	jbsrun -benchmark WordCount -shuffle jbs-rdma -lines 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/mapred"
+	"repro/internal/shuffle"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "Terasort", "benchmark name (Terasort, WordCount, Grep, SelfJoin, InvertedIndex, SequenceCount, AdjacencyList)")
+	shuffleName := flag.String("shuffle", "jbs-tcp", "shuffle provider: hadoop-http, jbs-tcp, jbs-rdma")
+	lines := flag.Int("lines", 2000, "input records to generate")
+	nodes := flag.Int("nodes", 3, "in-process node count")
+	reducers := flag.Int("reducers", 4, "ReduceTask count")
+	seed := flag.Int64("seed", 42, "input generator seed")
+	showOutput := flag.Int("show", 5, "output lines to print")
+	compress := flag.Bool("compress", false, "compress map outputs (mapred.compress.map.output)")
+	sortMem := flag.Int64("sortmem", 0, "map-side sort buffer bytes; 0 = unbounded (io.sort.mb)")
+	hierarchical := flag.Int("hierarchical", 0, "hierarchical merge fan-in for JBS; 0 = flat network-levitated merge")
+	retries := flag.Int("retries", 0, "JBS fetch retries on connection failure")
+	flag.Parse()
+
+	if _, err := workload.ByName(*benchmark); err != nil {
+		fmt.Fprintln(os.Stderr, "jbsrun:", err)
+		os.Exit(2)
+	}
+	var provider mapred.ShuffleProvider
+	var err error
+	switch *shuffleName {
+	case "hadoop-http":
+		provider = shuffle.NewHTTPProvider(shuffle.HTTPConfig{ShuffleMemory: 4 << 10})
+	case "jbs-tcp", "jbs-rdma":
+		provider, err = shuffle.NewJBSProvider(shuffle.JBSConfig{
+			Transport:         (*shuffleName)[len("jbs-"):],
+			FetchRetries:      *retries,
+			HierarchicalFanIn: *hierarchical,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "jbsrun: unknown shuffle %q\n", *shuffleName)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsrun:", err)
+		os.Exit(1)
+	}
+
+	res, err := bench.RunFunctional(bench.FunctionalConfig{
+		Benchmark:   *benchmark,
+		Lines:       *lines,
+		Nodes:       *nodes,
+		Reducers:    *reducers,
+		Seed:        *seed,
+		CompressMOF: *compress,
+		SortMemory:  *sortMem,
+	}, provider)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsrun:", err)
+		os.Exit(1)
+	}
+
+	c := res.Counters
+	fmt.Printf("%s on %s: %s\n", *benchmark, res.Provider, res.Elapsed.Round(1e6))
+	fmt.Printf("  map tasks        %d (%d local, %d remote)\n", c.MapTasks, c.LocalMapTasks, c.RemoteMapTasks)
+	fmt.Printf("  map records      %d in, %d out\n", c.MapInputRecords, c.MapOutputRecords)
+	if c.CombineInputs > 0 {
+		fmt.Printf("  combine          %d -> %d records\n", c.CombineInputs, c.CombineOutputs)
+	}
+	fmt.Printf("  shuffle          %d segments, %d bytes\n", c.ShuffledSegments, c.ShuffledBytes)
+	fmt.Printf("  spills           %d events, %d bytes\n", c.SpillEvents, c.SpilledBytes)
+	fmt.Printf("  reduce           %d tasks, %d groups, %d output records\n", c.ReduceTasks, c.ReduceGroups, c.OutputRecords)
+	if *showOutput > 0 {
+		outLines := strings.Split(strings.TrimSpace(res.Output), "\n")
+		n := *showOutput
+		if n > len(outLines) {
+			n = len(outLines)
+		}
+		fmt.Printf("  first %d output lines:\n", n)
+		for _, l := range outLines[:n] {
+			fmt.Printf("    %s\n", l)
+		}
+	}
+}

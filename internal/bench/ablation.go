@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"repro/internal/cluster"
+)
+
+// ablationGB is the ablation operating point: 256GB is disk-bound, where
+// the supplier's disk-side mechanisms matter most.
+const ablationGB = 256
+
+// Ablation isolates the contribution of each JBS design choice called out
+// in DESIGN.md, at the disk-bound Terasort operating point on IPoIB.
+func Ablation() *Report {
+	rep := &Report{
+		ID:     "ablation",
+		Title:  "JBS design-choice ablations, 256GB Terasort on IPoIB",
+		Header: []string{"Configuration", "Execution time (s)", "Delta vs JBS default"},
+	}
+	base := simulate(teraspec(ablationGB), cluster.JBSOnIPoIB)
+	add := func(name string, t float64) {
+		rep.AddRow(name, secs(t), pct(gain(base.ExecutionTime, t)*-1))
+	}
+	rep.AddRow("JBS default (batched prefetch, DataCache, levitated merge)",
+		secs(base.ExecutionTime), "-")
+
+	// (1) Pipelined prefetching without request grouping: every disk read
+	// is an interleaved singleton instead of a near-sequential batch.
+	nogroup := teraspec(ablationGB)
+	nogroup.PrefetchBatch = 1
+	add("no request grouping (prefetch batch = 1)", simulate(nogroup, cluster.JBSOnIPoIB).ExecutionTime)
+
+	// (2) A starved DataCache: prefetching cannot run ahead of
+	// transmission, so the pipeline loses its overlap.
+	nocache := teraspec(ablationGB)
+	nocache.DataCacheBytes = 8 << 20
+	add("starved DataCache (8MB)", simulate(nocache, cluster.JBSOnIPoIB).ExecutionTime)
+
+	// (3) Tiny transport buffers: per-request overheads dominate.
+	smallbuf := teraspec(ablationGB)
+	smallbuf.BufferSize = 8 << 10
+	add("8KB transport buffers", simulate(smallbuf, cluster.JBSOnIPoIB).ExecutionTime)
+
+	// (4) Stock Hadoop with the reduce-side spill disabled (unbounded
+	// shuffle memory): isolates the network-levitated merge benefit from
+	// the JVM-bypass benefit.
+	nospill := teraspec(ablationGB)
+	nospill.ShuffleMemPerReducer = 1 << 60
+	h := simulate(teraspec(ablationGB), cluster.HadoopOnIPoIB)
+	hNoSpill := simulate(nospill, cluster.HadoopOnIPoIB)
+	rep.AddRow("Hadoop default (spill merge)", secs(h.ExecutionTime),
+		pct(-gain(base.ExecutionTime, h.ExecutionTime)))
+	rep.AddRow("Hadoop without reduce-side spills", secs(hNoSpill.ExecutionTime),
+		pct(-gain(base.ExecutionTime, hNoSpill.ExecutionTime)))
+
+	rep.AddNote("Spill avoidance contributes %s of Hadoop's gap; the rest is the JVM-bypass data path",
+		pct(gain(h.ExecutionTime, hNoSpill.ExecutionTime)/gain(h.ExecutionTime, base.ExecutionTime)))
+	rep.AddNote("Supplier-side ablations (grouping, DataCache) barely move the makespan here: " +
+		"JBS's pipelined shuffle completes within the map-phase window, so its disk " +
+		"mechanisms have slack — the critical path is spill avoidance plus the reduce tail")
+	return rep
+}

@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// gb converts gigabytes to bytes.
+func gb(n int64) int64 { return n << 30 }
+
+// teraspec builds the default Terasort spec for an input size.
+func teraspec(inputGB int64) cluster.JobSpec {
+	return cluster.DefaultSpec(cluster.TerasortWorkload(), gb(inputGB))
+}
+
+func simulate(spec cluster.JobSpec, tc cluster.TestCase) cluster.RunResult {
+	r, err := cluster.Simulate(spec, tc)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err)) // specs are internally built
+	}
+	return r
+}
+
+// TableI regenerates the test-case description table.
+func TableI() *Report {
+	rep := &Report{
+		ID:     "table1",
+		Title:  "Test Case Description",
+		Header: []string{"Test Cases", "Transport Protocol", "Network"},
+	}
+	for _, tc := range cluster.TableI() {
+		rep.AddRow(tc.Name(), tc.TransportName(), tc.Network())
+	}
+	return rep
+}
+
+// Fig2a regenerates the disk I/O motivation experiment: average MOF read
+// time versus concurrent HttpServlets for the three access methods.
+func Fig2a() *Report {
+	rep := &Report{
+		ID:     "fig2a",
+		Title:  "Average MOF read time (ms) vs concurrent HttpServlets, 128MB segments",
+		Header: []string{"Servlets", "Java (stream read)", "Native C (read)", "Native C (mmap)"},
+	}
+	const seg = 128 << 20
+	var ratios []float64
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		j := cluster.MOFReadBench(n, seg, cluster.JavaStreamRead)
+		r := cluster.MOFReadBench(n, seg, cluster.NativeRead)
+		m := cluster.MOFReadBench(n, seg, cluster.NativeMmap)
+		ratios = append(ratios, j/r)
+		rep.AddRow(fmt.Sprintf("%d", n), ms(j), ms(r), ms(m))
+	}
+	rep.AddNote("Java stream reads average %.1fx slower than native C read (paper: 3.1x)", mean(ratios))
+	return rep
+}
+
+// Fig2b regenerates the single-stream shuffle motivation experiment.
+func Fig2b() *Report {
+	rep := &Report{
+		ID:     "fig2b",
+		Title:  "Segment shuffle time (ms), one HttpServlet to one MOFCopier",
+		Header: []string{"Segment (MB)", "Java (1GigE)", "Native C (1GigE)", "Java (InfiniBand)", "Native C (InfiniBand)"},
+	}
+	var ibRatios []float64
+	for _, mbSize := range []int64{1, 2, 4, 8, 16, 32, 64, 128, 256} {
+		size := mbSize << 20
+		jg := cluster.SegmentShuffleBench(size, simnet.TCP1GigE, simcpu.JavaJVM)
+		ng := cluster.SegmentShuffleBench(size, simnet.TCP1GigE, simcpu.NativeC)
+		ji := cluster.SegmentShuffleBench(size, simnet.IPoIB, simcpu.JavaJVM)
+		ni := cluster.SegmentShuffleBench(size, simnet.IPoIB, simcpu.NativeC)
+		ibRatios = append(ibRatios, ji/ni)
+		rep.AddRow(fmt.Sprintf("%d", mbSize), ms(jg), ms(ng), ms(ji), ms(ni))
+	}
+	rep.AddNote("On InfiniBand, Java shuffling averages %.1fx slower than native C (paper: up to 3.4x); hidden on 1GigE", mean(ibRatios))
+	return rep
+}
+
+// Fig2c regenerates the converging shuffle motivation experiment.
+func Fig2c() *Report {
+	rep := &Report{
+		ID:     "fig2c",
+		Title:  "Segments shuffle time (ms), N nodes to one ReduceTask, 256MB per node",
+		Header: []string{"Nodes", "Java (1GigE)", "Native C (1GigE)", "Java (InfiniBand)", "Native C (InfiniBand)"},
+	}
+	const seg = 256 << 20
+	var ibRatios []float64
+	for n := 2; n <= 20; n += 2 {
+		jg := cluster.ConvergingShuffleBench(n, seg, simnet.TCP1GigE, simcpu.JavaJVM)
+		ng := cluster.ConvergingShuffleBench(n, seg, simnet.TCP1GigE, simcpu.NativeC)
+		ji := cluster.ConvergingShuffleBench(n, seg, simnet.IPoIB, simcpu.JavaJVM)
+		ni := cluster.ConvergingShuffleBench(n, seg, simnet.IPoIB, simcpu.NativeC)
+		ibRatios = append(ibRatios, ji/ni)
+		rep.AddRow(fmt.Sprintf("%d", n), ms(jg), ms(ng), ms(ji), ms(ni))
+	}
+	rep.AddNote("On InfiniBand, JVM imposes %.1fx overhead for N-to-1 shuffling (paper: above 2.5x)", mean(ibRatios))
+	return rep
+}
+
+// inputSweep runs the Fig. 7/8 style input-size sweeps.
+func inputSweep(id, title string, cases []cluster.TestCase) *Report {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"Input (GB)"}, caseNames(cases)...),
+	}
+	sizes := []int64{16, 32, 64, 128, 256}
+	results := make(map[string][]float64)
+	for _, sz := range sizes {
+		row := []string{fmt.Sprintf("%d", sz)}
+		for _, tc := range cases {
+			r := simulate(teraspec(sz), tc)
+			row = append(row, secs(r.ExecutionTime))
+			results[tc.Name()] = append(results[tc.Name()], r.ExecutionTime)
+		}
+		rep.AddRow(row...)
+	}
+	// Average pairwise improvements of later cases vs the first.
+	base := results[cases[0].Name()]
+	for _, tc := range cases[1:] {
+		var gains []float64
+		for i, t := range results[tc.Name()] {
+			gains = append(gains, gain(base[i], t))
+		}
+		rep.AddNote("%s vs %s: average reduction %s", tc.Name(), cases[0].Name(), pct(mean(gains)))
+	}
+	return rep
+}
+
+func caseNames(cases []cluster.TestCase) []string {
+	var out []string
+	for _, tc := range cases {
+		out = append(out, tc.Name())
+	}
+	return out
+}
+
+// Fig7a regenerates the InfiniBand-environment Terasort sweep.
+func Fig7a() *Report {
+	return inputSweep("fig7a", "Terasort execution time (s), InfiniBand environment",
+		[]cluster.TestCase{cluster.HadoopOnIPoIB, cluster.HadoopOnSDP, cluster.JBSOnIPoIB})
+}
+
+// Fig7b regenerates the Ethernet-environment Terasort sweep.
+func Fig7b() *Report {
+	return inputSweep("fig7b", "Terasort execution time (s), Ethernet environment",
+		[]cluster.TestCase{cluster.HadoopOn1GigE, cluster.HadoopOn10GigE, cluster.JBSOn1GigE, cluster.JBSOn10GigE})
+}
+
+// Fig8 regenerates the JBS protocol comparison.
+func Fig8() *Report {
+	return inputSweep("fig8", "Terasort execution time (s), JBS across protocols",
+		[]cluster.TestCase{cluster.JBSOn10GigE, cluster.JBSOnIPoIB, cluster.JBSOnRoCE, cluster.JBSOnRDMA})
+}
+
+// scalingSweep runs the Fig. 9 node-count sweeps.
+func scalingSweep(id, title string, cases []cluster.TestCase, weak bool) *Report {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"Slave nodes"}, caseNames(cases)...),
+	}
+	results := make(map[string][]float64)
+	for n := 12; n <= 22; n += 2 {
+		var input int64
+		if weak {
+			input = int64(n) * cluster.ReduceSlotsPerNode * gb(6) // 6GB per ReduceTask
+		} else {
+			input = gb(256)
+		}
+		spec := cluster.DefaultSpec(cluster.TerasortWorkload(), input)
+		spec.Nodes = n
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, tc := range cases {
+			r := simulate(spec, tc)
+			row = append(row, secs(r.ExecutionTime))
+			results[tc.Name()] = append(results[tc.Name()], r.ExecutionTime)
+		}
+		rep.AddRow(row...)
+	}
+	base := results[cases[0].Name()]
+	for _, tc := range cases[1:] {
+		var gains []float64
+		for i, t := range results[tc.Name()] {
+			gains = append(gains, gain(base[i], t))
+		}
+		rep.AddNote("%s vs %s: average reduction %s", tc.Name(), cases[0].Name(), pct(mean(gains)))
+	}
+	return rep
+}
+
+// Fig9a regenerates InfiniBand strong scaling (fixed 256GB input).
+func Fig9a() *Report {
+	return scalingSweep("fig9a", "Strong scaling, 256GB Terasort, InfiniBand",
+		[]cluster.TestCase{cluster.HadoopOnIPoIB, cluster.JBSOnIPoIB, cluster.JBSOnRDMA}, false)
+}
+
+// Fig9b regenerates InfiniBand weak scaling (6GB per ReduceTask).
+func Fig9b() *Report {
+	return scalingSweep("fig9b", "Weak scaling, 6GB per ReduceTask, InfiniBand",
+		[]cluster.TestCase{cluster.HadoopOnIPoIB, cluster.JBSOnIPoIB, cluster.JBSOnRDMA}, true)
+}
+
+// Fig9c regenerates Ethernet strong scaling.
+func Fig9c() *Report {
+	return scalingSweep("fig9c", "Strong scaling, 256GB Terasort, Ethernet",
+		[]cluster.TestCase{cluster.HadoopOn10GigE, cluster.JBSOn10GigE, cluster.JBSOnRoCE}, false)
+}
+
+// Fig9d regenerates Ethernet weak scaling.
+func Fig9d() *Report {
+	return scalingSweep("fig9d", "Weak scaling, 6GB per ReduceTask, Ethernet",
+		[]cluster.TestCase{cluster.HadoopOn10GigE, cluster.JBSOn10GigE, cluster.JBSOnRoCE}, true)
+}
+
+// cpuTraceReport runs the Fig. 10 sar-style traces at 128GB.
+func cpuTraceReport(id, title string, cases []cluster.TestCase) *Report {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"Time (s)"}, caseNames(cases)...),
+	}
+	var traces [][]float64
+	var avgs []float64
+	maxLen := 0
+	for _, tc := range cases {
+		r := simulate(teraspec(128), tc)
+		traces = append(traces, r.CPUTrace)
+		avgs = append(avgs, r.AvgCPUUtil)
+		if len(r.CPUTrace) > maxLen {
+			maxLen = len(r.CPUTrace)
+		}
+	}
+	// The paper plots the first 600 seconds at 5-second samples; print
+	// every 25s to keep the table readable.
+	limit := maxLen
+	if limit > 120 {
+		limit = 120
+	}
+	for b := 0; b < limit; b += 5 {
+		row := []string{fmt.Sprintf("%.0f", float64(b)*5)}
+		for _, tr := range traces {
+			if b < len(tr) {
+				row = append(row, pct(tr[b]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rep.AddRow(row...)
+	}
+	for i, tc := range cases {
+		rep.AddNote("%s: average CPU utilization %s", tc.Name(), pct(avgs[i]))
+	}
+	for i := 1; i < len(cases); i++ {
+		rep.AddNote("%s vs %s: CPU reduction %s", cases[i].Name(), cases[0].Name(),
+			pct(gain(avgs[0], avgs[i])))
+	}
+	return rep
+}
+
+// Fig10a regenerates the IPoIB CPU-utilization comparison.
+func Fig10a() *Report {
+	return cpuTraceReport("fig10a", "CPU utilization, 128GB Terasort (InfiniBand, TCP/IP protocol)",
+		[]cluster.TestCase{cluster.HadoopOnIPoIB, cluster.JBSOnIPoIB})
+}
+
+// Fig10b regenerates the RDMA-protocol CPU comparison.
+func Fig10b() *Report {
+	return cpuTraceReport("fig10b", "CPU utilization, 128GB Terasort (InfiniBand, RDMA protocol)",
+		[]cluster.TestCase{cluster.HadoopOnSDP, cluster.JBSOnRDMA})
+}
+
+// Fig10c regenerates the Ethernet CPU comparison.
+func Fig10c() *Report {
+	return cpuTraceReport("fig10c", "CPU utilization, 128GB Terasort (Ethernet)",
+		[]cluster.TestCase{cluster.HadoopOn10GigE, cluster.JBSOn10GigE, cluster.JBSOnRoCE})
+}
+
+// Fig11 regenerates the transport buffer size sweep.
+func Fig11() *Report {
+	rep := &Report{
+		ID:     "fig11",
+		Title:  "Terasort execution time (s) vs JBS transport buffer size, 128GB input",
+		Header: []string{"Buffer (KB)", "JBS on IPoIB", "JBS on RDMA", "JBS on RoCE"},
+	}
+	cases := []cluster.TestCase{cluster.JBSOnIPoIB, cluster.JBSOnRDMA, cluster.JBSOnRoCE}
+	results := make(map[string]map[int]float64)
+	for _, tc := range cases {
+		results[tc.Name()] = make(map[int]float64)
+	}
+	kbs := []int{8, 16, 32, 64, 128, 256, 512}
+	for _, kb := range kbs {
+		row := []string{fmt.Sprintf("%d", kb)}
+		for _, tc := range cases {
+			spec := teraspec(128)
+			spec.BufferSize = kb << 10
+			r := simulate(spec, tc)
+			row = append(row, secs(r.ExecutionTime))
+			results[tc.Name()][kb] = r.ExecutionTime
+		}
+		rep.AddRow(row...)
+	}
+	ip := results[cluster.JBSOnIPoIB.Name()]
+	rd := results[cluster.JBSOnRDMA.Name()]
+	rep.AddNote("IPoIB 8KB -> 128KB: reduction %s (paper: up to 70.3%%)", pct(gain(ip[8], ip[128])))
+	rep.AddNote("RDMA 8KB -> 256KB: improvement %s (paper: 53%%)", pct(gain(rd[8], rd[256])))
+	rep.AddNote("IPoIB 512KB vs 256KB: %+.1fs (paper: slight degradation)", ip[512]-ip[256])
+	return rep
+}
+
+// tarazuReport runs the Fig. 12 benchmark suites at 30GB inputs.
+func tarazuReport(id, title string, cases []cluster.TestCase) *Report {
+	rep := &Report{
+		ID:     id,
+		Title:  title,
+		Header: append([]string{"Benchmark"}, caseNames(cases)...),
+	}
+	type best struct {
+		name string
+		gain float64
+	}
+	var heavyGains []float64
+	var top best
+	for _, w := range cluster.TarazuWorkloads() {
+		spec := cluster.DefaultSpec(w, gb(30))
+		row := []string{w.Name}
+		var times []float64
+		for _, tc := range cases {
+			r := simulate(spec, tc)
+			row = append(row, secs(r.ExecutionTime))
+			times = append(times, r.ExecutionTime)
+		}
+		rep.AddRow(row...)
+		g := gain(times[0], times[len(times)-1])
+		if w.ShuffleRatio > 0.5 {
+			heavyGains = append(heavyGains, g)
+			if g > top.gain {
+				top = best{w.Name, g}
+			}
+		}
+	}
+	rep.AddNote("Shuffle-heavy benchmarks: %s average reduction %s vs %s",
+		cases[len(cases)-1].Name(), pct(mean(heavyGains)), cases[0].Name())
+	rep.AddNote("Best case: %s at %s (paper: AdjacencyList, 66.3%%)", top.name, pct(top.gain))
+	rep.AddNote("WordCount and Grep shuffle little data and see no benefit")
+	return rep
+}
+
+// Fig12a regenerates the InfiniBand Tarazu suite.
+func Fig12a() *Report {
+	return tarazuReport("fig12a", "Tarazu benchmark execution time (s), InfiniBand, 30GB inputs",
+		[]cluster.TestCase{cluster.HadoopOnIPoIB, cluster.JBSOnIPoIB, cluster.JBSOnRDMA})
+}
+
+// Fig12b regenerates the Ethernet Tarazu suite.
+func Fig12b() *Report {
+	return tarazuReport("fig12b", "Tarazu benchmark execution time (s), Ethernet, 30GB inputs",
+		[]cluster.TestCase{cluster.HadoopOn10GigE, cluster.JBSOn10GigE, cluster.JBSOnRoCE})
+}

@@ -1,0 +1,150 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Section V) from the cluster simulator and micro-models, and
+// provides functional counterparts that exercise the real engine. Each
+// experiment prints the same rows/series the paper plots.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's regenerated table.
+type Report struct {
+	// ID is the experiment identifier ("table1", "fig7a", ...).
+	ID string
+	// Title describes the experiment as captioned in the paper.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes carry derived headline numbers (average improvements etc.).
+	Notes []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a derived-result note.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "-- %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the report's rows as comma-separated values (RFC-4180
+// quoting for cells containing commas or quotes), ready for plotting.
+func (r *Report) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Test Case Description", TableI},
+		{"fig2a", "Disk I/O: Java stream vs native read vs mmap", Fig2a},
+		{"fig2b", "One HttpServlet to one MOFCopier shuffle time", Fig2b},
+		{"fig2c", "N nodes to one ReduceTask shuffle time", Fig2c},
+		{"fig7a", "Benefits of JVM-Bypass (InfiniBand environment)", Fig7a},
+		{"fig7b", "Benefits of JVM-Bypass (Ethernet environment)", Fig7b},
+		{"fig8", "Benefits of RDMA", Fig8},
+		{"fig9a", "Strong scaling (InfiniBand)", Fig9a},
+		{"fig9b", "Weak scaling (InfiniBand)", Fig9b},
+		{"fig9c", "Strong scaling (Ethernet)", Fig9c},
+		{"fig9d", "Weak scaling (Ethernet)", Fig9d},
+		{"fig10a", "CPU utilization (InfiniBand, TCP/IP protocol)", Fig10a},
+		{"fig10b", "CPU utilization (InfiniBand, RDMA protocol)", Fig10b},
+		{"fig10c", "CPU utilization (Ethernet)", Fig10c},
+		{"fig11", "Impact of JBS transport buffer size", Fig11},
+		{"fig12a", "Tarazu benchmarks (InfiniBand)", Fig12a},
+		{"fig12b", "Tarazu benchmarks (Ethernet)", Fig12b},
+		{"ablation", "JBS design-choice ablations", Ablation},
+	}
+}
+
+// ByID finds an experiment by identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q", id)
+}
+
+func secs(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func ms(v float64) string { return fmt.Sprintf("%.2f", v*1e3) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// gain returns the relative reduction of b versus a.
+func gain(a, b float64) float64 { return 1 - b/a }
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,538 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+func mustSim(t *testing.T, spec JobSpec, tc TestCase) RunResult {
+	t.Helper()
+	r, err := Simulate(spec, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func teraSpec(gb int64) JobSpec {
+	return DefaultSpec(TerasortWorkload(), gb<<30)
+}
+
+func TestTestCaseNames(t *testing.T) {
+	cases := map[TestCase]string{
+		HadoopOnIPoIB: "Hadoop on IPoIB",
+		HadoopOnSDP:   "Hadoop on SDP",
+		JBSOnRDMA:     "JBS on RDMA",
+		JBSOnRoCE:     "JBS on RoCE",
+		JBSOn1GigE:    "JBS on 1GigE",
+	}
+	for tc, want := range cases {
+		if tc.Name() != want {
+			t.Errorf("Name() = %q, want %q", tc.Name(), want)
+		}
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 8 {
+		t.Fatalf("Table I has %d rows, want 8", len(rows))
+	}
+	// Check a few (protocol, network) cells against the paper's table.
+	type cell struct{ transport, network string }
+	want := map[string]cell{
+		"Hadoop on 1GigE":  {"TCP/IP", "1GigE"},
+		"Hadoop on 10GigE": {"TCP/IP", "10GigE"},
+		"Hadoop on IPoIB":  {"IPoIB", "InfiniBand"},
+		"Hadoop on SDP":    {"SDP", "InfiniBand"},
+		"JBS on 10GigE":    {"TCP/IP", "10GigE"},
+		"JBS on IPoIB":     {"IPoIB", "InfiniBand"},
+		"JBS on RoCE":      {"RoCE", "10GigE"},
+		"JBS on RDMA":      {"RDMA", "InfiniBand"},
+	}
+	for _, tc := range rows {
+		w, ok := want[tc.Name()]
+		if !ok {
+			t.Errorf("unexpected row %q", tc.Name())
+			continue
+		}
+		if tc.TransportName() != w.transport || tc.Network() != w.network {
+			t.Errorf("%s: got (%s,%s), want (%s,%s)", tc.Name(),
+				tc.TransportName(), tc.Network(), w.transport, w.network)
+		}
+	}
+}
+
+func TestEngineRuntime(t *testing.T) {
+	if Hadoop.Runtime() != simcpu.Java() {
+		t.Error("Hadoop should run the Java model")
+	}
+	if JBS.Runtime() != simcpu.Native() {
+		t.Error("JBS should run the native model")
+	}
+	if Hadoop.String() != "Hadoop" || JBS.String() != "JBS" {
+		t.Error("engine names wrong")
+	}
+}
+
+func TestSpecDerivedQuantities(t *testing.T) {
+	spec := teraSpec(256)
+	if got := spec.MapTasks(); got != 1024 {
+		t.Errorf("256GB / 256MB blocks = %d maps, want 1024", got)
+	}
+	if got := spec.ReduceTasks(); got != 44 {
+		t.Errorf("reducers = %d, want 44 (22 nodes x 2 slots)", got)
+	}
+	segs := int64(spec.MapTasks()) * int64(spec.ReduceTasks())
+	if got := spec.SegmentBytes(); got != (256<<30)/segs {
+		t.Errorf("segment bytes = %d", got)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := teraSpec(16)
+	bad.Nodes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad2 := teraSpec(16)
+	bad2.BufferSize = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero buffer accepted")
+	}
+	if _, err := Simulate(bad, HadoopOnIPoIB); err == nil {
+		t.Error("Simulate accepted invalid spec")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := mustSim(t, teraSpec(32), JBSOnRDMA)
+	b := mustSim(t, teraSpec(32), JBSOnRDMA)
+	if a.ExecutionTime != b.ExecutionTime || a.AvgCPUUtil != b.AvgCPUUtil {
+		t.Fatalf("simulation not deterministic: %v vs %v", a.ExecutionTime, b.ExecutionTime)
+	}
+}
+
+func TestPhaseOrdering(t *testing.T) {
+	r := mustSim(t, teraSpec(64), HadoopOnIPoIB)
+	if !(r.MapPhaseEnd > 0 && r.MapPhaseEnd <= r.ShuffleEnd && r.ShuffleEnd <= r.ExecutionTime) {
+		t.Fatalf("phase ordering broken: map=%g shuffle=%g end=%g",
+			r.MapPhaseEnd, r.ShuffleEnd, r.ExecutionTime)
+	}
+}
+
+func TestShuffleOverlapsMapPhase(t *testing.T) {
+	// Segments of early map waves transfer while later maps still run:
+	// the CPU trace is nonzero well before the map phase ends, and no
+	// figure-scale job serializes map and shuffle fully.
+	r := mustSim(t, teraSpec(128), JBSOnIPoIB)
+	if r.ShuffleEnd-r.MapPhaseEnd > 0.7*r.ExecutionTime {
+		t.Fatalf("shuffle appears fully serialized after maps: map=%g shuffle=%g total=%g",
+			r.MapPhaseEnd, r.ShuffleEnd, r.ExecutionTime)
+	}
+}
+
+func TestJBSNeverSpills(t *testing.T) {
+	for _, gb := range []int64{16, 128, 256} {
+		r := mustSim(t, teraSpec(gb), JBSOnIPoIB)
+		if r.SpilledBytes != 0 {
+			t.Errorf("%dGB: JBS spilled %d bytes, want 0 (network-levitated merge)", gb, r.SpilledBytes)
+		}
+	}
+}
+
+func TestHadoopSpillsOnlyBeyondBudget(t *testing.T) {
+	small := mustSim(t, teraSpec(16), HadoopOnIPoIB)
+	if small.SpilledBytes != 0 {
+		t.Errorf("16GB: per-reducer data fits the budget; spilled %d", small.SpilledBytes)
+	}
+	big := mustSim(t, teraSpec(256), HadoopOnIPoIB)
+	if big.SpilledBytes == 0 {
+		t.Error("256GB: Hadoop should spill reduce-side shuffle data")
+	}
+}
+
+func TestJBSConsolidatesConnections(t *testing.T) {
+	h := mustSim(t, teraSpec(64), HadoopOnIPoIB)
+	j := mustSim(t, teraSpec(64), JBSOnIPoIB)
+	if j.Connections >= h.Connections {
+		t.Fatalf("JBS connections %d not below Hadoop's %d", j.Connections, h.Connections)
+	}
+	// One consolidated connection per node pair.
+	if j.Connections != DefaultNodes*DefaultNodes {
+		t.Fatalf("JBS connections = %d, want %d node pairs", j.Connections, DefaultNodes*DefaultNodes)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	// At tiny inputs task startup dominates and JBS shows no benefit; from
+	// 32GB on, JBS wins and the gain grows toward the disk-bound regime.
+	var prevGain float64 = -1
+	for _, gb := range []int64{32, 64, 128} {
+		h := mustSim(t, teraSpec(gb), HadoopOnIPoIB)
+		j := mustSim(t, teraSpec(gb), JBSOnIPoIB)
+		gain := 1 - j.ExecutionTime/h.ExecutionTime
+		if gain <= 0.05 {
+			t.Errorf("%dGB: JBS gain %.1f%% too small", gb, 100*gain)
+		}
+		if gain >= 0.45 {
+			t.Errorf("%dGB: JBS gain %.1f%% implausibly large", gb, 100*gain)
+		}
+		if gain < prevGain-0.02 {
+			t.Errorf("%dGB: gain %.1f%% fell below smaller input's %.1f%%", gb, 100*gain, 100*prevGain)
+		}
+		prevGain = gain
+	}
+	// 16GB: no meaningful benefit (paper: startup costs dominate).
+	h := mustSim(t, teraSpec(16), HadoopOnIPoIB)
+	j := mustSim(t, teraSpec(16), JBSOnIPoIB)
+	if g := 1 - j.ExecutionTime/h.ExecutionTime; g > 0.08 {
+		t.Errorf("16GB: JBS gain %.1f%%, want near zero", 100*g)
+	}
+}
+
+func TestSDPTracksIPoIB(t *testing.T) {
+	// Section V-A: "the performance of Hadoop on IPoIB is very close to
+	// that of Hadoop on SDP".
+	for _, gb := range []int64{32, 128} {
+		ip := mustSim(t, teraSpec(gb), HadoopOnIPoIB)
+		sdp := mustSim(t, teraSpec(gb), HadoopOnSDP)
+		if d := math.Abs(ip.ExecutionTime-sdp.ExecutionTime) / ip.ExecutionTime; d > 0.05 {
+			t.Errorf("%dGB: SDP deviates %.1f%% from IPoIB", gb, 100*d)
+		}
+	}
+}
+
+func TestNetworkCrossover(t *testing.T) {
+	// Small (cache-resident) jobs gain a lot from fast fabrics; large
+	// (disk-bound) jobs gain much less (Section V-A).
+	smallGain := func() float64 {
+		h1 := mustSim(t, teraSpec(32), HadoopOn1GigE)
+		h10 := mustSim(t, teraSpec(32), HadoopOn10GigE)
+		return 1 - h10.ExecutionTime/h1.ExecutionTime
+	}()
+	bigGain := func() float64 {
+		h1 := mustSim(t, teraSpec(256), HadoopOn1GigE)
+		h10 := mustSim(t, teraSpec(256), HadoopOn10GigE)
+		return 1 - h10.ExecutionTime/h1.ExecutionTime
+	}()
+	if smallGain < 0.2 {
+		t.Errorf("32GB 10GigE gain %.1f%%, want substantial", 100*smallGain)
+	}
+	if bigGain >= smallGain {
+		t.Errorf("large-input network gain %.1f%% not below small-input %.1f%%",
+			100*bigGain, 100*smallGain)
+	}
+}
+
+func TestRDMAFastestProtocolForJBS(t *testing.T) {
+	for _, gb := range []int64{16, 64, 256} {
+		rdma := mustSim(t, teraSpec(gb), JBSOnRDMA)
+		for _, tc := range []TestCase{JBSOnIPoIB, JBSOnRoCE, JBSOn10GigE, JBSOn1GigE} {
+			other := mustSim(t, teraSpec(gb), tc)
+			if rdma.ExecutionTime >= other.ExecutionTime {
+				t.Errorf("%dGB: RDMA (%.1fs) not faster than %s (%.1fs)",
+					gb, rdma.ExecutionTime, tc.Name(), other.ExecutionTime)
+			}
+		}
+		// RoCE beats plain 10GigE on the same wire.
+		roce := mustSim(t, teraSpec(gb), JBSOnRoCE)
+		tcp10 := mustSim(t, teraSpec(gb), JBSOn10GigE)
+		if roce.ExecutionTime >= tcp10.ExecutionTime {
+			t.Errorf("%dGB: RoCE (%.1fs) not faster than 10GigE TCP (%.1fs)",
+				gb, roce.ExecutionTime, tcp10.ExecutionTime)
+		}
+	}
+}
+
+func TestCPUUtilizationReduction(t *testing.T) {
+	// The headline Fig. 10 results at 128GB.
+	h := mustSim(t, teraSpec(128), HadoopOnIPoIB)
+	j := mustSim(t, teraSpec(128), JBSOnIPoIB)
+	red := 1 - j.AvgCPUUtil/h.AvgCPUUtil
+	if red < 0.35 || red > 0.60 {
+		t.Errorf("JBS CPU reduction = %.1f%%, want ~48.1%%", 100*red)
+	}
+	if h.AvgCPUUtil < 0.25 || h.AvgCPUUtil > 0.60 {
+		t.Errorf("Hadoop avg CPU = %.1f%%, want in the sar-trace range", 100*h.AvgCPUUtil)
+	}
+	// SDP lowers CPU vs IPoIB without changing runtime (paper: 15.8%).
+	sdp := mustSim(t, teraSpec(128), HadoopOnSDP)
+	sdpRed := 1 - sdp.AvgCPUUtil/h.AvgCPUUtil
+	if sdpRed < 0.08 || sdpRed > 0.25 {
+		t.Errorf("SDP CPU reduction = %.1f%%, want ~15.8%%", 100*sdpRed)
+	}
+	// JBS on RDMA cuts CPU sharply vs Hadoop on SDP (paper: 44.8%).
+	rdma := mustSim(t, teraSpec(128), JBSOnRDMA)
+	rdmaRed := 1 - rdma.AvgCPUUtil/sdp.AvgCPUUtil
+	if rdmaRed < 0.35 {
+		t.Errorf("JBS-RDMA vs Hadoop-SDP CPU reduction = %.1f%%, want ~44.8%%", 100*rdmaRed)
+	}
+}
+
+func TestCPUTraceShape(t *testing.T) {
+	r := mustSim(t, teraSpec(64), HadoopOnIPoIB)
+	if len(r.CPUTrace) == 0 {
+		t.Fatal("empty CPU trace")
+	}
+	wantBuckets := int(r.ExecutionTime/cpuTraceBucket) + 1
+	if math.Abs(float64(len(r.CPUTrace)-wantBuckets)) > 1 {
+		t.Fatalf("trace buckets = %d, want ~%d", len(r.CPUTrace), wantBuckets)
+	}
+	var peak float64
+	for _, u := range r.CPUTrace {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization %g outside [0,1]", u)
+		}
+		if u > peak {
+			peak = u
+		}
+	}
+	if peak < 0.1 {
+		t.Fatalf("peak utilization %.2f suspiciously low", peak)
+	}
+}
+
+func TestBufferSweepShape(t *testing.T) {
+	// Fig. 11: improvement up to ~128KB, leveling off, slight degradation
+	// at 512KB for the copy-based protocol.
+	times := map[int]float64{}
+	for _, kb := range []int{8, 32, 128, 256, 512} {
+		spec := teraSpec(128)
+		spec.BufferSize = kb << 10
+		times[kb] = mustSim(t, spec, JBSOnIPoIB).ExecutionTime
+	}
+	if !(times[8] > times[32] && times[32] > times[128]*0.999) {
+		t.Errorf("no improvement with growing buffers: %v", times)
+	}
+	if gain := 1 - times[128]/times[8]; gain < 0.3 {
+		t.Errorf("8KB->128KB gain %.1f%%, want large (paper: 70.3%%)", 100*gain)
+	}
+	if times[512] < times[256] {
+		t.Errorf("512KB (%f) should slightly degrade vs 256KB (%f) on IPoIB", times[512], times[256])
+	}
+	// RDMA levels off without degradation.
+	spec := teraSpec(128)
+	spec.BufferSize = 256 << 10
+	r256 := mustSim(t, spec, JBSOnRDMA).ExecutionTime
+	spec.BufferSize = 512 << 10
+	r512 := mustSim(t, spec, JBSOnRDMA).ExecutionTime
+	if r512 > r256*1.02 {
+		t.Errorf("RDMA degraded at 512KB: %f vs %f", r512, r256)
+	}
+}
+
+func TestStrongScaling(t *testing.T) {
+	// Fixed 256GB input, more nodes => shorter jobs, and JBS's advantage
+	// holds at every scale (Fig. 9a).
+	var prev float64 = math.MaxFloat64
+	for _, n := range []int{12, 16, 22} {
+		spec := teraSpec(256)
+		spec.Nodes = n
+		h := mustSim(t, spec, HadoopOnIPoIB)
+		j := mustSim(t, spec, JBSOnRDMA)
+		if h.ExecutionTime >= prev {
+			t.Errorf("%d nodes: time %.1f did not improve on fewer nodes (%.1f)", n, h.ExecutionTime, prev)
+		}
+		prev = h.ExecutionTime
+		if j.ExecutionTime >= h.ExecutionTime {
+			t.Errorf("%d nodes: JBS-RDMA (%.1f) not faster than Hadoop-IPoIB (%.1f)",
+				n, j.ExecutionTime, h.ExecutionTime)
+		}
+	}
+}
+
+func TestWeakScaling(t *testing.T) {
+	// 6GB per ReduceTask (Fig. 9b): the JBS improvement ratio stays stable
+	// as nodes grow.
+	var gains []float64
+	for _, n := range []int{12, 22} {
+		input := int64(n) * 2 * 6 << 30
+		spec := DefaultSpec(TerasortWorkload(), input)
+		spec.Nodes = n
+		h := mustSim(t, spec, HadoopOnIPoIB)
+		j := mustSim(t, spec, JBSOnIPoIB)
+		gains = append(gains, 1-j.ExecutionTime/h.ExecutionTime)
+	}
+	if math.Abs(gains[0]-gains[1]) > 0.12 {
+		t.Errorf("weak-scaling gains unstable: %v", gains)
+	}
+	for _, g := range gains {
+		if g <= 0 {
+			t.Errorf("weak scaling: JBS not faster (gain %.1f%%)", 100*g)
+		}
+	}
+}
+
+func TestTarazuBenchmarkClasses(t *testing.T) {
+	// Fig. 12: shuffle-heavy benchmarks gain from JBS; WordCount and Grep
+	// gain little.
+	for _, w := range TarazuWorkloads() {
+		spec := DefaultSpec(w, 30<<30)
+		h := mustSim(t, spec, HadoopOnIPoIB)
+		j := mustSim(t, spec, JBSOnRDMA)
+		gain := 1 - j.ExecutionTime/h.ExecutionTime
+		heavy := w.ShuffleRatio > 0.5
+		if heavy && gain < 0.10 {
+			t.Errorf("%s: shuffle-heavy gain only %.1f%%", w.Name, 100*gain)
+		}
+		if !heavy && gain > 0.10 {
+			t.Errorf("%s: shuffle-light gain %.1f%%, want small", w.Name, 100*gain)
+		}
+	}
+}
+
+func TestAdjacencyListGainsMost(t *testing.T) {
+	// The paper's best case (66.3%) is AdjacencyList under JBS-RDMA.
+	best := ""
+	var bestGain float64
+	for _, w := range TarazuWorkloads() {
+		spec := DefaultSpec(w, 30<<30)
+		h := mustSim(t, spec, HadoopOnIPoIB)
+		j := mustSim(t, spec, JBSOnRDMA)
+		if g := 1 - j.ExecutionTime/h.ExecutionTime; g > bestGain {
+			bestGain, best = g, w.Name
+		}
+	}
+	if best != "AdjacencyList" {
+		t.Errorf("largest gain on %s, want AdjacencyList", best)
+	}
+}
+
+func TestMOFReadBenchFig2a(t *testing.T) {
+	seg := int64(128 << 20)
+	java := MOFReadBench(4, seg, JavaStreamRead)
+	native := MOFReadBench(4, seg, NativeRead)
+	mmap := MOFReadBench(4, seg, NativeMmap)
+	ratio := java / native
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("Java/native read ratio = %.2f, want ~3.1", ratio)
+	}
+	if mmap >= native {
+		t.Errorf("mmap (%.3f) not faster than read (%.3f)", mmap, native)
+	}
+	// More concurrent servlets share two disks: average time grows.
+	if MOFReadBench(16, seg, NativeRead) <= MOFReadBench(1, seg, NativeRead) {
+		t.Error("read time did not grow with servlet concurrency")
+	}
+}
+
+func TestSegmentShuffleBenchFig2b(t *testing.T) {
+	size := int64(64 << 20)
+	slow := SegmentShuffleBench(size, simnet.TCP1GigE, simcpu.JavaJVM) /
+		SegmentShuffleBench(size, simnet.TCP1GigE, simcpu.NativeC)
+	fast := SegmentShuffleBench(size, simnet.IPoIB, simcpu.JavaJVM) /
+		SegmentShuffleBench(size, simnet.IPoIB, simcpu.NativeC)
+	if slow > 1.5 {
+		t.Errorf("1GigE Java penalty %.2fx should be hidden by the slow wire", slow)
+	}
+	if fast < 2.5 || fast > 4.5 {
+		t.Errorf("InfiniBand Java penalty %.2fx, want ~3.4x", fast)
+	}
+}
+
+func TestConvergingShuffleBenchFig2c(t *testing.T) {
+	size := int64(256 << 20)
+	javaT := ConvergingShuffleBench(16, size, simnet.IPoIB, simcpu.JavaJVM)
+	nativeT := ConvergingShuffleBench(16, size, simnet.IPoIB, simcpu.NativeC)
+	if r := javaT / nativeT; r < 1.8 {
+		t.Errorf("16-node convergence Java/native = %.2f, want >= ~2", r)
+	}
+	// Hidden on 1GigE.
+	jg := ConvergingShuffleBench(16, size, simnet.TCP1GigE, simcpu.JavaJVM)
+	ng := ConvergingShuffleBench(16, size, simnet.TCP1GigE, simcpu.NativeC)
+	if r := jg / ng; r > 1.3 {
+		t.Errorf("1GigE convergence ratio %.2f should be near 1", r)
+	}
+	// More senders, longer completion.
+	if ConvergingShuffleBench(20, size, simnet.IPoIB, simcpu.JavaJVM) <= javaT {
+		t.Error("completion time did not grow with sender count")
+	}
+}
+
+func TestMicroBenchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MOFReadBench(0, ...) did not panic")
+		}
+	}()
+	MOFReadBench(0, 1<<20, NativeRead)
+}
+
+func TestDiskIOModeString(t *testing.T) {
+	if JavaStreamRead.String() == "" || NativeRead.String() == "" || NativeMmap.String() == "" {
+		t.Error("empty mode names")
+	}
+	if DiskIOMode(9).String() == "" {
+		t.Error("defensive name empty")
+	}
+}
+
+func TestCPUMeter(t *testing.T) {
+	m := NewCPUMeter(4)
+	m.Add(0, 10, 20) // 2 cores for 10s
+	if got := m.Total(); got != 20 {
+		t.Fatalf("Total = %g, want 20", got)
+	}
+	if u := m.MeanUtilization(10); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("MeanUtilization = %g, want 0.5", u)
+	}
+	trace := m.Trace(5, 10)
+	if len(trace) != 2 || math.Abs(trace[0]-0.5) > 1e-9 || math.Abs(trace[1]-0.5) > 1e-9 {
+		t.Fatalf("trace = %v", trace)
+	}
+	// Load clipped at the window end.
+	m2 := NewCPUMeter(1)
+	m2.Add(0, 20, 20)
+	if u := m2.MeanUtilization(10); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("clipped utilization = %g, want 1", u)
+	}
+	// Zero and instantaneous loads.
+	m3 := NewCPUMeter(1)
+	m3.Add(5, 5, 1) // instantaneous: smeared
+	if m3.Total() != 1 {
+		t.Fatal("instantaneous load lost")
+	}
+	m3.Add(0, 1, 0) // zero work ignored
+	if m3.Total() != 1 {
+		t.Fatal("zero load counted")
+	}
+}
+
+// Property: CPU meter trace integrates back to the total (within the
+// clipping window).
+func TestCPUMeterConservationProperty(t *testing.T) {
+	f := func(loads []uint8) bool {
+		m := NewCPUMeter(8)
+		var total float64
+		for i, l := range loads {
+			if i >= 10 {
+				break
+			}
+			t0 := float64(i)
+			t1 := t0 + float64(l%7) + 1
+			// Keep aggregate load under the 8-core capacity so the trace's
+			// saturation clamp never engages.
+			work := float64(l%4)*0.1 + 0.1
+			m.Add(t0, t1, work)
+			total += work
+		}
+		end := 25.0 // beyond every load
+		trace := m.Trace(1, end)
+		var sum float64
+		for _, u := range trace {
+			sum += u * 8 * 1
+		}
+		return math.Abs(sum-total) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+// CPUMeter accumulates CPU load (core-seconds spread over intervals) so a
+// run can report the `sar`-style utilization traces of the paper's Fig. 10
+// without making the CPU a contended simulation resource (testbed CPUs
+// never saturate — utilization stays under 60%).
+type CPUMeter struct {
+	loads []cpuLoad
+	cores float64
+}
+
+type cpuLoad struct {
+	t0, t1      float64
+	coreSeconds float64
+}
+
+// NewCPUMeter creates a meter for a node with the given core count.
+func NewCPUMeter(cores int) *CPUMeter {
+	return &CPUMeter{cores: float64(cores)}
+}
+
+// Add records coreSeconds of CPU work spread uniformly over [t0, t1].
+// Instantaneous work is smeared over one millisecond, and the interval is
+// stretched if needed so the implied rate never exceeds the node's core
+// count (work queued behind busy cores finishes later).
+func (m *CPUMeter) Add(t0, t1, coreSeconds float64) {
+	if coreSeconds <= 0 {
+		return
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1e-3
+	}
+	if minSpan := coreSeconds / m.cores; t1-t0 < minSpan {
+		t1 = t0 + minSpan
+	}
+	m.loads = append(m.loads, cpuLoad{t0: t0, t1: t1, coreSeconds: coreSeconds})
+}
+
+// Total returns the accumulated core-seconds.
+func (m *CPUMeter) Total() float64 {
+	var sum float64
+	for _, l := range m.loads {
+		sum += l.coreSeconds
+	}
+	return sum
+}
+
+// Trace returns mean utilization (0..1 of all cores) per bucket covering
+// [0, end).
+func (m *CPUMeter) Trace(bucket, end float64) []float64 {
+	if bucket <= 0 || end <= 0 {
+		return nil
+	}
+	n := int(end / bucket)
+	if float64(n)*bucket < end {
+		n++
+	}
+	out := make([]float64, n)
+	for _, l := range m.loads {
+		rate := l.coreSeconds / (l.t1 - l.t0) // core-seconds per second
+		for b := int(l.t0 / bucket); b < n; b++ {
+			lo := float64(b) * bucket
+			hi := lo + bucket
+			if hi > end {
+				hi = end
+			}
+			if l.t1 < lo {
+				break
+			}
+			from, to := l.t0, l.t1
+			if from < lo {
+				from = lo
+			}
+			if to > hi {
+				to = hi
+			}
+			if to > from {
+				out[b] += rate * (to - from)
+			}
+		}
+	}
+	for b := range out {
+		lo := float64(b) * bucket
+		hi := lo + bucket
+		if hi > end {
+			hi = end
+		}
+		width := hi - lo
+		if width > 0 {
+			out[b] /= width * m.cores
+		}
+		// Concurrent loads can transiently sum past capacity; a sar trace
+		// saturates at 100%.
+		if out[b] > 1 {
+			out[b] = 1
+		}
+	}
+	return out
+}
+
+// MeanUtilization returns average utilization over [0, end).
+func (m *CPUMeter) MeanUtilization(end float64) float64 {
+	if end <= 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range m.loads {
+		t1 := l.t1
+		frac := 1.0
+		if t1 > end {
+			frac = (end - l.t0) / (t1 - l.t0)
+			if frac < 0 {
+				frac = 0
+			}
+		}
+		sum += l.coreSeconds * frac
+	}
+	return sum / (end * m.cores)
+}

@@ -1,0 +1,37 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// ExampleSimulate runs one figure-scale experiment: 64GB Terasort under
+// stock Hadoop and under JBS on the simulated InfiniBand testbed.
+func ExampleSimulate() {
+	spec := cluster.DefaultSpec(cluster.TerasortWorkload(), 64<<30)
+	hadoop, err := cluster.Simulate(spec, cluster.HadoopOnIPoIB)
+	if err != nil {
+		panic(err)
+	}
+	jbs, err := cluster.Simulate(spec, cluster.JBSOnIPoIB)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("JBS faster:", jbs.ExecutionTime < hadoop.ExecutionTime)
+	fmt.Println("JBS spills:", jbs.SpilledBytes)
+	// Output:
+	// JBS faster: true
+	// JBS spills: 0
+}
+
+// ExampleTestCase_Name shows the Table I naming scheme.
+func ExampleTestCase_Name() {
+	fmt.Println(cluster.JBSOnRDMA.Name())
+	fmt.Println(cluster.HadoopOnIPoIB.Name())
+	fmt.Println(cluster.JBSOnRoCE.Network())
+	// Output:
+	// JBS on RDMA
+	// Hadoop on IPoIB
+	// 10GigE
+}

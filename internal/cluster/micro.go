@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// This file reproduces the paper's motivation experiments (Fig. 2), which
+// the paper itself labels "Simulation Results of Intermediate Data
+// Shuffling": micro-models of disk I/O and point-to-point shuffling under
+// the Java and native runtimes.
+
+// DiskIOMode selects the Fig. 2a access method.
+type DiskIOMode int
+
+const (
+	// JavaStreamRead is Hadoop's FileInputStream path.
+	JavaStreamRead DiskIOMode = iota
+	// NativeRead is native C read().
+	NativeRead
+	// NativeMmap is native C mmap(); warm mappings avoid per-read syscall
+	// and buffer-copy costs.
+	NativeMmap
+)
+
+// String names the mode as in the figure legend.
+func (m DiskIOMode) String() string {
+	switch m {
+	case JavaStreamRead:
+		return "Java (stream read)"
+	case NativeRead:
+		return "Native C (read)"
+	case NativeMmap:
+		return "Native C (mmap)"
+	default:
+		return fmt.Sprintf("disk-mode(%d)", int(m))
+	}
+}
+
+// mmapFactor is the speedup of warm mmap reads over read() (no syscall
+// per chunk, no kernel-to-user copy).
+const mmapFactor = 0.55
+
+// microChunk is the application buffer size used by the Fig. 2
+// socket micro-benchmarks.
+const microChunk = 1 << 20
+
+// MOFReadBench reproduces Fig. 2a: the average time for each of n
+// concurrent HttpServlets to read one segment of segBytes from a shared
+// pair of disks.
+func MOFReadBench(concurrent int, segBytes int64, mode DiskIOMode) float64 {
+	if concurrent <= 0 {
+		panic("cluster: need at least one servlet")
+	}
+	hw := testbedHardware()
+	eng := sim.NewEngine()
+	disk := sim.NewResource(eng, "disk", DisksPerNode)
+	// A shared MOF directory working set far beyond cache: cold reads.
+	ws := int64(64) << 30
+
+	var total float64
+	for i := 0; i < concurrent; i++ {
+		eng.Go(func(p *sim.Proc) {
+			dev := hw.cache.ReadTime(hw.disk, segBytes, ws, false)
+			switch mode {
+			case JavaStreamRead:
+				// FileInputStream issues many small reads; the device
+				// stays allocated to the slow stream for the whole
+				// 3.1x-factored read (Fig. 2a).
+				disk.Use(p, dev*simcpu.Java().StreamReadFactor)
+			case NativeRead:
+				disk.Use(p, dev)
+			case NativeMmap:
+				disk.Use(p, dev*mmapFactor)
+			}
+			total += p.Now()
+		})
+	}
+	eng.Run()
+	return total / float64(concurrent)
+}
+
+// SegmentShuffleBench reproduces Fig. 2b: the time to move one segment of
+// the given size from one HttpServlet to one MOFCopier over a protocol,
+// under the Java or native runtime (disk excluded — pure shuffle path).
+func SegmentShuffleBench(segBytes int64, proto simnet.Protocol, rt simcpu.Runtime) float64 {
+	cfg := simnet.Lookup(proto)
+	model := simcpu.ForRuntime(rt)
+	wire := cfg.SegmentTime(segBytes, microChunk)
+	// Single stream: wire plus the runtime's stream-stack time, serialized
+	// (the JVM cannot overlap its copying with the wire the way native
+	// zero-copy movers do).
+	return wire + model.StreamTime(segBytes)
+}
+
+// ConvergingShuffleBench reproduces Fig. 2c: n nodes each send one segment
+// of segBytes concurrently to one ReduceTask node; returns the time until
+// all segments arrive. The receiver's wire and its runtime's stream
+// processing capacity (javaMoverStreams vs nativeMoverStreams) bound the
+// aggregate.
+func ConvergingShuffleBench(n int, segBytes int64, proto simnet.Protocol, rt simcpu.Runtime) float64 {
+	if n <= 0 {
+		panic("cluster: need at least one sender")
+	}
+	cfg := simnet.Lookup(proto)
+	model := simcpu.ForRuntime(rt)
+
+	eng := sim.NewEngine()
+	rx := sim.NewResource(eng, "rx", 1)
+	rxProc := sim.NewResource(eng, "rxproc", 1)
+	var end float64
+	for i := 0; i < n; i++ {
+		eng.Go(func(p *sim.Proc) {
+			rx.Use(p, cfg.SegmentTime(segBytes, hadoopChunk))
+			rxProc.Use(p, model.StreamTime(segBytes))
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+	}
+	eng.Run()
+	return end
+}

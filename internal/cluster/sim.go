@@ -1,0 +1,706 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// Tuning constants of the two shuffle implementations.
+const (
+	// servletPool is the HttpServer thread pool per TaskTracker.
+	servletPool = 16
+	// copiersPerReducer is Hadoop's parallel MOFCopier count.
+	copiersPerReducer = 5
+	// prefetchProcs is the MOFSupplier's disk prefetch servers per node
+	// (one per drive).
+	prefetchProcs = DisksPerNode
+	// xmitProcs is the MOFSupplier's asynchronous transmit workers ("JBS
+	// only requires 3 native C threads", Section V-D).
+	xmitProcs = 3
+	// hadoopChunk is the HTTP transfer chunk size (not tunable in stock
+	// Hadoop; JBS's buffer size is the Fig. 11 knob).
+	hadoopChunk = 64 << 10
+	// mergeCPUPerMBJava / Native are the reduce-side merge costs.
+	mergeCPUPerMBJava   = 0.02
+	mergeCPUPerMBNative = 0.006
+	// cpuTraceBucket matches the paper's 5-second sar sampling.
+	cpuTraceBucket = 5.0
+	// bufferContentionThreshold / Factor model the Fig. 11 degradation:
+	// very large transport buffers mean fewer pool buffers and more
+	// contention between communication threads on copy-based protocols.
+	bufferContentionThreshold = 256 << 10
+	bufferContentionFactor    = 1.2
+
+	// interleavedDiskBW is the effective per-drive bandwidth when several
+	// streams interleave on one drive (maps, servlet reads, spills): the
+	// head seeks between streams every chunk, far below the 110 MB/s
+	// sequential rate. The MOFSupplier's batched, offset-ordered reads
+	// keep the sequential rate.
+	interleavedDiskBW = 55e6
+	// ioSortMB is Hadoop's map-side sort buffer; blocks larger than it
+	// spill multiple sorted runs that a final pass must merge (identical
+	// under both engines — JBS does not change the map side).
+	ioSortMB = 100 << 20
+	// mapTaskStartup / reduceTaskStartup are per-task JVM launch and
+	// initialization costs (the paper: for small jobs "the costs of task
+	// initialization and destruction become dominant").
+	mapTaskStartup    = 1.5
+	reduceTaskStartup = 2.0
+	// jobSetupTime covers job submission, split computation and cleanup.
+	jobSetupTime = 8.0
+	// outputReplication is the DFS replication of reducer output; each
+	// extra replica crosses the network and lands on a remote disk. This
+	// is why fast fabrics speed up small (cache-resident) jobs so much.
+	outputReplication = 3
+	// jbsRoundCostSocket / RDMA is the per-transport-buffer fetch-round
+	// processing cost at the MOFSupplier (request handling, buffer
+	// turnaround). Small buffers mean many rounds per segment — the
+	// dominant Fig. 11 effect ("reduce overheads due to less number of
+	// fetch requests for each segment").
+	jbsRoundCostSocket = 0.85e-3
+	jbsRoundCostRDMA   = 0.60e-3
+	// taskCPUFactor scales user-code CPU charges: a Hadoop task burns
+	// roughly this many cores while nominally single-threaded (JIT, GC,
+	// protocol threads) — calibrated against the Fig. 10 sar traces.
+	taskCPUFactor = 3.0
+)
+
+// moverRate returns the bytes/second one node's shuffle mover stack can
+// sustain (both directions combined) for an engine on a protocol. The JVM
+// stack is capped regardless of wire; native TCP is bound by its two
+// memory copies ("the overhead incurred by large amount of memory copies
+// for TCP/IP transportation becomes a severe bottleneck", Section V-A);
+// RDMA's zero-copy path is bound only by memory bandwidth.
+func moverRate(e Engine, cfg simnet.Config) float64 {
+	if e == Hadoop {
+		if cfg.Protocol == simnet.SDP {
+			return 520e6 // SDP trims one copy under the socket API
+		}
+		return 450e6
+	}
+	switch cfg.Copies {
+	case 0:
+		return 2.8e9
+	case 1:
+		return 900e6
+	default:
+		return 450e6
+	}
+}
+
+// moverCPUPerByte returns shuffle-path CPU core-seconds per byte per side:
+// the aggregate cost of copies, socket calls, object churn and GC. The
+// Java path's cost is what Fig. 10 shows JBS eliminating.
+func moverCPUPerByte(e Engine, cfg simnet.Config) float64 {
+	if e == Hadoop {
+		if cfg.Protocol == simnet.SDP {
+			return 2.75e-7
+		}
+		return 3.50e-7
+	}
+	switch cfg.Copies {
+	case 0:
+		return 0.06e-7
+	case 1:
+		return 0.40e-7
+	default:
+		return 0.68e-7
+	}
+}
+
+// jbsRoundCost returns the per-buffer fetch-round cost for a protocol.
+func jbsRoundCost(cfg simnet.Config) float64 {
+	if cfg.Copies == 0 {
+		return jbsRoundCostRDMA
+	}
+	return jbsRoundCostSocket
+}
+
+// RunResult is the outcome of one simulated job.
+type RunResult struct {
+	Case TestCase
+	Spec JobSpec
+	// ExecutionTime is the job makespan in seconds.
+	ExecutionTime float64
+	// MapPhaseEnd is when the last MapTask committed.
+	MapPhaseEnd float64
+	// ShuffleEnd is when the last segment arrived at its reducer.
+	ShuffleEnd float64
+	// AvgCPUUtil is mean utilization (0..1) across nodes over the job.
+	AvgCPUUtil float64
+	// CPUTrace is per-5s-bucket utilization averaged across nodes.
+	CPUTrace []float64
+	// SpilledBytes is reduce-side shuffle data written to disk
+	// (zero for JBS's network-levitated merge).
+	SpilledBytes int64
+	// NetBytes is total shuffled payload.
+	NetBytes int64
+	// Connections is the number of network connections established.
+	Connections int
+}
+
+// simNode is one slave node's simulated hardware and shuffle service.
+type simNode struct {
+	id       int
+	disk     *sim.Resource
+	tx, rx   *sim.Resource
+	mover    *sim.Resource // the runtime's data-mover stack (Fig. 2c cap)
+	servlets *sim.Resource
+	cpu      *CPUMeter
+
+	mapGates []*sim.Gate
+	mapsDone int
+
+	// deferredCPU accumulates shuffle-path mover CPU, smeared over the
+	// shuffle window at the end of the run: it is performed by many
+	// background threads over the whole shuffle, not inside individual
+	// transfer intervals.
+	deferredCPU float64
+
+	// JBS supplier pipeline.
+	reqStore  *sim.Store[*fetchReq]
+	xmitStore *sim.Store[xmitItem]
+	cacheRes  *sim.Resource
+}
+
+// fetchReq is one segment request queued at a MOFSupplier.
+type fetchReq struct {
+	size int64
+	dst  *simNode
+	done *sim.Gate
+}
+
+type xmitItem struct {
+	req      *fetchReq
+	cacheRel func()
+}
+
+// reducerState tracks one ReduceTask's shuffle accounting.
+type reducerState struct {
+	node        *simNode
+	fetched     int64
+	spilled     int64
+	fetchWG     *sim.WaitGroup
+	shuffleDone float64
+}
+
+// simulation bundles shared state for one run.
+type simulation struct {
+	eng        *sim.Engine
+	spec       JobSpec
+	tc         TestCase
+	netCfg     simnet.Config
+	model      simcpu.Model
+	hw         hardware
+	nodes      []*simNode
+	reds       []*reducerState
+	segSize    int64
+	ws         int64
+	mvRate     float64
+	mvCPUBytes float64
+
+	mapPhaseEnd float64
+	shuffleEnd  float64
+	jobEnd      float64
+	spilled     int64
+	netBytes    int64
+	conns       int
+	pairConn    map[[2]int]bool
+}
+
+// Simulate runs one job under a test case and returns its results.
+func Simulate(spec JobSpec, tc TestCase) (RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	cfg := simnet.Lookup(tc.Protocol)
+	s := &simulation{
+		eng:        sim.NewEngine(),
+		spec:       spec,
+		tc:         tc,
+		netCfg:     cfg,
+		model:      tc.Engine.Runtime(),
+		hw:         testbedHardware(),
+		segSize:    spec.SegmentBytes(),
+		ws:         spec.nodeWorkingSet(),
+		mvRate:     moverRate(tc.Engine, cfg),
+		mvCPUBytes: moverCPUPerByte(tc.Engine, cfg),
+		pairConn:   make(map[[2]int]bool),
+	}
+	s.build()
+	s.run()
+
+	trace := s.cpuTraceAcrossNodes()
+	var avg float64
+	for _, n := range s.nodes {
+		avg += n.cpu.MeanUtilization(s.jobEnd)
+	}
+	avg /= float64(len(s.nodes))
+
+	return RunResult{
+		Case:          tc,
+		Spec:          spec,
+		ExecutionTime: s.jobEnd,
+		MapPhaseEnd:   s.mapPhaseEnd,
+		ShuffleEnd:    s.shuffleEnd,
+		AvgCPUUtil:    avg,
+		CPUTrace:      trace,
+		SpilledBytes:  s.spilled,
+		NetBytes:      s.netBytes,
+		Connections:   s.conns,
+	}, nil
+}
+
+func (s *simulation) build() {
+	cacheTokens := int(s.spec.DataCacheBytes / s.segSize)
+	if cacheTokens < 1 {
+		cacheTokens = 1
+	}
+	if cacheTokens > 4096 {
+		cacheTokens = 4096
+	}
+	for i := 0; i < s.spec.Nodes; i++ {
+		n := &simNode{
+			id:       i,
+			disk:     sim.NewResource(s.eng, fmt.Sprintf("disk%d", i), DisksPerNode),
+			tx:       sim.NewResource(s.eng, fmt.Sprintf("tx%d", i), 1),
+			rx:       sim.NewResource(s.eng, fmt.Sprintf("rx%d", i), 1),
+			mover:    sim.NewResource(s.eng, fmt.Sprintf("mover%d", i), 1),
+			servlets: sim.NewResource(s.eng, fmt.Sprintf("servlet%d", i), servletPool),
+			cpu:      NewCPUMeter(CoresPerNode),
+		}
+		if s.tc.Engine == JBS {
+			n.reqStore = sim.NewStore[*fetchReq](s.eng, 0)
+			n.xmitStore = sim.NewStore[xmitItem](s.eng, 0)
+			n.cacheRes = sim.NewResource(s.eng, fmt.Sprintf("dcache%d", i), cacheTokens)
+		}
+		s.nodes = append(s.nodes, n)
+	}
+}
+
+// diskInterleaved returns device time for interleaved access (head seeks
+// between competing streams), blended with the page cache.
+func (s *simulation) diskInterleaved(size int64) float64 {
+	dev := float64(size)/interleavedDiskBW + s.hw.disk.SeekTime
+	return s.cacheBlend(size, dev)
+}
+
+// diskSequential returns device time for a dedicated sequential scan
+// (the MOFSupplier's batched, offset-ordered reads), blended with cache.
+func (s *simulation) diskSequential(size int64) float64 {
+	dev := float64(size)/s.hw.disk.Bandwidth + s.hw.disk.SeekTime
+	return s.cacheBlend(size, dev)
+}
+
+func (s *simulation) cacheBlend(size int64, dev float64) float64 {
+	hit := s.hw.cache.HitFraction(s.ws)
+	return hit*float64(size)/s.hw.cache.MemBandwidth + (1-hit)*dev
+}
+
+// wireTime returns the occupancy of a wire endpoint for one segment,
+// including per-message latency and the large-buffer contention penalty on
+// copy-based protocols.
+func (s *simulation) wireTime(size int64, bufSize int) float64 {
+	t := s.netCfg.SegmentTime(size, bufSize)
+	if s.netCfg.Copies > 0 && bufSize > bufferContentionThreshold {
+		excess := float64(bufSize-bufferContentionThreshold) / float64(bufSize)
+		t *= 1 + bufferContentionFactor*excess
+	}
+	return t
+}
+
+// moverTime is the data-mover stack occupancy for one segment on one side.
+func (s *simulation) moverTime(size int64) float64 {
+	return float64(size) / s.mvRate
+}
+
+// moveCPU returns mover CPU core-seconds for size bytes on one side.
+func (s *simulation) moveCPU(size int64) float64 {
+	return float64(size) * s.mvCPUBytes
+}
+
+func (s *simulation) mergeCPUPerMB() float64 {
+	if s.tc.Engine == JBS {
+		return mergeCPUPerMBNative
+	}
+	return mergeCPUPerMBJava
+}
+
+// chargeCompute sleeps the process for elapsed seconds of single-threaded
+// work and meters taskCPUFactor times that in core-seconds (JIT, GC and
+// service threads ride along).
+func chargeCompute(p *sim.Proc, m *CPUMeter, elapsed float64) {
+	t0 := p.Now()
+	p.Sleep(elapsed)
+	m.Add(t0, p.Now(), elapsed*taskCPUFactor)
+}
+
+func (s *simulation) run() {
+	mapsPerNode := s.distributeMaps()
+	blockBytes := s.spec.InputBytes / int64(s.spec.MapTasks())
+	mofBytesPerMap := int64(float64(blockBytes) * s.spec.Workload.ShuffleRatio)
+
+	for i, n := range s.nodes {
+		n.mapGates = make([]*sim.Gate, mapsPerNode[i])
+		for k := range n.mapGates {
+			n.mapGates[k] = sim.NewGate(s.eng)
+		}
+	}
+
+	R := s.spec.ReduceTasks()
+	for r := 0; r < R; r++ {
+		s.reds = append(s.reds, &reducerState{
+			node:    s.nodes[r%s.spec.Nodes],
+			fetchWG: sim.NewWaitGroup(s.eng),
+		})
+		s.reds[r].fetchWG.Add(s.spec.Nodes)
+	}
+
+	// Map phase.
+	slots := make([]*sim.Resource, s.spec.Nodes)
+	for i := range slots {
+		slots[i] = sim.NewResource(s.eng, fmt.Sprintf("mapslot%d", i), s.spec.MapSlots)
+	}
+	for i, count := range mapsPerNode {
+		node := s.nodes[i]
+		for k := 0; k < count; k++ {
+			s.eng.Go(func(p *sim.Proc) {
+				release := slots[node.id].Acquire(p)
+				s.mapTask(p, node, blockBytes, mofBytesPerMap)
+				release()
+				// Commit: open the next completion gate; reducers may now
+				// fetch this map's segments.
+				node.mapGates[node.mapsDone].Open()
+				node.mapsDone++
+				if p.Now() > s.mapPhaseEnd {
+					s.mapPhaseEnd = p.Now()
+				}
+			})
+		}
+	}
+
+	// Shuffle phase: one process per (reducer, source node).
+	copierSlots := make([]*sim.Resource, R)
+	for r := range copierSlots {
+		copierSlots[r] = sim.NewResource(s.eng, fmt.Sprintf("copiers%d", r), copiersPerReducer)
+	}
+	for r := 0; r < R; r++ {
+		red := s.reds[r]
+		cop := copierSlots[r]
+		for src := 0; src < s.spec.Nodes; src++ {
+			srcNode := s.nodes[src]
+			segs := mapsPerNode[src]
+			if s.tc.Engine == Hadoop {
+				s.eng.Go(func(p *sim.Proc) {
+					s.hadoopCopier(p, red, srcNode, segs, cop)
+				})
+			} else {
+				s.eng.Go(func(p *sim.Proc) {
+					s.jbsFetcher(p, red, srcNode, segs)
+				})
+			}
+		}
+	}
+
+	// JBS supplier pipelines.
+	if s.tc.Engine == JBS {
+		for _, n := range s.nodes {
+			node := n
+			for d := 0; d < prefetchProcs; d++ {
+				s.eng.Go(func(p *sim.Proc) { s.prefetchServer(p, node) })
+			}
+			for x := 0; x < xmitProcs; x++ {
+				s.eng.Go(func(p *sim.Proc) { s.xmitWorker(p, node) })
+			}
+		}
+	}
+
+	// Reduce phase: one process per reducer.
+	jobWG := sim.NewWaitGroup(s.eng)
+	jobWG.Add(R)
+	for r := 0; r < R; r++ {
+		red := s.reds[r]
+		s.eng.Go(func(p *sim.Proc) {
+			s.reduceTask(p, red)
+			jobWG.Done()
+		})
+	}
+
+	// Finalizer: when every reducer is done, close the supplier stores so
+	// their processes exit; account for job cleanup.
+	s.eng.Go(func(p *sim.Proc) {
+		jobWG.Wait(p)
+		s.jobEnd = p.Now() + jobSetupTime
+		for _, n := range s.nodes {
+			if n.reqStore != nil {
+				n.reqStore.Close()
+				n.xmitStore.Close()
+			}
+		}
+	})
+
+	s.eng.Run()
+
+	// Smear the accumulated mover CPU over each node's shuffle window.
+	for _, n := range s.nodes {
+		if n.deferredCPU > 0 {
+			end := s.shuffleEnd
+			if end <= 0 {
+				end = s.jobEnd
+			}
+			n.cpu.Add(0, end, n.deferredCPU)
+		}
+	}
+}
+
+// mapTask models one MapTask: JVM startup, split read, user map + sort,
+// map-side spill merging, MOF write (identical under both engines).
+func (s *simulation) mapTask(p *sim.Proc, node *simNode, blockBytes, mofBytes int64) {
+	p.Sleep(mapTaskStartup)
+	// Read the input split (node-local thanks to delay scheduling).
+	node.disk.Use(p, s.diskInterleaved(blockBytes))
+	// User map function + sort.
+	chargeCompute(p, node.cpu, s.spec.Workload.MapCPUPerMB*mb(blockBytes))
+	// Map-side sort spills: blocks beyond io.sort.mb write intermediate
+	// runs that a final pass re-reads and merges.
+	if mofBytes > ioSortMB {
+		node.disk.Use(p, s.diskInterleaved(mofBytes)) // spill runs
+		node.disk.Use(p, s.diskInterleaved(mofBytes)) // merge re-read
+		chargeCompute(p, node.cpu, mergeCPUPerMBJava*mb(mofBytes))
+	}
+	// Write the final MOF.
+	node.disk.Use(p, s.diskInterleaved(mofBytes))
+}
+
+// distributeMaps spreads MapTasks across nodes round-robin (inputs are
+// uniformly distributed, delay scheduling keeps them local).
+func (s *simulation) distributeMaps() []int {
+	counts := make([]int, s.spec.Nodes)
+	for m := 0; m < s.spec.MapTasks(); m++ {
+		counts[m%s.spec.Nodes]++
+	}
+	return counts
+}
+
+// connSetup charges connection establishment once per (client, server)
+// node pair for JBS (connections are cached and consolidated); Hadoop's
+// copiers pay per fetch (HTTP churn).
+func (s *simulation) connSetup(p *sim.Proc, dst, src *simNode) {
+	if s.tc.Engine == JBS {
+		key := [2]int{dst.id, src.id}
+		if !s.pairConn[key] {
+			s.pairConn[key] = true
+			s.conns++
+			p.Sleep(s.netCfg.SetupTime)
+		}
+		return
+	}
+	s.conns++
+	p.Sleep(s.netCfg.SetupTime)
+}
+
+// hadoopCopier fetches all of one source node's segments for one reducer,
+// through HttpServlets that serialize disk read and network transmit
+// (Fig. 4).
+func (s *simulation) hadoopCopier(p *sim.Proc, red *reducerState, src *simNode, segs int, copiers *sim.Resource) {
+	dst := red.node
+	for i := 0; i < segs; i++ {
+		src.mapGates[i].Wait(p)
+		release := copiers.Acquire(p)
+		s.connSetup(p, dst, src)
+
+		// Servlet: locate via IndexCache, read via Java streams, then
+		// transmit — strictly serialized, no batching across requests.
+		servletRel := src.servlets.Acquire(p)
+		dev := s.diskInterleaved(s.segSize)
+		src.disk.Use(p, dev)
+		// Java stream overhead extends the read without occupying the
+		// device (Fig. 2a: 3.1x slower stream reads).
+		p.Sleep(dev * (s.model.StreamReadFactor - 1))
+		wt := s.wireTime(s.segSize, hadoopChunk)
+		src.tx.Use(p, wt)
+		src.mover.Use(p, s.moverTime(s.segSize))
+		servletRel()
+		src.deferredCPU += s.moveCPU(s.segSize) + s.model.RequestCPU(1)
+
+		// Receiver: wire, then the MOFCopier's JVM stream processing.
+		dst.rx.Use(p, wt)
+		dst.mover.Use(p, s.moverTime(s.segSize))
+		dst.deferredCPU += s.moveCPU(s.segSize)
+		s.noteSegmentDone(p, red)
+
+		// Reduce-side spill once the shuffle memory budget is exceeded.
+		if red.fetched > s.spec.ShuffleMemPerReducer {
+			dst.disk.Use(p, s.diskInterleaved(s.segSize))
+			red.spilled += s.segSize
+			s.spilled += s.segSize
+		}
+		release()
+	}
+	red.fetchWG.Done()
+}
+
+// jbsFetcher queues one source node's segments for one reducer with the
+// shared NetMerger/MOFSupplier pipeline and waits for their arrival.
+func (s *simulation) jbsFetcher(p *sim.Proc, red *reducerState, src *simNode, segs int) {
+	s.connSetup(p, red.node, src)
+	for i := 0; i < segs; i++ {
+		src.mapGates[i].Wait(p)
+		req := &fetchReq{size: s.segSize, dst: red.node, done: sim.NewGate(s.eng)}
+		src.reqStore.Put(p, req)
+		req.done.Wait(p)
+		s.noteSegmentDone(p, red)
+	}
+	red.fetchWG.Done()
+}
+
+func (s *simulation) noteSegmentDone(p *sim.Proc, red *reducerState) {
+	red.fetched += s.segSize
+	s.netBytes += s.segSize
+	if p.Now() > s.shuffleEnd {
+		s.shuffleEnd = p.Now()
+	}
+	red.shuffleDone = p.Now()
+}
+
+// prefetchServer is one MOFSupplier disk prefetch process: it batches
+// queued requests (grouped per MOF and offset-ordered in the real
+// supplier, which makes the batch near-sequential) and stages them in the
+// DataCache.
+func (s *simulation) prefetchServer(p *sim.Proc, node *simNode) {
+	for {
+		req, ok := node.reqStore.Get(p)
+		if !ok {
+			return
+		}
+		batch := []*fetchReq{req}
+		for len(batch) < s.spec.PrefetchBatch && node.reqStore.Len() > 0 {
+			more, ok := node.reqStore.Get(p)
+			if !ok {
+				break
+			}
+			batch = append(batch, more)
+		}
+		var total int64
+		for _, b := range batch {
+			total += b.size
+		}
+		// A grouped batch reads near-sequentially (offset-ordered requests
+		// within one MOF); a lone request is just another interleaved read.
+		if len(batch) > 1 {
+			node.disk.Use(p, s.diskSequential(total))
+		} else {
+			node.disk.Use(p, s.diskInterleaved(total))
+		}
+		node.deferredCPU += s.model.RequestCPU(len(batch))
+		for _, b := range batch {
+			cacheRel := node.cacheRes.Acquire(p)
+			node.xmitStore.Put(p, xmitItem{req: b, cacheRel: cacheRel})
+		}
+	}
+}
+
+// xmitWorker transmits staged segments asynchronously — disk prefetching
+// and network transmission overlap across these processes.
+func (s *simulation) xmitWorker(p *sim.Proc, node *simNode) {
+	for {
+		item, ok := node.xmitStore.Get(p)
+		if !ok {
+			return
+		}
+		wt := s.wireTime(item.req.size, s.spec.BufferSize)
+		node.tx.Use(p, wt)
+		// The mover handles one fetch round per transport buffer: tiny
+		// buffers multiply request-handling work (Fig. 11), and very
+		// large buffers shrink the pool and add thread contention.
+		rounds := simnet.MessagesFor(item.req.size, s.spec.BufferSize)
+		mt := s.moverTime(item.req.size) + float64(rounds)*jbsRoundCost(s.netCfg)
+		if s.netCfg.Copies > 0 && s.spec.BufferSize > bufferContentionThreshold {
+			excess := float64(s.spec.BufferSize-bufferContentionThreshold) / float64(s.spec.BufferSize)
+			mt *= 1 + bufferContentionFactor*excess
+		}
+		node.mover.Use(p, mt)
+		item.cacheRel()
+		node.deferredCPU += s.moveCPU(item.req.size) + s.model.RequestCPU(1)
+
+		item.req.dst.rx.Use(p, wt)
+		item.req.dst.mover.Use(p, s.moverTime(item.req.size))
+		item.req.dst.deferredCPU += s.moveCPU(item.req.size)
+		item.req.done.Open()
+	}
+}
+
+// reduceTask runs the merge + reduce + output phase of one reducer.
+func (s *simulation) reduceTask(p *sim.Proc, red *reducerState) {
+	p.Sleep(reduceTaskStartup)
+	shuffleStart := p.Now()
+	red.fetchWG.Wait(p)
+	node := red.node
+
+	// Background mover-thread overhead over the shuffle window
+	// (>8 JVM threads vs 3 native threads, Section V-D).
+	threads := s.model.ShuffleThreadsPerReducer
+	if red.shuffleDone > shuffleStart {
+		node.cpu.Add(shuffleStart, red.shuffleDone,
+			s.model.ThreadCPU(threads, red.shuffleDone-shuffleStart))
+	}
+
+	// Hadoop merge: read the spilled runs back; a second pass if the spill
+	// volume exceeds what one merge pass covers.
+	if red.spilled > 0 {
+		node.disk.Use(p, s.diskInterleaved(red.spilled))
+		if red.spilled > 10*s.spec.ShuffleMemPerReducer {
+			node.disk.Use(p, s.diskInterleaved(red.spilled))
+			node.disk.Use(p, s.diskInterleaved(red.spilled))
+			s.spilled += red.spilled
+		}
+	}
+	// Merge CPU (JVM for Hadoop, native for the NetMerger).
+	chargeCompute(p, node.cpu, s.mergeCPUPerMB()*mb(red.fetched))
+	// User reduce function (JVM in both engines).
+	chargeCompute(p, node.cpu, s.spec.Workload.ReduceCPUPerMB*mb(red.fetched))
+
+	// Write the final output: one local replica plus remote replicas that
+	// cross the network (identical under both engines).
+	out := int64(float64(red.fetched) / nonZero(s.spec.Workload.ShuffleRatio) * s.spec.Workload.OutputRatio)
+	if out > 0 {
+		node.disk.Use(p, s.diskInterleaved(out))
+		remote := s.nodes[(node.id+1)%len(s.nodes)]
+		for rep := 1; rep < outputReplication; rep++ {
+			wt := s.wireTime(out, hadoopChunk)
+			node.tx.Use(p, wt)
+			remote.rx.Use(p, wt)
+			remote.disk.Use(p, s.diskInterleaved(out))
+		}
+	}
+}
+
+func nonZero(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return x
+}
+
+func mb(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+// cpuTraceAcrossNodes averages per-node traces.
+func (s *simulation) cpuTraceAcrossNodes() []float64 {
+	var trace []float64
+	for _, n := range s.nodes {
+		t := n.cpu.Trace(cpuTraceBucket, s.jobEnd)
+		if trace == nil {
+			trace = make([]float64, len(t))
+		}
+		for i := range t {
+			trace[i] += t[i]
+		}
+	}
+	for i := range trace {
+		trace[i] /= float64(len(s.nodes))
+	}
+	return trace
+}

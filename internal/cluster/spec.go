@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simdisk"
+)
+
+// Testbed constants from Section V.
+const (
+	// DefaultNodes is the slave node count (plus one dedicated master).
+	DefaultNodes = 22
+	// CoresPerNode: four hex-core 2.67 GHz Xeons.
+	CoresPerNode = 24
+	// DisksPerNode: two SATA drives.
+	DisksPerNode = 2
+	// MapSlotsPerNode and ReduceSlotsPerNode per slave.
+	MapSlotsPerNode    = 4
+	ReduceSlotsPerNode = 2
+	// BlockSize is the HDFS block size (256 MB).
+	BlockSize = 256 << 20
+)
+
+// Workload characterizes one benchmark's resource profile. The ratios are
+// what matter to JBS (Section V-F): shuffle-heavy benchmarks move
+// intermediate data comparable to their input; WordCount and Grep combine
+// it away.
+type Workload struct {
+	Name string
+	// ShuffleRatio is intermediate bytes / input bytes.
+	ShuffleRatio float64
+	// OutputRatio is final output bytes / input bytes.
+	OutputRatio float64
+	// MapCPUPerMB / ReduceCPUPerMB are user-code core-seconds per MB (the
+	// user map/reduce functions run in the JVM under both engines).
+	MapCPUPerMB    float64
+	ReduceCPUPerMB float64
+}
+
+// TerasortWorkload is the headline benchmark: intermediate data equals
+// input (Section V: "whose size of intermediate data is equal to its input
+// size").
+func TerasortWorkload() Workload {
+	return Workload{
+		Name:         "Terasort",
+		ShuffleRatio: 1.0,
+		OutputRatio:  1.0,
+		MapCPUPerMB:  0.030, ReduceCPUPerMB: 0.024,
+	}
+}
+
+// TarazuWorkloads returns the six Tarazu benchmarks with calibrated
+// shuffle profiles (Fig. 12: four shuffle-heavy, two shuffle-light).
+func TarazuWorkloads() []Workload {
+	return []Workload{
+		{Name: "SelfJoin", ShuffleRatio: 1.1, OutputRatio: 0.25, MapCPUPerMB: 0.024, ReduceCPUPerMB: 0.030},
+		{Name: "InvertedIndex", ShuffleRatio: 1.2, OutputRatio: 0.35, MapCPUPerMB: 0.042, ReduceCPUPerMB: 0.036},
+		{Name: "SequenceCount", ShuffleRatio: 1.3, OutputRatio: 0.50, MapCPUPerMB: 0.048, ReduceCPUPerMB: 0.036},
+		{Name: "AdjacencyList", ShuffleRatio: 1.5, OutputRatio: 0.30, MapCPUPerMB: 0.024, ReduceCPUPerMB: 0.030},
+		{Name: "WordCount", ShuffleRatio: 0.05, OutputRatio: 0.05, MapCPUPerMB: 0.066, ReduceCPUPerMB: 0.036},
+		{Name: "Grep", ShuffleRatio: 0.01, OutputRatio: 0.005, MapCPUPerMB: 0.042, ReduceCPUPerMB: 0.018},
+	}
+}
+
+// JobSpec fully describes one simulated job run.
+type JobSpec struct {
+	Workload   Workload
+	InputBytes int64
+	// Nodes is the slave count.
+	Nodes int
+	// MapSlots / ReduceSlots per node.
+	MapSlots, ReduceSlots int
+	// BlockSize determines the MapTask count.
+	BlockSize int64
+	// BufferSize is the transport buffer size in bytes (Fig. 11 knob).
+	BufferSize int
+	// ShuffleMemPerReducer is the Hadoop reduce-side merge budget before
+	// spilling.
+	ShuffleMemPerReducer int64
+	// DataCacheBytes is the JBS MOFSupplier staging memory per node.
+	DataCacheBytes int64
+	// PrefetchBatch is the MOFSupplier group batch size.
+	PrefetchBatch int
+}
+
+// DefaultSpec returns the paper's testbed configuration for a workload and
+// input size.
+func DefaultSpec(w Workload, inputBytes int64) JobSpec {
+	return JobSpec{
+		Workload:             w,
+		InputBytes:           inputBytes,
+		Nodes:                DefaultNodes,
+		MapSlots:             MapSlotsPerNode,
+		ReduceSlots:          ReduceSlotsPerNode,
+		BlockSize:            BlockSize,
+		BufferSize:           128 << 10,
+		ShuffleMemPerReducer: 1 << 30,
+		DataCacheBytes:       512 << 20,
+		PrefetchBatch:        8,
+	}
+}
+
+// Validate checks the spec.
+func (s JobSpec) Validate() error {
+	if s.InputBytes <= 0 || s.Nodes <= 0 || s.MapSlots <= 0 || s.ReduceSlots <= 0 {
+		return fmt.Errorf("cluster: spec needs positive sizes: %+v", s)
+	}
+	if s.BlockSize <= 0 || s.BufferSize <= 0 {
+		return fmt.Errorf("cluster: spec needs positive block and buffer sizes")
+	}
+	if s.ShuffleMemPerReducer <= 0 || s.DataCacheBytes <= 0 || s.PrefetchBatch <= 0 {
+		return fmt.Errorf("cluster: spec needs positive memory budgets")
+	}
+	return nil
+}
+
+// MapTasks returns the MapTask count (one per block).
+func (s JobSpec) MapTasks() int {
+	n := s.InputBytes / s.BlockSize
+	if s.InputBytes%s.BlockSize != 0 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return int(n)
+}
+
+// ReduceTasks returns the ReduceTask count (all reduce slots filled, as in
+// the paper's runs).
+func (s JobSpec) ReduceTasks() int {
+	return s.Nodes * s.ReduceSlots
+}
+
+// SegmentBytes returns the size of one (MapTask, ReduceTask) segment.
+func (s JobSpec) SegmentBytes() int64 {
+	segs := int64(s.MapTasks()) * int64(s.ReduceTasks())
+	b := int64(float64(s.InputBytes) * s.Workload.ShuffleRatio / float64(segs))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// nodeWorkingSet returns the bytes of shuffle-relevant data touched per
+// node, which drives the page-cache hit fraction (the paper's <=64 GB vs
+// >=128 GB regimes).
+func (s JobSpec) nodeWorkingSet() int64 {
+	intermediate := int64(float64(s.InputBytes) * s.Workload.ShuffleRatio)
+	return (s.InputBytes + intermediate) / int64(s.Nodes)
+}
+
+// hardware bundles the per-node device models.
+type hardware struct {
+	disk  simdisk.Disk
+	cache simdisk.PageCache
+}
+
+func testbedHardware() hardware {
+	return hardware{
+		disk:  simdisk.SATA500(),
+		cache: simdisk.DefaultPageCache(),
+	}
+}

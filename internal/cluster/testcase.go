@@ -1,0 +1,101 @@
+// Package cluster is the discrete-event simulator of the paper's testbed:
+// 22 slave nodes (four 2.67 GHz hex-core Xeons, two SATA disks, 24 GB RAM
+// each) on 1/10 GigE and InfiniBand QDR fabrics, running Terasort and the
+// Tarazu benchmarks under stock Hadoop or JBS over each Table I protocol.
+//
+// The simulator reproduces the queueing structure that generates every
+// trend in Section V: disk contention and page-cache crossover, the
+// HttpServlet's serialized read-then-transmit versus the MOFSupplier's
+// batched, pipelined prefetching, per-stream JVM throughput caps versus
+// native movers, reduce-side spills versus the network-levitated merge,
+// connection setup costs, and the transport buffer size trade-off.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simcpu"
+	"repro/internal/simnet"
+)
+
+// Engine selects the shuffle implementation.
+type Engine int
+
+const (
+	// Hadoop is the stock Java shuffle: HttpServlets + MOFCopiers + spill
+	// merge, all inside the JVM.
+	Hadoop Engine = iota
+	// JBS is JVM-Bypass Shuffling: MOFSupplier + NetMerger + network-
+	// levitated merge, in native code.
+	JBS
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	if e == JBS {
+		return "JBS"
+	}
+	return "Hadoop"
+}
+
+// Runtime returns the data-mover runtime model for the engine.
+func (e Engine) Runtime() simcpu.Model {
+	if e == JBS {
+		return simcpu.Native()
+	}
+	return simcpu.Java()
+}
+
+// TestCase is one row of Table I: an engine on a transport protocol.
+type TestCase struct {
+	Engine   Engine
+	Protocol simnet.Protocol
+}
+
+// Name returns the paper's test-case name, e.g. "JBS on RDMA".
+func (tc TestCase) Name() string {
+	return fmt.Sprintf("%s on %s", tc.Engine, tc.Protocol)
+}
+
+// Network returns the fabric column of Table I.
+func (tc TestCase) Network() string {
+	switch tc.Protocol {
+	case simnet.TCP1GigE:
+		return "1GigE"
+	case simnet.TCP10GigE, simnet.RoCE:
+		return "10GigE"
+	default:
+		return "InfiniBand"
+	}
+}
+
+// TransportName returns the protocol column of Table I.
+func (tc TestCase) TransportName() string {
+	switch tc.Protocol {
+	case simnet.TCP1GigE, simnet.TCP10GigE:
+		return "TCP/IP"
+	default:
+		return tc.Protocol.String()
+	}
+}
+
+// Convenient named cases used throughout the evaluation.
+var (
+	HadoopOn1GigE  = TestCase{Hadoop, simnet.TCP1GigE}
+	HadoopOn10GigE = TestCase{Hadoop, simnet.TCP10GigE}
+	HadoopOnIPoIB  = TestCase{Hadoop, simnet.IPoIB}
+	HadoopOnSDP    = TestCase{Hadoop, simnet.SDP}
+	JBSOn1GigE     = TestCase{JBS, simnet.TCP1GigE}
+	JBSOn10GigE    = TestCase{JBS, simnet.TCP10GigE}
+	JBSOnIPoIB     = TestCase{JBS, simnet.IPoIB}
+	JBSOnRoCE      = TestCase{JBS, simnet.RoCE}
+	JBSOnRDMA      = TestCase{JBS, simnet.RDMA}
+)
+
+// TableI returns the paper's Table I in row order.
+func TableI() []TestCase {
+	return []TestCase{
+		HadoopOn1GigE, HadoopOn10GigE, HadoopOnIPoIB, HadoopOnSDP,
+		JBSOn10GigE, JBSOnIPoIB, JBSOnRoCE, JBSOnRDMA,
+	}
+}

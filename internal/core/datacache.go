@@ -1,0 +1,146 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DataCache is the MOFSupplier's staging memory (Section III-B): the disk
+// prefetch server deposits segments here and asynchronous transmission
+// drains them, decoupling disk reads from network sends. Entries being
+// transmitted are pinned; finished entries linger unpinned so repeated
+// fetches of a hot segment hit memory, and are evicted LRU under capacity
+// pressure. Put blocks when the cache is full of pinned data — the
+// backpressure that paces prefetching to transmission.
+type DataCache struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int64
+	used     int64
+
+	entries map[cacheKey]*dcEntry
+	// lru holds unpinned entries, front = most recently released.
+	lru *list.List
+
+	hits, misses, evictions int64
+}
+
+type cacheKey struct {
+	task      string
+	partition int
+}
+
+type dcEntry struct {
+	key  cacheKey
+	data []byte
+	pins int
+	el   *list.Element // non-nil while unpinned
+}
+
+// NewDataCache creates a cache with the given byte capacity.
+func NewDataCache(capacity int64) *DataCache {
+	if capacity <= 0 {
+		panic("core: data cache capacity must be positive")
+	}
+	c := &DataCache{
+		capacity: capacity,
+		entries:  make(map[cacheKey]*dcEntry),
+		lru:      list.New(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Pin returns the cached segment and pins it, or reports a miss.
+func (c *DataCache) Pin(task string, partition int) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{task, partition}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.pin(e)
+	return e.data, true
+}
+
+func (c *DataCache) pin(e *dcEntry) {
+	if e.el != nil {
+		c.lru.Remove(e.el)
+		e.el = nil
+	}
+	e.pins++
+}
+
+// Put inserts a prefetched segment pinned once. If the key is already
+// cached, the existing entry is pinned instead. Put blocks until the data
+// fits; a segment larger than the whole cache is admitted alone.
+func (c *DataCache) Put(task string, partition int, data []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{task, partition}
+	if e, ok := c.entries[key]; ok {
+		c.pin(e)
+		return e.data
+	}
+	need := int64(len(data))
+	for c.used+need > c.capacity {
+		if c.evictOne() {
+			continue
+		}
+		if c.used == 0 {
+			break // oversized segment: admit alone rather than deadlock
+		}
+		c.cond.Wait()
+	}
+	e := &dcEntry{key: key, data: data, pins: 1}
+	c.entries[key] = e
+	c.used += need
+	return data
+}
+
+// evictOne removes the least recently used unpinned entry; it reports
+// whether anything was evicted.
+func (c *DataCache) evictOne() bool {
+	back := c.lru.Back()
+	if back == nil {
+		return false
+	}
+	e := back.Value.(*dcEntry)
+	c.lru.Remove(back)
+	delete(c.entries, e.key)
+	c.used -= int64(len(e.data))
+	c.evictions++
+	return true
+}
+
+// Unpin releases one pin. Fully unpinned entries stay cached (LRU) until
+// capacity pressure evicts them.
+func (c *DataCache) Unpin(task string, partition int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[cacheKey{task, partition}]
+	if !ok || e.pins == 0 {
+		panic("core: Unpin without matching Pin/Put")
+	}
+	e.pins--
+	if e.pins == 0 {
+		e.el = c.lru.PushFront(e)
+		c.cond.Broadcast()
+	}
+}
+
+// Used returns the resident byte count.
+func (c *DataCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns hit, miss, and eviction counts.
+func (c *DataCache) Stats() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// MergerConfig configures a NetMerger.
+type MergerConfig struct {
+	// Transport is the network backend (TCP or RDMA).
+	Transport transport.Transport
+	// MaxConnections caps the connection cache (512 in the paper).
+	MaxConnections int
+	// WindowPerNode bounds in-flight requests per remote node; across
+	// nodes the injector is round-robin, so no node monopolizes the wire.
+	WindowPerNode int
+	// MaxRetries is how many times a fetch is re-sent (on a freshly dialed
+	// connection) after a transport failure before the error surfaces.
+	MaxRetries int
+}
+
+func (c *MergerConfig) applyDefaults() error {
+	if c.Transport == nil {
+		return errors.New("core: merger needs a transport")
+	}
+	if c.MaxConnections == 0 {
+		c.MaxConnections = transport.DefaultMaxConnections
+	}
+	if c.WindowPerNode == 0 {
+		c.WindowPerNode = 4
+	}
+	if c.MaxConnections < 0 || c.WindowPerNode < 0 || c.MaxRetries < 0 {
+		return errors.New("core: merger limits must be positive")
+	}
+	return nil
+}
+
+// MergerStats counts a NetMerger's work.
+type MergerStats struct {
+	Requests      int64
+	BytesFetched  int64
+	Errors        int64
+	Retries       int64
+	ConnectionsHi int64 // peak distinct remote nodes connected
+}
+
+// fetchResult is one completed fetch.
+type fetchResult struct {
+	spec FetchSpec
+	data []byte
+	err  error
+}
+
+// pendingFetch is one request in flight through the NetMerger.
+type pendingFetch struct {
+	id       uint64
+	spec     FetchSpec
+	buf      []byte
+	attempts int
+	result   chan<- fetchResult
+}
+
+// nodeGroup holds the per-remote-node request queue, ordered by arrival
+// (Section III-C), plus its in-flight window accounting.
+type nodeGroup struct {
+	addr     string
+	queue    []*pendingFetch
+	inflight int
+}
+
+// NetMerger is JBS's client component (Section III-C): one per node,
+// consolidating the fetch requests of every local ReduceTask. Requests are
+// grouped per remote node — one connection per node pair instead of one
+// per MOFCopier — ordered by arrival within a group, and injected
+// round-robin across groups to balance load and absorb bursts from
+// aggressive ReduceTasks.
+type NetMerger struct {
+	cfg   MergerConfig
+	cache *transport.ConnCache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	groups  map[string]*nodeGroup
+	ring    []string
+	next    int
+	pending map[uint64]*pendingFetch
+	nextID  uint64
+	closed  bool
+
+	readers map[string]bool // addr -> reader goroutine running
+
+	wg sync.WaitGroup
+
+	requests  int64
+	bytes     int64
+	errCount  int64
+	retries   int64
+	connsHigh int64
+}
+
+// NewNetMerger creates the node's consolidated fetch engine.
+func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	m := &NetMerger{
+		cfg:     cfg,
+		cache:   transport.NewConnCache(cfg.Transport, cfg.MaxConnections),
+		groups:  make(map[string]*nodeGroup),
+		pending: make(map[uint64]*pendingFetch),
+		readers: make(map[string]bool),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(1)
+	go m.injectLoop()
+	return m, nil
+}
+
+// Stats snapshots the merger's counters.
+func (m *NetMerger) Stats() MergerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MergerStats{
+		Requests:      m.requests,
+		BytesFetched:  m.bytes,
+		Errors:        m.errCount,
+		Retries:       m.retries,
+		ConnectionsHi: m.connsHigh,
+	}
+}
+
+// Close shuts the merger down; outstanding fetches fail.
+func (m *NetMerger) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	for id, p := range m.pending {
+		delete(m.pending, id)
+		p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
+	}
+	for _, g := range m.groups {
+		for _, p := range g.queue {
+			p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
+		}
+		g.queue = nil
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.cache.Close()
+	m.wg.Wait()
+	return nil
+}
+
+// Fetch retrieves every segment in specs, invoking deliver once per
+// segment in completion order. It is safe for concurrent calls from
+// multiple ReduceTasks; all their requests share the consolidated
+// connections and the round-robin injector.
+func (m *NetMerger) Fetch(specs []FetchSpec, deliver func(FetchSpec, []byte) error) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	results := make(chan fetchResult, len(specs))
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return transport.ErrConnClosed
+	}
+	for _, spec := range specs {
+		m.nextID++
+		p := &pendingFetch{id: m.nextID, spec: spec, result: results}
+		g, ok := m.groups[spec.Addr]
+		if !ok {
+			g = &nodeGroup{addr: spec.Addr}
+			m.groups[spec.Addr] = g
+			m.ring = append(m.ring, spec.Addr)
+			if n := int64(len(m.ring)); n > m.connsHigh {
+				m.connsHigh = n
+			}
+		}
+		g.queue = append(g.queue, p) // arrival order within the group
+		m.requests++
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	var firstErr error
+	for i := 0; i < len(specs); i++ {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: fetch %s/%d from %s: %w",
+					res.spec.MapTask, res.spec.Partition, res.spec.Addr, res.err)
+			}
+			continue
+		}
+		if firstErr == nil {
+			if err := deliver(res.spec, res.data); err != nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// injectLoop is the request injector: it walks the node groups round-robin
+// and sends the head request of any group with window room.
+func (m *NetMerger) injectLoop() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return
+		}
+		sent := false
+		for scanned := 0; scanned < len(m.ring); scanned++ {
+			if m.next >= len(m.ring) {
+				m.next = 0
+			}
+			addr := m.ring[m.next]
+			m.next++
+			g := m.groups[addr]
+			if len(g.queue) == 0 || g.inflight >= m.cfg.WindowPerNode {
+				continue
+			}
+			p := g.queue[0]
+			g.queue = g.queue[1:]
+			g.inflight++
+			m.pending[p.id] = p
+			m.ensureReader(addr)
+			// Send outside the lock: the connection may block.
+			m.mu.Unlock()
+			err := m.send(addr, p)
+			m.mu.Lock()
+			if err != nil {
+				delete(m.pending, p.id)
+				g.inflight--
+				if m.closed {
+					return
+				}
+				m.failOrRetryLocked(g, p, err)
+			}
+			sent = true
+			break // restart the scan after releasing the lock
+		}
+		if !sent {
+			if m.closed {
+				return
+			}
+			m.cond.Wait()
+		}
+	}
+}
+
+// send transmits one fetch request on the (cached) connection to addr.
+func (m *NetMerger) send(addr string, p *pendingFetch) error {
+	conn, err := m.cache.Get(addr)
+	if err != nil {
+		return err
+	}
+	msg := encodeFetchRequest(fetchRequest{
+		ID:        p.id,
+		Partition: uint32(p.spec.Partition),
+		MapTask:   p.spec.MapTask,
+	})
+	if err := conn.Send(msg); err != nil {
+		m.cache.Invalidate(addr)
+		return err
+	}
+	return nil
+}
+
+// ensureReader starts the response reader for addr once. Must be called
+// with m.mu held.
+func (m *NetMerger) ensureReader(addr string) {
+	if m.readers[addr] {
+		return
+	}
+	m.readers[addr] = true
+	m.wg.Add(1)
+	go m.readLoop(addr)
+}
+
+// readLoop drains response chunks from one node's connection and completes
+// pending fetches.
+func (m *NetMerger) readLoop(addr string) {
+	defer m.wg.Done()
+	conn, err := m.cache.Get(addr)
+	if err != nil {
+		m.failNode(addr, err)
+		return
+	}
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			m.failNode(addr, err)
+			return
+		}
+		chunk, err := decodeDataChunk(msg)
+		if err != nil {
+			m.failNode(addr, err)
+			return
+		}
+		m.mu.Lock()
+		p, ok := m.pending[chunk.ID]
+		if !ok {
+			// Response for a request that already failed; ignore.
+			m.mu.Unlock()
+			continue
+		}
+		if chunk.Failed {
+			delete(m.pending, chunk.ID)
+			m.groups[addr].inflight--
+			m.errCount++
+			m.cond.Broadcast()
+			m.mu.Unlock()
+			p.result <- fetchResult{spec: p.spec, err: fmt.Errorf("%w: %s", ErrRemote, chunk.Payload)}
+			continue
+		}
+		p.buf = append(p.buf, chunk.Payload...)
+		if !chunk.Last {
+			m.mu.Unlock()
+			continue
+		}
+		delete(m.pending, chunk.ID)
+		m.groups[addr].inflight--
+		m.bytes += int64(len(p.buf))
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		p.result <- fetchResult{spec: p.spec, data: p.buf}
+	}
+}
+
+// failOrRetryLocked either re-queues a failed request at the head of its
+// node group — it will be re-sent on a freshly dialed connection — or,
+// once its retry budget is spent, surfaces the error. Must be called with
+// m.mu held.
+func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) {
+	p.attempts++
+	p.buf = nil // discard partial chunks from the dead connection
+	if g != nil && p.attempts <= m.cfg.MaxRetries {
+		m.retries++
+		g.queue = append([]*pendingFetch{p}, g.queue...)
+		m.cond.Broadcast()
+		return
+	}
+	m.errCount++
+	p.result <- fetchResult{spec: p.spec, err: err}
+}
+
+// failNode handles a dead connection to addr: every in-flight request to
+// that node is re-queued for a fresh connection (up to its retry budget)
+// or failed.
+func (m *NetMerger) failNode(addr string, err error) {
+	m.cache.Invalidate(addr)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.readers[addr] = false
+	g := m.groups[addr]
+	var interrupted []*pendingFetch
+	for id, p := range m.pending {
+		if p.spec.Addr == addr {
+			delete(m.pending, id)
+			interrupted = append(interrupted, p)
+		}
+	}
+	if g != nil {
+		g.inflight -= len(interrupted)
+	}
+	m.cond.Broadcast()
+	if m.closed {
+		return
+	}
+	for _, p := range interrupted {
+		m.failOrRetryLocked(g, p, err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package core implements JVM-Bypass Shuffling (JBS), the paper's
+// contribution: a native data-shuffling service that replaces Hadoop's
+// HttpServlets with the MOFSupplier and its MOFCopiers with the NetMerger
+// (Section III), running over the portable transport layer (TCP or RDMA).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol errors.
+var (
+	ErrBadMessage = errors.New("core: malformed JBS message")
+	ErrRemote     = errors.New("core: remote fetch error")
+)
+
+// Message type tags.
+const (
+	msgFetchRequest byte = 1
+	msgDataChunk    byte = 2
+)
+
+// Chunk flags.
+const (
+	flagLast  byte = 1 << 0
+	flagError byte = 1 << 1
+)
+
+// FetchSpec identifies one segment to fetch: the segment of MapTask's MOF
+// for the given reduce partition, served by the node at Addr.
+type FetchSpec struct {
+	// Addr is the MOFSupplier address on the node hosting the MOF.
+	Addr string
+	// MapTask is the producing map task id.
+	MapTask string
+	// Partition is the reduce partition.
+	Partition int
+}
+
+// fetchRequest is the on-wire fetch request.
+type fetchRequest struct {
+	ID        uint64
+	Partition uint32
+	MapTask   string
+}
+
+// encodeFetchRequest marshals a fetch request.
+func encodeFetchRequest(r fetchRequest) []byte {
+	buf := make([]byte, 1+8+4+2+len(r.MapTask))
+	buf[0] = msgFetchRequest
+	binary.BigEndian.PutUint64(buf[1:], r.ID)
+	binary.BigEndian.PutUint32(buf[9:], r.Partition)
+	binary.BigEndian.PutUint16(buf[13:], uint16(len(r.MapTask)))
+	copy(buf[15:], r.MapTask)
+	return buf
+}
+
+// decodeFetchRequest unmarshals a fetch request.
+func decodeFetchRequest(buf []byte) (fetchRequest, error) {
+	if len(buf) < 15 || buf[0] != msgFetchRequest {
+		return fetchRequest{}, fmt.Errorf("%w: short or mistyped request (%d bytes)", ErrBadMessage, len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf[13:]))
+	if len(buf) != 15+n {
+		return fetchRequest{}, fmt.Errorf("%w: task name length %d vs %d", ErrBadMessage, n, len(buf)-15)
+	}
+	return fetchRequest{
+		ID:        binary.BigEndian.Uint64(buf[1:]),
+		Partition: binary.BigEndian.Uint32(buf[9:]),
+		MapTask:   string(buf[15:]),
+	}, nil
+}
+
+// dataChunk is one on-wire response chunk. A segment travels as a sequence
+// of chunks of at most the transport buffer size; the final chunk carries
+// flagLast. Failures travel as a chunk with flagError whose payload is the
+// error text.
+type dataChunk struct {
+	ID      uint64
+	Last    bool
+	Failed  bool
+	Payload []byte
+}
+
+// encodeDataChunk marshals a chunk.
+func encodeDataChunk(c dataChunk) []byte {
+	buf := make([]byte, 1+8+1+len(c.Payload))
+	buf[0] = msgDataChunk
+	binary.BigEndian.PutUint64(buf[1:], c.ID)
+	var flags byte
+	if c.Last {
+		flags |= flagLast
+	}
+	if c.Failed {
+		flags |= flagError
+	}
+	buf[9] = flags
+	copy(buf[10:], c.Payload)
+	return buf
+}
+
+// decodeDataChunk unmarshals a chunk.
+func decodeDataChunk(buf []byte) (dataChunk, error) {
+	if len(buf) < 10 || buf[0] != msgDataChunk {
+		return dataChunk{}, fmt.Errorf("%w: short or mistyped chunk (%d bytes)", ErrBadMessage, len(buf))
+	}
+	return dataChunk{
+		ID:      binary.BigEndian.Uint64(buf[1:]),
+		Last:    buf[9]&flagLast != 0,
+		Failed:  buf[9]&flagError != 0,
+		Payload: buf[10:],
+	}, nil
+}

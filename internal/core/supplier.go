@@ -1,0 +1,427 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mof"
+	"repro/internal/transport"
+)
+
+// LookupFunc resolves a map task id to its MOF files on local disk.
+type LookupFunc func(mapTask string) (dataPath, indexPath string, err error)
+
+// SupplierConfig configures a MOFSupplier.
+type SupplierConfig struct {
+	// Transport is the network backend (TCP or RDMA).
+	Transport transport.Transport
+	// Addr is the listen address.
+	Addr string
+	// BufferSize is the transport buffer size for response chunks.
+	BufferSize int
+	// DataCacheBytes sizes the DataCache.
+	DataCacheBytes int64
+	// PrefetchBatch is the number of requests served per group turn of the
+	// round-robin disk prefetch server.
+	PrefetchBatch int
+	// XmitWorkers is the number of asynchronous transmission workers.
+	XmitWorkers int
+	// IndexCacheEntries sizes the IndexCache.
+	IndexCacheEntries int
+}
+
+func (c *SupplierConfig) applyDefaults() error {
+	if c.Transport == nil {
+		return errors.New("core: supplier needs a transport")
+	}
+	if c.Addr == "" {
+		return errors.New("core: supplier needs an address")
+	}
+	if c.BufferSize == 0 {
+		c.BufferSize = transport.DefaultBufferSize
+	}
+	if c.BufferSize < 0 {
+		return fmt.Errorf("core: buffer size %d invalid", c.BufferSize)
+	}
+	if c.DataCacheBytes == 0 {
+		c.DataCacheBytes = 64 << 20
+	}
+	if c.PrefetchBatch == 0 {
+		c.PrefetchBatch = 4
+	}
+	if c.XmitWorkers == 0 {
+		c.XmitWorkers = 2
+	}
+	if c.IndexCacheEntries == 0 {
+		c.IndexCacheEntries = 256
+	}
+	return nil
+}
+
+// SupplierStats counts a MOFSupplier's work.
+type SupplierStats struct {
+	Requests    int64
+	BytesServed int64
+	DiskReads   int64
+	CacheHits   int64
+	GroupTurns  int64
+	Errors      int64
+}
+
+// supplierReq is one resolved fetch request in flight through the pipeline.
+type supplierReq struct {
+	conn  *supplierConn
+	id    uint64
+	task  string
+	part  int
+	data  string // MOF data path
+	entry mof.IndexEntry
+}
+
+// supplierConn serializes response writes to one client connection.
+type supplierConn struct {
+	conn   transport.Conn
+	sendMu sync.Mutex
+}
+
+func (sc *supplierConn) sendChunks(id uint64, data []byte, bufSize int) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	rest := data
+	for {
+		chunk := rest
+		if len(chunk) > bufSize {
+			chunk = chunk[:bufSize]
+		}
+		rest = rest[len(chunk):]
+		msg := encodeDataChunk(dataChunk{ID: id, Last: len(rest) == 0, Payload: chunk})
+		if err := sc.conn.Send(msg); err != nil {
+			return err
+		}
+		if len(rest) == 0 {
+			return nil
+		}
+	}
+}
+
+func (sc *supplierConn) sendError(id uint64, ferr error) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	msg := encodeDataChunk(dataChunk{ID: id, Last: true, Failed: true, Payload: []byte(ferr.Error())})
+	return sc.conn.Send(msg)
+}
+
+// MOFSupplier is JBS's server component (Section III-B): it replaces the
+// HttpServlets with a native pipeline — requests are grouped by target MOF
+// and ordered by segment offset, groups are served round-robin by the disk
+// prefetch server into the DataCache, and staged segments are transmitted
+// by asynchronous workers. Disk reads and network sends overlap instead of
+// serializing per request.
+type MOFSupplier struct {
+	cfg    SupplierConfig
+	lookup LookupFunc
+
+	lis    transport.Listener
+	icache *mof.IndexCache
+	dcache *DataCache
+
+	reqCh  chan *supplierReq
+	xmitCh chan *supplierReq
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[transport.Conn]struct{}
+
+	requests    atomic.Int64
+	bytesServed atomic.Int64
+	diskReads   atomic.Int64
+	cacheHits   atomic.Int64
+	groupTurns  atomic.Int64
+	errCount    atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewMOFSupplier starts a supplier serving the MOFs resolved by lookup.
+func NewMOFSupplier(cfg SupplierConfig, lookup LookupFunc) (*MOFSupplier, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if lookup == nil {
+		return nil, errors.New("core: supplier needs a lookup function")
+	}
+	lis, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: supplier listen: %w", err)
+	}
+	s := &MOFSupplier{
+		cfg:    cfg,
+		lookup: lookup,
+		lis:    lis,
+		icache: mof.NewIndexCache(cfg.IndexCacheEntries),
+		dcache: NewDataCache(cfg.DataCacheBytes),
+		reqCh:  make(chan *supplierReq, 1024),
+		xmitCh: make(chan *supplierReq, 256),
+		done:   make(chan struct{}),
+		conns:  make(map[transport.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.wg.Add(1)
+	go s.prefetchLoop()
+	for i := 0; i < cfg.XmitWorkers; i++ {
+		s.wg.Add(1)
+		go s.xmitLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *MOFSupplier) Addr() string { return s.lis.Addr() }
+
+// Stats snapshots the supplier's counters.
+func (s *MOFSupplier) Stats() SupplierStats {
+	return SupplierStats{
+		Requests:    s.requests.Load(),
+		BytesServed: s.bytesServed.Load(),
+		DiskReads:   s.diskReads.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		GroupTurns:  s.groupTurns.Load(),
+		Errors:      s.errCount.Load(),
+	}
+}
+
+// CacheStats exposes the DataCache counters.
+func (s *MOFSupplier) CacheStats() (hits, misses, evictions int64) {
+	return s.dcache.Stats()
+}
+
+// Close stops the supplier and its connections.
+func (s *MOFSupplier) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.lis.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *MOFSupplier) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.connLoop(conn)
+	}
+}
+
+// connLoop reads and resolves fetch requests from one client.
+func (s *MOFSupplier) connLoop(conn transport.Conn) {
+	defer s.wg.Done()
+	sc := &supplierConn{conn: conn}
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		req, err := decodeFetchRequest(msg)
+		if err != nil {
+			s.errCount.Add(1)
+			return // protocol violation: drop the connection
+		}
+		s.requests.Add(1)
+		resolved, rerr := s.resolve(sc, req)
+		if rerr != nil {
+			s.errCount.Add(1)
+			if serr := sc.sendError(req.ID, rerr); serr != nil {
+				return
+			}
+			continue
+		}
+		select {
+		case s.reqCh <- resolved:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// resolve locates the requested segment via the IndexCache.
+func (s *MOFSupplier) resolve(sc *supplierConn, req fetchRequest) (*supplierReq, error) {
+	dataPath, indexPath, err := s.lookup(req.MapTask)
+	if err != nil {
+		return nil, fmt.Errorf("unknown MOF %s: %w", req.MapTask, err)
+	}
+	ix, err := s.icache.Get(indexPath)
+	if err != nil {
+		return nil, fmt.Errorf("index for %s: %w", req.MapTask, err)
+	}
+	entry, err := ix.Entry(int(req.Partition))
+	if err != nil {
+		return nil, fmt.Errorf("partition %d of %s: %w", req.Partition, req.MapTask, err)
+	}
+	return &supplierReq{
+		conn:  sc,
+		id:    req.ID,
+		task:  req.MapTask,
+		part:  int(req.Partition),
+		data:  dataPath,
+		entry: entry,
+	}, nil
+}
+
+// mofGroup is the per-MOF request group: requests ordered by segment
+// offset so a batch reads the file near-sequentially.
+type mofGroup struct {
+	task string
+	reqs []*supplierReq
+}
+
+func (g *mofGroup) insert(r *supplierReq) {
+	i := sort.Search(len(g.reqs), func(i int) bool {
+		return g.reqs[i].entry.Offset > r.entry.Offset
+	})
+	g.reqs = append(g.reqs, nil)
+	copy(g.reqs[i+1:], g.reqs[i:])
+	g.reqs[i] = r
+}
+
+// prefetchLoop is the disk prefetch server: it maintains the per-MOF
+// groups and serves them round-robin, staging each batch in the DataCache
+// and handing staged requests to the transmit workers.
+func (s *MOFSupplier) prefetchLoop() {
+	defer s.wg.Done()
+	groups := make(map[string]*mofGroup)
+	var ring []string // round-robin order of group keys
+	next := 0
+
+	add := func(r *supplierReq) {
+		g, ok := groups[r.task]
+		if !ok {
+			g = &mofGroup{task: r.task}
+			groups[r.task] = g
+			ring = append(ring, r.task)
+		}
+		g.insert(r)
+	}
+
+	for {
+		if len(groups) == 0 {
+			// Idle: block for work.
+			select {
+			case r, ok := <-s.reqCh:
+				if !ok {
+					return
+				}
+				add(r)
+			case <-s.done:
+				return
+			}
+			continue
+		}
+		// Drain newly arrived requests without blocking, so grouping sees
+		// bursts together.
+		for {
+			select {
+			case r := <-s.reqCh:
+				add(r)
+				continue
+			default:
+			}
+			break
+		}
+		// Serve one batch from the next group in round-robin order.
+		if next >= len(ring) {
+			next = 0
+		}
+		key := ring[next]
+		g := groups[key]
+		batch := s.cfg.PrefetchBatch
+		if batch > len(g.reqs) {
+			batch = len(g.reqs)
+		}
+		taken := g.reqs[:batch]
+		g.reqs = g.reqs[batch:]
+		if len(g.reqs) == 0 {
+			delete(groups, key)
+			ring = append(ring[:next], ring[next+1:]...)
+		} else {
+			next++
+		}
+		s.groupTurns.Add(1)
+		for _, r := range taken {
+			s.stage(r)
+		}
+	}
+}
+
+// stage reads one segment (or hits the DataCache) and queues transmission.
+func (s *MOFSupplier) stage(r *supplierReq) {
+	if _, ok := s.dcache.Pin(r.task, r.part); ok {
+		s.cacheHits.Add(1)
+	} else {
+		data, err := mof.ReadSegmentBytes(r.data, r.entry)
+		if err != nil {
+			s.errCount.Add(1)
+			r.conn.sendError(r.id, err)
+			return
+		}
+		s.diskReads.Add(1)
+		s.dcache.Put(r.task, r.part, data)
+	}
+	select {
+	case s.xmitCh <- r:
+	case <-s.done:
+		s.dcache.Unpin(r.task, r.part)
+	}
+}
+
+// xmitLoop transmits staged segments asynchronously.
+func (s *MOFSupplier) xmitLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case r := <-s.xmitCh:
+			data, ok := s.dcache.Pin(r.task, r.part)
+			if !ok {
+				// The staging pin guarantees residency; a miss here is a
+				// logic error surfaced to the client.
+				s.errCount.Add(1)
+				r.conn.sendError(r.id, errors.New("segment evicted while staged"))
+				continue
+			}
+			err := r.conn.sendChunks(r.id, data, s.cfg.BufferSize)
+			s.dcache.Unpin(r.task, r.part) // xmit pin
+			s.dcache.Unpin(r.task, r.part) // staging pin
+			if err == nil {
+				s.bytesServed.Add(int64(len(data)))
+			} else {
+				s.errCount.Add(1)
+			}
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package dfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCluster(t *testing.T, blockSize int64, replication int, nodes ...string) *Cluster {
+	t.Helper()
+	if len(nodes) == 0 {
+		nodes = []string{"n1", "n2", "n3"}
+	}
+	c, err := NewCluster(Config{BlockSize: blockSize, Replication: replication}, nodes, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func writeFile(t *testing.T, c *Cluster, path, node string, data []byte) {
+	t.Helper()
+	w, err := c.Create(path, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, c *Cluster, path, node string) []byte {
+	t.Helper()
+	r, err := c.Open(path, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 20) // 320 bytes = 5 blocks
+	writeFile(t, c, "/input/data", "n1", data)
+
+	got := readAll(t, c, "/input/data", "n1")
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+	}
+	fi, err := c.Stat("/input/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != int64(len(data)) {
+		t.Fatalf("size = %d, want %d", fi.Size, len(data))
+	}
+	if len(fi.Blocks) != 5 {
+		t.Fatalf("blocks = %d, want 5", len(fi.Blocks))
+	}
+}
+
+func TestPartialFinalBlock(t *testing.T) {
+	c := newTestCluster(t, 100, 1)
+	data := make([]byte, 250)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	writeFile(t, c, "/f", "n1", data)
+	fi, _ := c.Stat("/f")
+	if len(fi.Blocks) != 3 || fi.Blocks[2].Size != 50 {
+		t.Fatalf("blocks = %+v", fi.Blocks)
+	}
+	if !bytes.Equal(readAll(t, c, "/f", "n2"), data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	c := newTestCluster(t, 100, 1)
+	writeFile(t, c, "/empty", "n1", nil)
+	fi, err := c.Stat("/empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size != 0 || len(fi.Blocks) != 0 {
+		t.Fatalf("empty file metadata: %+v", fi)
+	}
+	if got := readAll(t, c, "/empty", "n1"); len(got) != 0 {
+		t.Fatalf("read %d bytes from empty file", len(got))
+	}
+}
+
+func TestLocalPlacement(t *testing.T) {
+	c := newTestCluster(t, 64, 2)
+	writeFile(t, c, "/f", "n2", make([]byte, 200))
+	fi, _ := c.Stat("/f")
+	for _, b := range fi.Blocks {
+		if b.Hosts[0] != "n2" {
+			t.Fatalf("primary replica on %s, want n2", b.Hosts[0])
+		}
+		if len(b.Hosts) != 2 {
+			t.Fatalf("replicas = %d, want 2", len(b.Hosts))
+		}
+		if b.Hosts[1] == "n2" {
+			t.Fatal("duplicate replica host")
+		}
+	}
+}
+
+func TestReplicationCappedByNodes(t *testing.T) {
+	c := newTestCluster(t, 64, 5, "a", "b")
+	writeFile(t, c, "/f", "a", make([]byte, 10))
+	fi, _ := c.Stat("/f")
+	if len(fi.Blocks[0].Hosts) != 2 {
+		t.Fatalf("replicas = %d, want 2 (capped)", len(fi.Blocks[0].Hosts))
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	writeFile(t, c, "/f", "n1", []byte("x"))
+	if _, err := c.Create("/f", "n1"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestCreateUnknownNode(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	if _, err := c.Create("/f", "nope"); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("err = %v, want ErrNoSuchNode", err)
+	}
+}
+
+func TestStatNotFound(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	if _, err := c.Stat("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.Open("/missing", "n1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWriterDoubleClose(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	w, _ := c.Create("/f", "n1")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second close: %v, want ErrClosed", err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("write after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	writeFile(t, c, "/out/part-1", "n1", []byte("a"))
+	writeFile(t, c, "/out/part-0", "n1", []byte("b"))
+	writeFile(t, c, "/other", "n1", []byte("c"))
+	got := c.List("/out/")
+	if len(got) != 2 || got[0].Path != "/out/part-0" || got[1].Path != "/out/part-1" {
+		t.Fatalf("List = %+v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := newTestCluster(t, 64, 1)
+	writeFile(t, c, "/f", "n1", make([]byte, 128))
+	fi, _ := c.Stat("/f")
+	if err := c.Delete("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("file still visible after delete")
+	}
+	// Block files are gone from every replica host.
+	for _, b := range fi.Blocks {
+		for _, h := range b.Hosts {
+			if _, err := os.Stat(c.blockPath(h, b.ID)); !os.IsNotExist(err) {
+				t.Fatalf("block %d still on %s", b.ID, h)
+			}
+		}
+	}
+	if err := c.Delete("/f"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestSplitsAlignWithBlocks(t *testing.T) {
+	c := newTestCluster(t, 100, 2)
+	writeFile(t, c, "/f", "n1", make([]byte, 250))
+	splits, err := c.Splits("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 3 {
+		t.Fatalf("splits = %d, want 3", len(splits))
+	}
+	wantOff := []int64{0, 100, 200}
+	wantLen := []int64{100, 100, 50}
+	for i, s := range splits {
+		if s.Offset != wantOff[i] || s.Length != wantLen[i] {
+			t.Fatalf("split %d = %+v", i, s)
+		}
+		if len(s.Hosts) != 2 || s.Hosts[0] != "n1" {
+			t.Fatalf("split %d hosts = %v", i, s.Hosts)
+		}
+	}
+}
+
+func TestOpenRange(t *testing.T) {
+	c := newTestCluster(t, 10, 1)
+	data := []byte("abcdefghijklmnopqrstuvwxyz")
+	writeFile(t, c, "/f", "n1", data)
+	r, err := c.OpenRange("/f", "n1", 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if string(got) != "fghijklmnopqrst" {
+		t.Fatalf("range read = %q", got)
+	}
+}
+
+func TestOpenRangeOutOfBounds(t *testing.T) {
+	c := newTestCluster(t, 10, 1)
+	writeFile(t, c, "/f", "n1", []byte("0123456789"))
+	if _, err := c.OpenRange("/f", "n1", 5, 10); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := c.OpenRange("/f", "n1", -1, 2); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestLocalityAccounting(t *testing.T) {
+	c := newTestCluster(t, 1024, 1)
+	writeFile(t, c, "/f", "n1", make([]byte, 100))
+	readAll(t, c, "/f", "n1") // local
+	readAll(t, c, "/f", "n2") // remote (replica only on n1)
+	local, remote := c.LocalityStats()
+	if local != 1 || remote != 1 {
+		t.Fatalf("locality = %d/%d, want 1/1", local, remote)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	c := newTestCluster(t, 1024, 1)
+	writeFile(t, c, "/f", "n1", []byte("precious bytes"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	// Corrupt the stored block on its only replica.
+	p := c.blockPath(b.Hosts[0], b.ID)
+	raw, _ := os.ReadFile(p)
+	raw[0] ^= 0xff
+	os.WriteFile(p, raw, 0o644)
+	r, err := c.Open("/f", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(r); !errors.Is(err, ErrCorruptData) {
+		t.Fatalf("err = %v, want ErrCorruptData", err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{BlockSize: 0, Replication: 1},
+		{BlockSize: 1, Replication: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewCluster(Config{BlockSize: 1, Replication: 1}, nil, t.TempDir()); err == nil {
+		t.Error("cluster with no nodes accepted")
+	}
+}
+
+func TestDefaultBlockSizeIs256MB(t *testing.T) {
+	if DefaultBlockSize != 256<<20 {
+		t.Fatalf("DefaultBlockSize = %d, want 256 MB (paper Section V)", DefaultBlockSize)
+	}
+}
+
+// Property: any content round-trips through any block size.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte, blockSizeSeed uint8) bool {
+		blockSize := int64(blockSizeSeed%200) + 1
+		dir, err := os.MkdirTemp("", "dfsprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		c, err := NewCluster(Config{BlockSize: blockSize, Replication: 1}, []string{"a", "b"}, dir)
+		if err != nil {
+			return false
+		}
+		w, err := c.Create("/p", "a")
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := c.Open("/p", "b")
+		if err != nil {
+			return false
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaFailoverOnMissingBlock(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("replicated payload"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	if len(b.Hosts) != 2 {
+		t.Fatalf("hosts = %v", b.Hosts)
+	}
+	// Remove the primary (reader-local) replica.
+	if err := os.Remove(c.blockPath(b.Hosts[0], b.ID)); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, c, "/f", b.Hosts[0])
+	if string(got) != "replicated payload" {
+		t.Fatalf("failover read = %q", got)
+	}
+	if c.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", c.Failovers())
+	}
+}
+
+func TestReplicaFailoverOnCorruptBlock(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("precious"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	// Corrupt the local replica only.
+	p := c.blockPath(b.Hosts[0], b.ID)
+	raw, _ := os.ReadFile(p)
+	raw[0] ^= 0xff
+	os.WriteFile(p, raw, 0o644)
+	got := readAll(t, c, "/f", b.Hosts[0])
+	if string(got) != "precious" {
+		t.Fatalf("failover read = %q", got)
+	}
+}
+
+func TestAllReplicasBadFails(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("doomed"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	for _, h := range b.Hosts {
+		os.Remove(c.blockPath(h, b.ID))
+	}
+	r, err := c.Open("/f", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadAll(r); err == nil {
+		t.Fatal("read succeeded with every replica gone")
+	}
+}
+
+func TestRepairRestoresLostReplica(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("repair me"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	os.Remove(c.blockPath(b.Hosts[0], b.ID))
+	restored, err := c.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored = %d, want 1", restored)
+	}
+	// The primary replica is back and readable without failover.
+	before := c.Failovers()
+	got := readAll(t, c, "/f", b.Hosts[0])
+	if string(got) != "repair me" {
+		t.Fatalf("read = %q", got)
+	}
+	if c.Failovers() != before {
+		t.Fatal("read still needed failover after repair")
+	}
+}
+
+func TestRepairRestoresCorruptReplica(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("bitrot"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	p := c.blockPath(b.Hosts[1], b.ID)
+	raw, _ := os.ReadFile(p)
+	raw[0] ^= 0xff
+	os.WriteFile(p, raw, 0o644)
+	restored, err := c.Repair()
+	if err != nil || restored != 1 {
+		t.Fatalf("restored = %d, err = %v", restored, err)
+	}
+	data, _ := os.ReadFile(p)
+	if string(data) != "bitrot" {
+		t.Fatalf("replica content = %q", data)
+	}
+}
+
+func TestRepairNoopOnHealthyCluster(t *testing.T) {
+	c := newTestCluster(t, 64, 2)
+	writeFile(t, c, "/f", "n1", make([]byte, 200))
+	restored, err := c.Repair()
+	if err != nil || restored != 0 {
+		t.Fatalf("restored = %d, err = %v", restored, err)
+	}
+}
+
+func TestRepairUnrecoverableBlock(t *testing.T) {
+	c := newTestCluster(t, 1024, 2)
+	writeFile(t, c, "/f", "n1", []byte("gone"))
+	fi, _ := c.Stat("/f")
+	b := fi.Blocks[0]
+	for _, h := range b.Hosts {
+		os.Remove(c.blockPath(h, b.ID))
+	}
+	if _, err := c.Repair(); err == nil {
+		t.Fatal("unrecoverable block not reported")
+	}
+}

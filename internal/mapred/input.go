@@ -1,0 +1,122 @@
+package mapred
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RecordReader iterates the key/value records of one input split.
+type RecordReader interface {
+	// Next returns the next record, or io.EOF after the last.
+	Next() (key, value []byte, err error)
+}
+
+// InputFormat builds a RecordReader over one split's byte stream.
+type InputFormat func(r io.Reader) RecordReader
+
+// LineInput yields one record per newline-terminated line: key is the
+// decimal line number within the split, value is the line without the
+// terminator (Hadoop's TextInputFormat, with line numbers standing in for
+// byte offsets).
+func LineInput(r io.Reader) RecordReader {
+	return &lineReader{s: bufio.NewScanner(r)}
+}
+
+type lineReader struct {
+	s    *bufio.Scanner
+	line int64
+}
+
+func (lr *lineReader) Next() ([]byte, []byte, error) {
+	if !lr.s.Scan() {
+		if err := lr.s.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, io.EOF
+	}
+	key := strconv.AppendInt(nil, lr.line, 10)
+	lr.line++
+	val := append([]byte(nil), lr.s.Bytes()...)
+	return key, val, nil
+}
+
+// KVLineInput yields one record per line of the form "key<TAB>value"
+// (Hadoop's KeyValueTextInputFormat). Lines without a tab become a record
+// with an empty value.
+func KVLineInput(r io.Reader) RecordReader {
+	return &kvLineReader{s: bufio.NewScanner(r)}
+}
+
+type kvLineReader struct {
+	s *bufio.Scanner
+}
+
+func (kr *kvLineReader) Next() ([]byte, []byte, error) {
+	if !kr.s.Scan() {
+		if err := kr.s.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, io.EOF
+	}
+	line := kr.s.Bytes()
+	if i := bytes.IndexByte(line, '\t'); i >= 0 {
+		return append([]byte(nil), line[:i]...), append([]byte(nil), line[i+1:]...), nil
+	}
+	return append([]byte(nil), line...), nil, nil
+}
+
+// WholeSplitInput yields the entire split as a single record (empty key),
+// for jobs that need cross-record state within a split, like validators.
+func WholeSplitInput(r io.Reader) RecordReader {
+	return &wholeSplitReader{r: r}
+}
+
+type wholeSplitReader struct {
+	r    io.Reader
+	done bool
+}
+
+func (wr *wholeSplitReader) Next() ([]byte, []byte, error) {
+	if wr.done {
+		return nil, nil, io.EOF
+	}
+	wr.done = true
+	data, err := io.ReadAll(wr.r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, data, nil
+}
+
+// FixedWidthInput yields fixed-length records of recordLen bytes whose
+// first keyLen bytes are the key — the Terasort record layout (100-byte
+// records, 10-byte keys).
+func FixedWidthInput(keyLen, recordLen int) InputFormat {
+	return func(r io.Reader) RecordReader {
+		return &fixedReader{r: bufio.NewReaderSize(r, 256<<10), keyLen: keyLen, recLen: recordLen}
+	}
+}
+
+type fixedReader struct {
+	r      *bufio.Reader
+	keyLen int
+	recLen int
+}
+
+func (fr *fixedReader) Next() ([]byte, []byte, error) {
+	buf := make([]byte, fr.recLen)
+	n, err := io.ReadFull(fr.r, buf)
+	if err == io.EOF {
+		return nil, nil, io.EOF
+	}
+	if err == io.ErrUnexpectedEOF {
+		return nil, nil, fmt.Errorf("mapred: truncated fixed-width record: %d of %d bytes", n, fr.recLen)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf[:fr.keyLen], buf[fr.keyLen:], nil
+}

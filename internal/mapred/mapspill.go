@@ -1,0 +1,201 @@
+package mapred
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/merge"
+	"repro/internal/mof"
+)
+
+// mapOutputBuffer is the map side's sort buffer (Hadoop's io.sort.mb): map
+// outputs accumulate per partition; when the buffer exceeds its limit the
+// contents are sorted and spilled as one partitioned run file, and at task
+// end all runs are merged into the final MOF. JBS does not change this
+// path — both shuffle implementations consume the same MOFs.
+type mapOutputBuffer struct {
+	parts  [][]mof.Record
+	bytes  int64
+	limit  int64 // 0 = unbounded (single final write)
+	dir    string
+	taskID string
+
+	combine  ReduceFunc
+	compress bool
+	cs       *counterSet
+
+	runs []MOFPaths
+}
+
+func newMapOutputBuffer(numReducers int, limit int64, dir, taskID string, combine ReduceFunc, compress bool, cs *counterSet) *mapOutputBuffer {
+	return &mapOutputBuffer{
+		parts:    make([][]mof.Record, numReducers),
+		limit:    limit,
+		dir:      dir,
+		taskID:   taskID,
+		combine:  combine,
+		compress: compress,
+		cs:       cs,
+	}
+}
+
+// writerOptions returns the MOF writer options for this buffer.
+func (b *mapOutputBuffer) writerOptions() []mof.WriterOption {
+	if b.compress {
+		return []mof.WriterOption{mof.WithCompression()}
+	}
+	return nil
+}
+
+// add buffers one intermediate record, spilling when over the limit.
+func (b *mapOutputBuffer) add(partition int, key, value []byte) error {
+	b.parts[partition] = append(b.parts[partition], mof.Record{
+		Key:   append([]byte(nil), key...),
+		Value: append([]byte(nil), value...),
+	})
+	b.bytes += int64(len(key) + len(value))
+	if b.limit > 0 && b.bytes > b.limit {
+		return b.spill()
+	}
+	return nil
+}
+
+// writeRun sorts (and combines) the buffered partitions and writes them as
+// one partitioned MOF-format file pair.
+func (b *mapOutputBuffer) writeRun(paths MOFPaths) error {
+	w, err := mof.NewWriter(paths.Data, paths.Index, len(b.parts), b.writerOptions()...)
+	if err != nil {
+		return err
+	}
+	for p, recs := range b.parts {
+		if len(recs) == 0 {
+			continue
+		}
+		merge.SortRecords(recs)
+		if b.combine != nil {
+			recs, err = combinePartition(b.combine, recs, b.cs)
+			if err != nil {
+				return err
+			}
+		}
+		if err := w.BeginSegment(p); err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			if err := w.Append(rec.Key, rec.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Close()
+}
+
+// spill writes the current buffer as a numbered run and resets it.
+func (b *mapOutputBuffer) spill() error {
+	if b.bytes == 0 {
+		return nil
+	}
+	paths := MOFPaths{
+		Data:  filepath.Join(b.dir, fmt.Sprintf("%s.spill%d.data", b.taskID, len(b.runs))),
+		Index: filepath.Join(b.dir, fmt.Sprintf("%s.spill%d.index", b.taskID, len(b.runs))),
+	}
+	if err := b.writeRun(paths); err != nil {
+		return err
+	}
+	b.cs.mapSpills.Add(1)
+	b.cs.mapSpilledBytes.Add(b.bytes)
+	b.runs = append(b.runs, paths)
+	b.parts = make([][]mof.Record, len(b.parts))
+	b.bytes = 0
+	return nil
+}
+
+// finalize produces the task's final MOF. Without spills this is a direct
+// sorted write; with spills, every run's segments are merged per partition
+// (Hadoop's final map-side merge pass).
+func (b *mapOutputBuffer) finalize(final MOFPaths) error {
+	if len(b.runs) == 0 {
+		return b.writeRun(final)
+	}
+	// Spill the in-memory remainder so everything is in runs.
+	if err := b.spill(); err != nil {
+		return err
+	}
+	defer func() {
+		for _, r := range b.runs {
+			os.Remove(r.Data)
+			os.Remove(r.Index)
+		}
+	}()
+
+	indexes := make([]*mof.Index, len(b.runs))
+	for i, r := range b.runs {
+		ix, err := mof.ReadIndex(r.Index)
+		if err != nil {
+			return err
+		}
+		indexes[i] = ix
+	}
+	w, err := mof.NewWriter(final.Data, final.Index, len(b.parts), b.writerOptions()...)
+	if err != nil {
+		return err
+	}
+	for p := range b.parts {
+		var sources []merge.Source
+		empty := true
+		for i, r := range b.runs {
+			entry, err := indexes[i].Entry(p)
+			if err != nil {
+				closeSources(sources)
+				return err
+			}
+			if entry.Length == 0 {
+				continue
+			}
+			sr, err := mof.OpenSegment(r.Data, entry)
+			if err != nil {
+				closeSources(sources)
+				return err
+			}
+			sources = append(sources, segmentSource{sr})
+			empty = false
+		}
+		if empty {
+			continue
+		}
+		if err := w.BeginSegment(p); err != nil {
+			closeSources(sources)
+			return err
+		}
+		err := merge.Merge(sources, func(r mof.Record) error {
+			return w.Append(r.Key, r.Value)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+func closeSources(sources []merge.Source) {
+	for _, s := range sources {
+		s.Close()
+	}
+}
+
+// segmentSource adapts a mof.SegmentReader to merge.Source.
+type segmentSource struct {
+	sr *mof.SegmentReader
+}
+
+func (s segmentSource) Next() (mof.Record, error) {
+	rec, err := s.sr.Next()
+	if err == io.EOF {
+		return mof.Record{}, io.EOF
+	}
+	return rec, err
+}
+
+func (s segmentSource) Close() error { return s.sr.Close() }

@@ -1,0 +1,56 @@
+package merge_test
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/merge"
+	"repro/internal/mof"
+)
+
+// ExampleIterator merges three sorted sources into one sorted stream —
+// the reduce side's core operation.
+func ExampleIterator() {
+	rec := func(k string) mof.Record { return mof.Record{Key: []byte(k), Value: []byte("v")} }
+	sources := []merge.Source{
+		merge.NewSliceSource([]mof.Record{rec("apple"), rec("melon")}),
+		merge.NewSliceSource([]mof.Record{rec("banana")}),
+		merge.NewSliceSource([]mof.Record{rec("cherry"), rec("plum")}),
+	}
+	it, err := merge.NewIterator(sources)
+	if err != nil {
+		panic(err)
+	}
+	defer it.Close()
+	for {
+		r, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		fmt.Println(string(r.Key))
+	}
+	// Output:
+	// apple
+	// banana
+	// cherry
+	// melon
+	// plum
+}
+
+// ExampleGroupByKey shows the reduce-function contract: one call per
+// distinct key with all of its values.
+func ExampleGroupByKey() {
+	recs := []mof.Record{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("a"), Value: []byte("2")},
+		{Key: []byte("b"), Value: []byte("3")},
+	}
+	it, _ := merge.NewIterator([]merge.Source{merge.NewSliceSource(recs)})
+	merge.GroupByKey(it, func(key []byte, values [][]byte) error {
+		fmt.Printf("%s has %d values\n", key, len(values))
+		return nil
+	})
+	// Output:
+	// a has 2 values
+	// b has 1 values
+}

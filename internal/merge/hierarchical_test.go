@@ -1,0 +1,168 @@
+package merge
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mof"
+)
+
+func TestHierarchicalMergerMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	segs, keys := makeSortedSegments(rng, 20, 30)
+
+	h, err := NewHierarchicalMerger(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runMerger(t, h, segs)
+	if len(got) != len(keys) {
+		t.Fatalf("got %d records, want %d", len(got), len(keys))
+	}
+	sortedCheck(t, got)
+	for i, k := range keys {
+		if string(got[i].Key) != k {
+			t.Fatalf("key %d = %q, want %q", i, got[i].Key, k)
+		}
+	}
+	st := h.Stats()
+	if st.SpilledBytes != 0 || st.Spills != 0 {
+		t.Fatalf("hierarchical merge touched disk: %+v", st)
+	}
+	if st.MergePasses == 0 {
+		t.Fatalf("expected intermediate merge passes for 20 segments at fan-in 4: %+v", st)
+	}
+}
+
+func TestHierarchicalNoPassesWhenWithinFanIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	segs, _ := makeSortedSegments(rng, 3, 10)
+	h, _ := NewHierarchicalMerger(4)
+	runMerger(t, h, segs)
+	if st := h.Stats(); st.MergePasses != 0 {
+		t.Fatalf("3 segments at fan-in 4 should merge flat: %+v", st)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	if _, err := NewHierarchicalMerger(1); err == nil {
+		t.Fatal("fan-in 1 accepted")
+	}
+	h, _ := NewHierarchicalMerger(2)
+	if _, err := h.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddSegment(nil); err == nil {
+		t.Fatal("AddSegment after Finish accepted")
+	}
+	if _, err := h.Finish(); err == nil {
+		t.Fatal("double Finish accepted")
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct{ n, fanIn, want int }{
+		{0, 4, 0}, {1, 4, 0}, {4, 4, 1}, {5, 4, 2}, {16, 4, 2}, {17, 4, 3},
+		{1024, 16, 3}, {2, 2, 1}, {8, 2, 3},
+	}
+	for _, c := range cases {
+		if got := Depth(c.n, c.fanIn); got != c.want {
+			t.Errorf("Depth(%d,%d) = %d, want %d", c.n, c.fanIn, got, c.want)
+		}
+	}
+}
+
+// Property: hierarchical and flat (network-levitated) mergers produce the
+// same sorted stream for any fan-in and input shape.
+func TestHierarchicalEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, nSegs, perSeg, fan uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		segs, _ := makeSortedSegments(rng, int(nSegs%16)+1, int(perSeg%20)+1)
+		fanIn := int(fan%6) + 2
+
+		flat := NewNetLevitatedMerger()
+		hier, err := NewHierarchicalMerger(fanIn)
+		if err != nil {
+			return false
+		}
+		drainAll := func(m Merger) ([]mof.Record, bool) {
+			for _, s := range segs {
+				if m.AddSegment(s) != nil {
+					return nil, false
+				}
+			}
+			it, err := m.Finish()
+			if err != nil {
+				return nil, false
+			}
+			defer it.Close()
+			var out []mof.Record
+			for {
+				r, err := it.Next()
+				if err == io.EOF {
+					return out, true
+				}
+				if err != nil {
+					return nil, false
+				}
+				out = append(out, r)
+			}
+		}
+		a, ok1 := drainAll(flat)
+		b, ok2 := drainAll(hier)
+		if !ok1 || !ok2 || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if !bytes.Equal(a[i].Key, b[i].Key) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMergeStrategies compares the flat heap against the hierarchical
+// tree at a MapTask count typical of the paper's 128GB runs (512 maps).
+func BenchmarkMergeStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	segs, _ := makeSortedSegments(rng, 512, 20)
+	run := func(b *testing.B, mk func() Merger) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := mk()
+			for _, s := range segs {
+				if err := m.AddSegment(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			it, err := m.Finish()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if _, err := it.Next(); err == io.EOF {
+					break
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+			it.Close()
+		}
+	}
+	b.Run("flat-512", func(b *testing.B) {
+		run(b, func() Merger { return NewNetLevitatedMerger() })
+	})
+	b.Run("hierarchical-512-fan16", func(b *testing.B) {
+		run(b, func() Merger {
+			m, _ := NewHierarchicalMerger(16)
+			return m
+		})
+	})
+}

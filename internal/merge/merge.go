@@ -1,0 +1,217 @@
+// Package merge implements the reduce-side merging machinery: a k-way heap
+// merge over sorted record sources, the stock Hadoop disk-spill multi-pass
+// merger, and the network-levitated merger JBS's NetMerger uses (Section
+// III-C; the algorithm is from the authors' SC'11 paper), which keeps
+// fetched segments in memory and never spills shuffle data to disk.
+package merge
+
+import (
+	"bytes"
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/mof"
+)
+
+// ErrSourceExhausted is returned by iterators used past their end.
+var ErrSourceExhausted = errors.New("merge: iterator exhausted")
+
+// Source yields records in non-decreasing key order.
+type Source interface {
+	// Next returns the next record, or io.EOF after the last.
+	Next() (mof.Record, error)
+	// Close releases the source.
+	Close() error
+}
+
+// sliceSource serves records from memory.
+type sliceSource struct {
+	recs []mof.Record
+	pos  int
+}
+
+// NewSliceSource wraps an in-memory sorted record slice as a Source.
+func NewSliceSource(recs []mof.Record) Source {
+	return &sliceSource{recs: recs}
+}
+
+func (s *sliceSource) Next() (mof.Record, error) {
+	if s.pos >= len(s.recs) {
+		return mof.Record{}, io.EOF
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sliceSource) Close() error { return nil }
+
+// rawSource decodes records from an encoded segment in memory.
+type rawSource struct {
+	data []byte
+}
+
+// NewRawSource wraps raw encoded segment bytes as a Source.
+func NewRawSource(data []byte) Source {
+	return &rawSource{data: data}
+}
+
+func (s *rawSource) Next() (mof.Record, error) {
+	if len(s.data) == 0 {
+		return mof.Record{}, io.EOF
+	}
+	r, n, err := mof.DecodeRecord(s.data)
+	if err != nil {
+		return mof.Record{}, err
+	}
+	s.data = s.data[n:]
+	return r, nil
+}
+
+func (s *rawSource) Close() error { return nil }
+
+// heapItem is one source's head record.
+type heapItem struct {
+	rec mof.Record
+	src int // index for stable ordering among equal keys
+}
+
+type recordHeap []heapItem
+
+func (h recordHeap) Len() int { return len(h) }
+
+func (h recordHeap) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].rec.Key, h[j].rec.Key); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+
+func (h recordHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *recordHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+
+func (h *recordHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Iterator merges multiple sorted sources into one sorted stream.
+type Iterator struct {
+	sources []Source
+	h       recordHeap
+	done    bool
+}
+
+// NewIterator builds a merging iterator over the sources. Sources must each
+// be sorted by key.
+func NewIterator(sources []Source) (*Iterator, error) {
+	it := &Iterator{sources: sources}
+	for i, s := range sources {
+		rec, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("merge: priming source %d: %w", i, err)
+		}
+		it.h = append(it.h, heapItem{rec: rec, src: i})
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+// Next returns the next record in global key order, or io.EOF at the end.
+func (it *Iterator) Next() (mof.Record, error) {
+	if it.done || len(it.h) == 0 {
+		it.done = true
+		return mof.Record{}, io.EOF
+	}
+	top := it.h[0]
+	rec, err := it.sources[top.src].Next()
+	switch {
+	case err == io.EOF:
+		heap.Pop(&it.h)
+	case err != nil:
+		return mof.Record{}, fmt.Errorf("merge: advancing source %d: %w", top.src, err)
+	default:
+		it.h[0] = heapItem{rec: rec, src: top.src}
+		heap.Fix(&it.h, 0)
+	}
+	return top.rec, nil
+}
+
+// Close closes every source.
+func (it *Iterator) Close() error {
+	var first error
+	for _, s := range it.sources {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Merge merges the sources and calls emit for every record in order.
+func Merge(sources []Source, emit func(mof.Record) error) error {
+	it, err := NewIterator(sources)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// GroupByKey drains a sorted iterator, invoking fn once per distinct key
+// with all its values — the contract the reduce function sees.
+func GroupByKey(it *Iterator, fn func(key []byte, values [][]byte) error) error {
+	var curKey []byte
+	var curVals [][]byte
+	flush := func() error {
+		if curKey == nil {
+			return nil
+		}
+		return fn(curKey, curVals)
+	}
+	for {
+		rec, err := it.Next()
+		if err == io.EOF {
+			return flush()
+		}
+		if err != nil {
+			return err
+		}
+		if curKey == nil || !bytes.Equal(rec.Key, curKey) {
+			if err := flush(); err != nil {
+				return err
+			}
+			curKey = append([]byte(nil), rec.Key...)
+			curVals = curVals[:0]
+		}
+		curVals = append(curVals, append([]byte(nil), rec.Value...))
+	}
+}
+
+// SortRecords sorts records by key in place (stable for equal keys).
+func SortRecords(recs []mof.Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		return bytes.Compare(recs[i].Key, recs[j].Key) < 0
+	})
+}

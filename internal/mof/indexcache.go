@@ -1,0 +1,98 @@
+package mof
+
+import (
+	"container/list"
+	"sync"
+)
+
+// IndexCache caches parsed MOF index files so repeated fetch requests for
+// the same MOF avoid re-reading the index from disk. Both stock Hadoop's
+// HttpServlets and JBS's MOFSupplier maintain one (Section III-B).
+type IndexCache struct {
+	mu      sync.Mutex
+	max     int
+	byPath  map[string]*list.Element
+	lru     *list.List // front = most recently used
+	loadFn  func(path string) (*Index, error)
+	hits    int
+	misses  int
+	evicted int
+}
+
+type indexCacheEntry struct {
+	path string
+	ix   *Index
+}
+
+// NewIndexCache creates a cache holding at most max parsed indexes.
+func NewIndexCache(max int) *IndexCache {
+	if max <= 0 {
+		panic("mof: index cache max must be positive")
+	}
+	return &IndexCache{
+		max:    max,
+		byPath: make(map[string]*list.Element),
+		lru:    list.New(),
+		loadFn: ReadIndex,
+	}
+}
+
+// SetLoader overrides the index loader (for tests and for in-memory MOF
+// stores).
+func (c *IndexCache) SetLoader(load func(path string) (*Index, error)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.loadFn = load
+}
+
+// Get returns the parsed index for the given index file, loading and
+// caching it on first use.
+func (c *IndexCache) Get(path string) (*Index, error) {
+	c.mu.Lock()
+	if el, ok := c.byPath[path]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		ix := el.Value.(*indexCacheEntry).ix
+		c.mu.Unlock()
+		return ix, nil
+	}
+	c.misses++
+	load := c.loadFn
+	c.mu.Unlock()
+
+	ix, err := load(path)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byPath[path]; ok {
+		// A concurrent loader won; keep its copy.
+		return el.Value.(*indexCacheEntry).ix, nil
+	}
+	el := c.lru.PushFront(&indexCacheEntry{path: path, ix: ix})
+	c.byPath[path] = el
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		entry := back.Value.(*indexCacheEntry)
+		c.lru.Remove(back)
+		delete(c.byPath, entry.path)
+		c.evicted++
+	}
+	return ix, nil
+}
+
+// Len returns the number of cached indexes.
+func (c *IndexCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns hit, miss, and eviction counts.
+func (c *IndexCache) Stats() (hits, misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}

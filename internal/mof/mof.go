@@ -1,0 +1,491 @@
+// Package mof implements the Map Output File format of Hadoop's shuffle
+// (Section II-A): each MapTask stores its intermediate data as one MOF on
+// local disk, divided into one segment per ReduceTask, accompanied by an
+// index file giving each segment's location. Fetch requests name a (MOF,
+// reduce partition) pair; the server locates the segment via the index and
+// ships its raw bytes.
+package mof
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Errors returned by the package.
+var (
+	ErrBadMagic      = errors.New("mof: bad index magic")
+	ErrBadPartition  = errors.New("mof: partition out of range")
+	ErrOutOfOrder    = errors.New("mof: segments must be written in partition order")
+	ErrChecksum      = errors.New("mof: segment checksum mismatch")
+	ErrCorruptRecord = errors.New("mof: corrupt record encoding")
+	ErrNoSegment     = errors.New("mof: no segment open")
+)
+
+// indexMagic begins every index file.
+const indexMagic = "MOFI"
+
+// Record is one key/value pair.
+type Record struct {
+	Key   []byte
+	Value []byte
+}
+
+// Size returns the encoded size of the record.
+func (r Record) Size() int {
+	return uvarintLen(uint64(len(r.Key))) + uvarintLen(uint64(len(r.Value))) + len(r.Key) + len(r.Value)
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}
+
+// AppendRecord encodes r onto dst and returns the extended slice. The
+// encoding is uvarint key length, uvarint value length, key bytes, value
+// bytes.
+func AppendRecord(dst []byte, r Record) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(r.Key)))
+	dst = append(dst, buf[:n]...)
+	n = binary.PutUvarint(buf[:], uint64(len(r.Value)))
+	dst = append(dst, buf[:n]...)
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// DecodeRecord decodes one record from data, returning the record and the
+// number of bytes consumed.
+func DecodeRecord(data []byte) (Record, int, error) {
+	klen, n1 := binary.Uvarint(data)
+	if n1 <= 0 {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	vlen, n2 := binary.Uvarint(data[n1:])
+	if n2 <= 0 {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	start := n1 + n2
+	end := start + int(klen) + int(vlen)
+	if int(klen) < 0 || int(vlen) < 0 || end > len(data) {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	return Record{
+		Key:   data[start : start+int(klen)],
+		Value: data[start+int(klen) : end],
+	}, end, nil
+}
+
+// ParseRecords decodes all records in a raw segment.
+func ParseRecords(data []byte) ([]Record, error) {
+	var out []Record
+	for len(data) > 0 {
+		r, n, err := DecodeRecord(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		data = data[n:]
+	}
+	return out, nil
+}
+
+// IndexEntry locates one reduce partition's segment within a MOF.
+type IndexEntry struct {
+	// Offset is the segment's byte offset in the data file.
+	Offset int64
+	// Length is the segment's byte length as stored (compressed length
+	// when the MOF is compressed).
+	Length int64
+	// RawLength is the segment's uncompressed byte length; it equals
+	// Length for uncompressed MOFs.
+	RawLength int64
+	// Records is the number of key/value pairs in the segment.
+	Records int64
+	// Checksum is the CRC-32 (IEEE) of the stored segment bytes.
+	Checksum uint32
+}
+
+// Compressed reports whether the stored segment is flate-compressed.
+func (e IndexEntry) Compressed() bool { return e.RawLength != e.Length }
+
+// Index is the parsed contents of a MOF index file.
+type Index struct {
+	Entries []IndexEntry
+}
+
+// Partitions returns the number of reduce partitions.
+func (ix *Index) Partitions() int { return len(ix.Entries) }
+
+// Entry returns the entry for a partition.
+func (ix *Index) Entry(partition int) (IndexEntry, error) {
+	if partition < 0 || partition >= len(ix.Entries) {
+		return IndexEntry{}, fmt.Errorf("%w: %d of %d", ErrBadPartition, partition, len(ix.Entries))
+	}
+	return ix.Entries[partition], nil
+}
+
+// TotalBytes returns the summed length of all segments.
+func (ix *Index) TotalBytes() int64 {
+	var n int64
+	for _, e := range ix.Entries {
+		n += e.Length
+	}
+	return n
+}
+
+// Writer writes one MOF: segments appended in increasing partition order,
+// then Close writes the index file. This mirrors a MapTask's final spill
+// merge, which emits partitions sequentially. With compression enabled
+// (Hadoop's mapred.compress.map.output) each segment is flate-compressed,
+// shrinking both local disk traffic and shuffle volume.
+type Writer struct {
+	dataPath, indexPath string
+	f                   *os.File
+	bw                  *bufio.Writer
+	entries             []IndexEntry
+	partitions          int
+	current             int // partition being written, -1 if none
+	offset              int64
+	crc                 uint32
+	records             int64
+	segStart            int64
+	scratch             []byte
+
+	compress bool
+	segBuf   []byte // buffered records of the open segment when compressing
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithCompression enables per-segment flate compression.
+func WithCompression() WriterOption {
+	return func(w *Writer) { w.compress = true }
+}
+
+// NewWriter creates the MOF data file and prepares the index.
+func NewWriter(dataPath, indexPath string, partitions int, opts ...WriterOption) (*Writer, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("mof: partitions %d must be positive", partitions)
+	}
+	f, err := os.Create(dataPath)
+	if err != nil {
+		return nil, fmt.Errorf("mof: create data file: %w", err)
+	}
+	w := &Writer{
+		dataPath:   dataPath,
+		indexPath:  indexPath,
+		f:          f,
+		bw:         bufio.NewWriterSize(f, 256<<10),
+		partitions: partitions,
+		current:    -1,
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	return w, nil
+}
+
+// BeginSegment starts the segment for the given partition. Partitions must
+// be begun in strictly increasing order; skipped partitions get empty
+// segments.
+func (w *Writer) BeginSegment(partition int) error {
+	if partition < 0 || partition >= w.partitions {
+		return fmt.Errorf("%w: %d of %d", ErrBadPartition, partition, w.partitions)
+	}
+	if partition < len(w.entries) || (w.current >= 0 && partition <= w.current) {
+		return fmt.Errorf("%w: partition %d after %d", ErrOutOfOrder, partition, w.current)
+	}
+	if err := w.finishSegment(); err != nil {
+		return err
+	}
+	// Emit empty entries for skipped partitions.
+	for len(w.entries) < partition {
+		w.entries = append(w.entries, IndexEntry{Offset: w.offset, Checksum: crc32.ChecksumIEEE(nil)})
+	}
+	w.current = partition
+	w.segStart = w.offset
+	w.crc = 0
+	w.records = 0
+	return nil
+}
+
+// Append writes one record to the open segment.
+func (w *Writer) Append(key, value []byte) error {
+	if w.current < 0 {
+		return ErrNoSegment
+	}
+	if w.compress {
+		w.segBuf = AppendRecord(w.segBuf, Record{Key: key, Value: value})
+		w.records++
+		return nil
+	}
+	w.scratch = AppendRecord(w.scratch[:0], Record{Key: key, Value: value})
+	if _, err := w.bw.Write(w.scratch); err != nil {
+		return fmt.Errorf("mof: append: %w", err)
+	}
+	w.crc = crc32.Update(w.crc, crc32.IEEETable, w.scratch)
+	w.offset += int64(len(w.scratch))
+	w.records++
+	return nil
+}
+
+func (w *Writer) finishSegment() error {
+	if w.current < 0 {
+		return nil
+	}
+	if w.compress {
+		stored, err := CompressSegment(w.segBuf)
+		if err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(stored); err != nil {
+			return fmt.Errorf("mof: write compressed segment: %w", err)
+		}
+		w.entries = append(w.entries, IndexEntry{
+			Offset:    w.segStart,
+			Length:    int64(len(stored)),
+			RawLength: int64(len(w.segBuf)),
+			Records:   w.records,
+			Checksum:  crc32.ChecksumIEEE(stored),
+		})
+		w.offset += int64(len(stored))
+		w.segBuf = w.segBuf[:0]
+		w.current = -1
+		return nil
+	}
+	w.entries = append(w.entries, IndexEntry{
+		Offset:    w.segStart,
+		Length:    w.offset - w.segStart,
+		RawLength: w.offset - w.segStart,
+		Records:   w.records,
+		Checksum:  w.crc,
+	})
+	w.current = -1
+	return nil
+}
+
+// Close finishes the last segment, pads the index to the partition count,
+// flushes the data file, and writes the index file.
+func (w *Writer) Close() error {
+	if err := w.finishSegment(); err != nil {
+		w.f.Close()
+		return err
+	}
+	for len(w.entries) < w.partitions {
+		w.entries = append(w.entries, IndexEntry{Offset: w.offset, Checksum: crc32.ChecksumIEEE(nil)})
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("mof: flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("mof: close data: %w", err)
+	}
+	return writeIndex(w.indexPath, &Index{Entries: w.entries})
+}
+
+func writeIndex(path string, ix *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mof: create index: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	bw.WriteString(indexMagic)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(ix.Entries)))
+	bw.Write(buf[:4])
+	for _, e := range ix.Entries {
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Offset))
+		bw.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Length))
+		bw.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.RawLength))
+		bw.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(e.Records))
+		bw.Write(buf[:])
+		binary.BigEndian.PutUint32(buf[:4], e.Checksum)
+		bw.Write(buf[:4])
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("mof: write index: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadIndex parses a MOF index file.
+func ReadIndex(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mof: read index: %w", err)
+	}
+	if len(data) < len(indexMagic)+4 || string(data[:4]) != indexMagic {
+		return nil, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(data[4:8])
+	const entrySize = 8 + 8 + 8 + 8 + 4
+	if len(data) != 8+int(n)*entrySize {
+		return nil, fmt.Errorf("mof: index truncated: %d bytes for %d entries", len(data), n)
+	}
+	ix := &Index{Entries: make([]IndexEntry, n)}
+	off := 8
+	for i := range ix.Entries {
+		ix.Entries[i] = IndexEntry{
+			Offset:    int64(binary.BigEndian.Uint64(data[off:])),
+			Length:    int64(binary.BigEndian.Uint64(data[off+8:])),
+			RawLength: int64(binary.BigEndian.Uint64(data[off+16:])),
+			Records:   int64(binary.BigEndian.Uint64(data[off+24:])),
+			Checksum:  binary.BigEndian.Uint32(data[off+32:]),
+		}
+		off += entrySize
+	}
+	return ix, nil
+}
+
+// CompressSegment flate-compresses an encoded segment.
+func CompressSegment(raw []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, fmt.Errorf("mof: compressor: %w", err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, fmt.Errorf("mof: compress: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return nil, fmt.Errorf("mof: compress close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressSegment inflates a compressed segment back to its encoded
+// record stream.
+func DecompressSegment(stored []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(stored))
+	defer fr.Close()
+	raw, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("mof: decompress: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodeSegmentBytes returns the encoded (uncompressed) record stream for
+// stored segment bytes, inflating when the entry marks compression.
+func DecodeSegmentBytes(stored []byte, e IndexEntry) ([]byte, error) {
+	if !e.Compressed() {
+		return stored, nil
+	}
+	raw, err := DecompressSegment(stored)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(raw)) != e.RawLength {
+		return nil, fmt.Errorf("%w: inflated to %d bytes, want %d", ErrChecksum, len(raw), e.RawLength)
+	}
+	return raw, nil
+}
+
+// ReadSegmentBytes reads one raw segment from the data file and verifies
+// its checksum. This is the unit the shuffle moves over the network.
+func ReadSegmentBytes(dataPath string, e IndexEntry) ([]byte, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, fmt.Errorf("mof: open data: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, e.Length)
+	if _, err := f.ReadAt(buf, e.Offset); err != nil && !(err == io.EOF && e.Length == 0) {
+		return nil, fmt.Errorf("mof: read segment: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != e.Checksum {
+		return nil, ErrChecksum
+	}
+	return buf, nil
+}
+
+// VerifySegment checks raw segment bytes against an index entry.
+func VerifySegment(data []byte, e IndexEntry) error {
+	if int64(len(data)) != e.Length {
+		return fmt.Errorf("%w: length %d != %d", ErrChecksum, len(data), e.Length)
+	}
+	if crc32.ChecksumIEEE(data) != e.Checksum {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// SegmentReader streams the records of one segment from disk, inflating
+// compressed segments transparently.
+type SegmentReader struct {
+	f       *os.File
+	r       *bufio.Reader
+	inflate io.ReadCloser // non-nil for compressed segments
+	rem     int64
+}
+
+// OpenSegment opens a streaming reader over one segment.
+func OpenSegment(dataPath string, e IndexEntry) (*SegmentReader, error) {
+	f, err := os.Open(dataPath)
+	if err != nil {
+		return nil, fmt.Errorf("mof: open data: %w", err)
+	}
+	if _, err := f.Seek(e.Offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mof: seek: %w", err)
+	}
+	sr := &SegmentReader{f: f}
+	limited := io.LimitReader(f, e.Length)
+	if e.Compressed() {
+		sr.inflate = flate.NewReader(limited)
+		sr.r = bufio.NewReaderSize(sr.inflate, 64<<10)
+		sr.rem = e.RawLength
+	} else {
+		sr.r = bufio.NewReaderSize(limited, 64<<10)
+		sr.rem = e.Length
+	}
+	return sr, nil
+}
+
+// Next returns the next record, or io.EOF after the last.
+func (sr *SegmentReader) Next() (Record, error) {
+	if sr.rem <= 0 {
+		return Record{}, io.EOF
+	}
+	klen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	vlen, err := binary.ReadUvarint(sr.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(sr.r, key); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	val := make([]byte, vlen)
+	if _, err := io.ReadFull(sr.r, val); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+	}
+	rec := Record{Key: key, Value: val}
+	sr.rem -= int64(rec.Size())
+	return rec, nil
+}
+
+// Close releases the underlying file (and decompressor, if any).
+func (sr *SegmentReader) Close() error {
+	if sr.inflate != nil {
+		sr.inflate.Close()
+	}
+	return sr.f.Close()
+}

@@ -1,0 +1,609 @@
+package mof
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// writeTestMOF writes a MOF with the given records per partition and
+// returns the data and index paths.
+func writeTestMOF(t *testing.T, parts [][]Record) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "mof.data")
+	indexPath := filepath.Join(dir, "mof.index")
+	w, err := NewWriter(dataPath, indexPath, len(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, recs := range parts {
+		if len(recs) == 0 {
+			continue
+		}
+		if err := w.BeginSegment(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Append(r.Key, r.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, indexPath
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordEncodeDecode(t *testing.T) {
+	r := Record{Key: []byte("key"), Value: []byte("value-bytes")}
+	enc := AppendRecord(nil, r)
+	if len(enc) != r.Size() {
+		t.Fatalf("encoded %d bytes, Size() says %d", len(enc), r.Size())
+	}
+	dec, n, err := DecodeRecord(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(dec.Key, r.Key) || !bytes.Equal(dec.Value, r.Value) {
+		t.Fatalf("decoded %q/%q", dec.Key, dec.Value)
+	}
+}
+
+func TestDecodeRecordCorrupt(t *testing.T) {
+	cases := [][]byte{
+		{},                // empty
+		{0xff},            // truncated varint
+		{0x05, 0x01, 'a'}, // key shorter than declared
+		{0x01, 0x05, 'a'}, // value shorter than declared
+	}
+	for i, data := range cases {
+		if _, _, err := DecodeRecord(data); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("case %d: err = %v, want ErrCorruptRecord", i, err)
+		}
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	parts := [][]Record{
+		{{Key: []byte("a"), Value: []byte("1")}, {Key: []byte("b"), Value: []byte("2")}},
+		{{Key: []byte("c"), Value: []byte("3")}},
+		{}, // empty partition
+		{{Key: []byte("d"), Value: []byte("4")}, {Key: []byte("e"), Value: []byte("5")}, {Key: []byte("f"), Value: []byte("6")}},
+	}
+	dataPath, indexPath := writeTestMOF(t, parts)
+
+	ix, err := ReadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Partitions() != 4 {
+		t.Fatalf("partitions = %d, want 4", ix.Partitions())
+	}
+	for p, want := range parts {
+		e, err := ix.Entry(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Records != int64(len(want)) {
+			t.Fatalf("partition %d records = %d, want %d", p, e.Records, len(want))
+		}
+		raw, err := ReadSegmentBytes(dataPath, e)
+		if err != nil {
+			t.Fatalf("partition %d: %v", p, err)
+		}
+		got, err := ParseRecords(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(got, want) {
+			t.Fatalf("partition %d: got %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestWriterSkippedTrailingPartitions(t *testing.T) {
+	parts := [][]Record{
+		{{Key: []byte("x"), Value: []byte("y")}},
+		{},
+		{},
+	}
+	_, indexPath := writeTestMOF(t, parts)
+	ix, err := ReadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Partitions() != 3 {
+		t.Fatalf("partitions = %d, want 3", ix.Partitions())
+	}
+	for p := 1; p < 3; p++ {
+		e, _ := ix.Entry(p)
+		if e.Length != 0 || e.Records != 0 {
+			t.Fatalf("partition %d not empty: %+v", p, e)
+		}
+	}
+}
+
+func TestWriterOutOfOrderRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(filepath.Join(dir, "d"), filepath.Join(dir, "i"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(0); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+	if err := w.BeginSegment(1); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("repeat err = %v, want ErrOutOfOrder", err)
+	}
+	w.Close()
+}
+
+func TestWriterBadPartition(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(filepath.Join(dir, "d"), filepath.Join(dir, "i"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(2); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+	if err := w.BeginSegment(-1); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+	w.Close()
+}
+
+func TestAppendWithoutSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(filepath.Join(dir, "d"), filepath.Join(dir, "i"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("k"), []byte("v")); !errors.Is(err, ErrNoSegment) {
+		t.Fatalf("err = %v, want ErrNoSegment", err)
+	}
+	w.Close()
+}
+
+func TestNewWriterRejectsZeroPartitions(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewWriter(filepath.Join(dir, "d"), filepath.Join(dir, "i"), 0); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	parts := [][]Record{{{Key: []byte("key"), Value: []byte("val")}}}
+	dataPath, indexPath := writeTestMOF(t, parts)
+	// Flip a byte in the data file.
+	data, err := os.ReadFile(dataPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(dataPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	if _, err := ReadSegmentBytes(dataPath, e); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestVerifySegment(t *testing.T) {
+	parts := [][]Record{{{Key: []byte("key"), Value: []byte("val")}}}
+	dataPath, indexPath := writeTestMOF(t, parts)
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	raw, err := ReadSegmentBytes(dataPath, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySegment(raw, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySegment(raw[:len(raw)-1], e); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("short segment: %v, want ErrChecksum", err)
+	}
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 1
+	if err := VerifySegment(bad, e); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped segment: %v, want ErrChecksum", err)
+	}
+}
+
+func TestReadIndexBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.index")
+	os.WriteFile(p, []byte("NOPE00000000"), 0o644)
+	if _, err := ReadIndex(p); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadIndexTruncated(t *testing.T) {
+	parts := [][]Record{{{Key: []byte("k"), Value: []byte("v")}}}
+	_, indexPath := writeTestMOF(t, parts)
+	data, _ := os.ReadFile(indexPath)
+	os.WriteFile(indexPath, data[:len(data)-2], 0o644)
+	if _, err := ReadIndex(indexPath); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+}
+
+func TestIndexEntryOutOfRange(t *testing.T) {
+	ix := &Index{Entries: make([]IndexEntry, 2)}
+	if _, err := ix.Entry(2); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+	if _, err := ix.Entry(-1); !errors.Is(err, ErrBadPartition) {
+		t.Fatalf("err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestIndexTotalBytes(t *testing.T) {
+	parts := [][]Record{
+		{{Key: []byte("aa"), Value: []byte("bb")}},
+		{{Key: []byte("cc"), Value: []byte("dd")}, {Key: []byte("ee"), Value: []byte("ff")}},
+	}
+	dataPath, indexPath := writeTestMOF(t, parts)
+	ix, _ := ReadIndex(indexPath)
+	fi, _ := os.Stat(dataPath)
+	if ix.TotalBytes() != fi.Size() {
+		t.Fatalf("TotalBytes = %d, file = %d", ix.TotalBytes(), fi.Size())
+	}
+}
+
+func TestSegmentReaderStreams(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, Record{
+			Key:   []byte(fmt.Sprintf("key-%03d", i)),
+			Value: bytes.Repeat([]byte{byte(i)}, i%17),
+		})
+	}
+	dataPath, indexPath := writeTestMOF(t, [][]Record{recs})
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	sr, err := OpenSegment(dataPath, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var got []Record
+	for {
+		r, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r)
+	}
+	if !recordsEqual(got, recs) {
+		t.Fatalf("streamed %d records, want %d", len(got), len(recs))
+	}
+}
+
+func TestSegmentReaderEmptySegment(t *testing.T) {
+	dataPath, indexPath := writeTestMOF(t, [][]Record{{}, {{Key: []byte("k"), Value: []byte("v")}}})
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	sr, err := OpenSegment(dataPath, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if _, err := sr.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestIndexCacheHitsAndEviction(t *testing.T) {
+	loads := map[string]int{}
+	c := NewIndexCache(2)
+	c.SetLoader(func(path string) (*Index, error) {
+		loads[path]++
+		return &Index{Entries: []IndexEntry{{}}}, nil
+	})
+	for _, p := range []string{"a", "b", "a", "a", "c", "b"} {
+		if _, err := c.Get(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a,b loaded; two a hits; c loaded evicting b (LRU after 'a' touches);
+	// b reloaded.
+	if loads["a"] != 1 || loads["b"] != 2 || loads["c"] != 1 {
+		t.Fatalf("loads = %v", loads)
+	}
+	hits, misses, ev := c.Stats()
+	if hits != 2 || misses != 4 || ev != 2 {
+		t.Fatalf("stats = %d/%d/%d, want 2/4/2", hits, misses, ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestIndexCacheLoadError(t *testing.T) {
+	c := NewIndexCache(2)
+	wantErr := errors.New("boom")
+	c.SetLoader(func(string) (*Index, error) { return nil, wantErr })
+	if _, err := c.Get("x"); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed load was cached")
+	}
+}
+
+func TestIndexCacheRealFiles(t *testing.T) {
+	parts := [][]Record{{{Key: []byte("k"), Value: []byte("v")}}}
+	_, indexPath := writeTestMOF(t, parts)
+	c := NewIndexCache(4)
+	ix1, err := c.Get(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := c.Get(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix1 != ix2 {
+		t.Fatal("cache returned different instances")
+	}
+}
+
+// Property: any slice of records survives encode/parse round trip.
+func TestParseRecordsProperty(t *testing.T) {
+	f := func(keys, vals [][]byte) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		var recs []Record
+		var enc []byte
+		for i := 0; i < n; i++ {
+			r := Record{Key: keys[i], Value: vals[i]}
+			recs = append(recs, r)
+			enc = AppendRecord(enc, r)
+		}
+		got, err := ParseRecords(enc)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i].Key, recs[i].Key) || !bytes.Equal(got[i].Value, recs[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a MOF written with sorted partitions reads back identically
+// through the full file round trip.
+func TestMOFFileRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nParts uint8) bool {
+		parts := int(nParts%5) + 1
+		var all [][]Record
+		for p := 0; p < parts; p++ {
+			var recs []Record
+			for i := 0; i < int(seed%7+1); i++ {
+				recs = append(recs, Record{
+					Key:   []byte(fmt.Sprintf("p%d-k%d-%d", p, i, seed)),
+					Value: []byte(fmt.Sprintf("v%d", i)),
+				})
+			}
+			sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].Key, recs[j].Key) < 0 })
+			all = append(all, recs)
+		}
+		dataPath, indexPath := writeTestMOF(t, all)
+		ix, err := ReadIndex(indexPath)
+		if err != nil {
+			return false
+		}
+		for p, want := range all {
+			e, err := ix.Entry(p)
+			if err != nil {
+				return false
+			}
+			raw, err := ReadSegmentBytes(dataPath, e)
+			if err != nil {
+				return false
+			}
+			got, err := ParseRecords(raw)
+			if err != nil || !recordsEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "c.data")
+	indexPath := filepath.Join(dir, "c.index")
+	w, err := NewWriter(dataPath, indexPath, 2, WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Highly repetitive records compress well.
+	var want [][]Record
+	for p := 0; p < 2; p++ {
+		var recs []Record
+		for i := 0; i < 200; i++ {
+			recs = append(recs, Record{
+				Key:   []byte(fmt.Sprintf("key-%d-%03d", p, i)),
+				Value: bytes.Repeat([]byte("abc"), 20),
+			})
+		}
+		want = append(want, recs)
+		if err := w.BeginSegment(p); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := w.Append(r.Key, r.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := ReadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, recs := range want {
+		e, _ := ix.Entry(p)
+		if !e.Compressed() {
+			t.Fatalf("partition %d not marked compressed: %+v", p, e)
+		}
+		if e.Length >= e.RawLength {
+			t.Fatalf("partition %d did not shrink: stored=%d raw=%d", p, e.Length, e.RawLength)
+		}
+		stored, err := ReadSegmentBytes(dataPath, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := DecodeSegmentBytes(stored, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseRecords(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recordsEqual(got, recs) {
+			t.Fatalf("partition %d mismatch after decompression", p)
+		}
+	}
+}
+
+func TestCompressedSegmentReaderStreams(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "c.data")
+	indexPath := filepath.Join(dir, "c.index")
+	w, _ := NewWriter(dataPath, indexPath, 1, WithCompression())
+	w.BeginSegment(0)
+	for i := 0; i < 50; i++ {
+		w.Append([]byte(fmt.Sprintf("k%02d", i)), bytes.Repeat([]byte("v"), 100))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	sr, err := OpenSegment(dataPath, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	n := 0
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rec.Value) != 100 {
+			t.Fatalf("record %d value len %d", n, len(rec.Value))
+		}
+		n++
+	}
+	if n != 50 {
+		t.Fatalf("streamed %d records, want 50", n)
+	}
+}
+
+func TestDecompressSegmentCorrupt(t *testing.T) {
+	if _, err := DecompressSegment([]byte{0xde, 0xad, 0xbe, 0xef}); err == nil {
+		t.Fatal("corrupt flate stream accepted")
+	}
+}
+
+func TestDecodeSegmentBytesRawLengthMismatch(t *testing.T) {
+	stored, err := CompressSegment([]byte("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := IndexEntry{Length: int64(len(stored)), RawLength: 999}
+	if _, err := DecodeSegmentBytes(stored, e); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestUncompressedEntryNotCompressed(t *testing.T) {
+	parts := [][]Record{{{Key: []byte("k"), Value: []byte("v")}}}
+	dataPath, indexPath := writeTestMOF(t, parts)
+	ix, _ := ReadIndex(indexPath)
+	e, _ := ix.Entry(0)
+	if e.Compressed() {
+		t.Fatal("uncompressed segment marked compressed")
+	}
+	stored, _ := ReadSegmentBytes(dataPath, e)
+	raw, err := DecodeSegmentBytes(stored, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, stored) {
+		t.Fatal("passthrough decode changed bytes")
+	}
+}
+
+// Property: compress/decompress round-trips arbitrary segment bytes.
+func TestCompressionRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		stored, err := CompressSegment(data)
+		if err != nil {
+			return false
+		}
+		raw, err := DecompressSegment(stored)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(raw, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

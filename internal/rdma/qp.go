@@ -1,0 +1,320 @@
+package rdma
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Opcode identifies the verb that produced a completion.
+type Opcode int
+
+const (
+	// OpSend completes a posted send.
+	OpSend Opcode = iota
+	// OpRecv completes a posted receive.
+	OpRecv
+	// OpWrite completes a one-sided RDMA write.
+	OpWrite
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpWrite:
+		return "WRITE"
+	default:
+		return fmt.Sprintf("opcode(%d)", int(o))
+	}
+}
+
+// MemoryRegion is a registered buffer. Work requests may only reference
+// registered memory, mirroring ibv_reg_mr.
+type MemoryRegion struct {
+	buf  []byte
+	rkey uint32
+	fab  *Fabric
+}
+
+var (
+	mrMu     sync.Mutex
+	mrNext   uint32 = 1
+	mrByRKey        = make(map[uint32]*MemoryRegion)
+)
+
+// RegisterMemory registers buf with the fabric and returns its region. The
+// returned region's RKey can be shared with peers for one-sided writes.
+func (f *Fabric) RegisterMemory(buf []byte) *MemoryRegion {
+	mrMu.Lock()
+	defer mrMu.Unlock()
+	mr := &MemoryRegion{buf: buf, rkey: mrNext, fab: f}
+	mrNext++
+	mrByRKey[mr.rkey] = mr
+	return mr
+}
+
+// Deregister removes the region from the fabric. Subsequent remote writes
+// to its rkey fail.
+func (mr *MemoryRegion) Deregister() {
+	mrMu.Lock()
+	defer mrMu.Unlock()
+	delete(mrByRKey, mr.rkey)
+}
+
+// Bytes returns the registered buffer.
+func (mr *MemoryRegion) Bytes() []byte { return mr.buf }
+
+// RKey returns the remote access key.
+func (mr *MemoryRegion) RKey() uint32 { return mr.rkey }
+
+func lookupMR(fab *Fabric, rkey uint32) (*MemoryRegion, bool) {
+	mrMu.Lock()
+	defer mrMu.Unlock()
+	mr, ok := mrByRKey[rkey]
+	if !ok || mr.fab != fab {
+		return nil, false
+	}
+	return mr, true
+}
+
+// WorkRequest describes one data transfer posted to a queue pair.
+type WorkRequest struct {
+	// WRID is an application cookie returned in the completion.
+	WRID uint64
+	// MR is the registered region the payload lives in (send) or lands in
+	// (recv).
+	MR *MemoryRegion
+	// Offset and Length delimit the payload within MR.
+	Offset, Length int
+	// Imm is 32 bits of immediate data carried with a send and surfaced in
+	// the receiver's completion; JBS uses it for message framing.
+	Imm uint32
+}
+
+func (wr *WorkRequest) validate() error {
+	if wr.MR == nil {
+		return fmt.Errorf("%w: nil memory region", ErrOutOfRange)
+	}
+	if wr.Offset < 0 || wr.Length < 0 || wr.Offset+wr.Length > len(wr.MR.buf) {
+		return fmt.Errorf("%w: off=%d len=%d mr=%d", ErrOutOfRange, wr.Offset, wr.Length, len(wr.MR.buf))
+	}
+	return nil
+}
+
+// Completion is one completion-queue entry.
+type Completion struct {
+	WRID   uint64
+	Opcode Opcode
+	// Bytes is the payload size transferred.
+	Bytes int
+	// Imm carries the sender's immediate data (recv completions only).
+	Imm uint32
+	// Err is non-nil for flushed/failed work requests.
+	Err error
+}
+
+// qpDepth bounds posted-but-unprocessed work requests per queue, like a
+// real QP's send/receive queue depth.
+const qpDepth = 512
+
+type sendItem struct {
+	wr WorkRequest
+}
+
+// QueuePair is an established RC queue pair. Sends are delivered to the
+// peer's posted receives in post order (RC ordering); a send blocks inside
+// the fabric while the receiver has no posted receive (receiver-not-ready),
+// exactly the backpressure a credit-less RC application observes.
+type QueuePair struct {
+	conn *ConnID
+	peer *QueuePair
+
+	sendQ  chan sendItem
+	recvQ  chan WorkRequest
+	sendCQ chan Completion
+	recvCQ chan Completion
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// newQueuePairPair builds the two cross-connected QPs of a new connection
+// and starts their delivery threads.
+func newQueuePairPair(clientConn, serverConn *ConnID) (*QueuePair, *QueuePair) {
+	a := &QueuePair{
+		conn:   clientConn,
+		sendQ:  make(chan sendItem, qpDepth),
+		recvQ:  make(chan WorkRequest, qpDepth),
+		sendCQ: make(chan Completion, 4*qpDepth),
+		recvCQ: make(chan Completion, 4*qpDepth),
+		closed: make(chan struct{}),
+	}
+	b := &QueuePair{
+		conn:   serverConn,
+		sendQ:  make(chan sendItem, qpDepth),
+		recvQ:  make(chan WorkRequest, qpDepth),
+		sendCQ: make(chan Completion, 4*qpDepth),
+		recvCQ: make(chan Completion, 4*qpDepth),
+		closed: make(chan struct{}),
+	}
+	a.peer, b.peer = b, a
+	go a.deliverLoop()
+	go b.deliverLoop()
+	return a, b
+}
+
+// PostSend posts a send work request. The payload is delivered to the
+// peer's next posted receive; a completion appears on SendCQ.
+func (qp *QueuePair) PostSend(wr WorkRequest) error {
+	if err := wr.validate(); err != nil {
+		return err
+	}
+	// Check closed first: a select with both cases ready picks randomly,
+	// which would let posts slip through after a disconnect.
+	select {
+	case <-qp.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-qp.closed:
+		return ErrClosed
+	case qp.sendQ <- sendItem{wr: wr}:
+		return nil
+	}
+}
+
+// PostRecv posts a receive buffer. Receives are consumed by peer sends in
+// post order; a completion appears on RecvCQ.
+func (qp *QueuePair) PostRecv(wr WorkRequest) error {
+	if err := wr.validate(); err != nil {
+		return err
+	}
+	select {
+	case <-qp.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-qp.closed:
+		return ErrClosed
+	case qp.recvQ <- wr:
+		return nil
+	}
+}
+
+// PostWrite performs a one-sided RDMA write of the local payload into the
+// remote region identified by rkey at remoteOffset. The receiver posts no
+// receive and sees no completion; the sender gets an OpWrite completion.
+func (qp *QueuePair) PostWrite(wr WorkRequest, rkey uint32, remoteOffset int) error {
+	if err := wr.validate(); err != nil {
+		return err
+	}
+	select {
+	case <-qp.closed:
+		return ErrClosed
+	default:
+	}
+	remote, ok := lookupMR(qp.conn.fabric, rkey)
+	if !ok {
+		return fmt.Errorf("%w: unknown rkey %d", ErrOutOfRange, rkey)
+	}
+	if remoteOffset < 0 || remoteOffset+wr.Length > len(remote.buf) {
+		return fmt.Errorf("%w: remote off=%d len=%d mr=%d", ErrOutOfRange, remoteOffset, wr.Length, len(remote.buf))
+	}
+	copy(remote.buf[remoteOffset:], wr.MR.buf[wr.Offset:wr.Offset+wr.Length])
+	qp.complete(qp.sendCQ, Completion{WRID: wr.WRID, Opcode: OpWrite, Bytes: wr.Length})
+	return nil
+}
+
+// SendCQ returns the send completion queue.
+func (qp *QueuePair) SendCQ() <-chan Completion { return qp.sendCQ }
+
+// RecvCQ returns the receive completion queue.
+func (qp *QueuePair) RecvCQ() <-chan Completion { return qp.recvCQ }
+
+// deliverLoop is the QP's "wire": it pairs posted sends with the peer's
+// posted receives in order.
+func (qp *QueuePair) deliverLoop() {
+	for {
+		var item sendItem
+		select {
+		case <-qp.closed:
+			qp.flushSends()
+			return
+		case item = <-qp.sendQ:
+		}
+
+		var rwr WorkRequest
+		select {
+		case <-qp.closed:
+			qp.complete(qp.sendCQ, Completion{WRID: item.wr.WRID, Opcode: OpSend, Err: ErrClosed})
+			qp.flushSends()
+			return
+		case <-qp.peer.closed:
+			qp.complete(qp.sendCQ, Completion{WRID: item.wr.WRID, Opcode: OpSend, Err: ErrClosed})
+			continue
+		case rwr = <-qp.peer.recvQ:
+		}
+
+		n := item.wr.Length
+		if n > rwr.Length {
+			// Receive buffer too small: both sides observe an error, as a
+			// real RC QP would complete with LOC_LEN_ERR.
+			err := fmt.Errorf("%w: send %d bytes into %d-byte recv", ErrOutOfRange, n, rwr.Length)
+			qp.complete(qp.sendCQ, Completion{WRID: item.wr.WRID, Opcode: OpSend, Err: err})
+			qp.peer.complete(qp.peer.recvCQ, Completion{WRID: rwr.WRID, Opcode: OpRecv, Err: err})
+			continue
+		}
+		copy(rwr.MR.buf[rwr.Offset:rwr.Offset+n], item.wr.MR.buf[item.wr.Offset:item.wr.Offset+n])
+		qp.peer.complete(qp.peer.recvCQ, Completion{WRID: rwr.WRID, Opcode: OpRecv, Bytes: n, Imm: item.wr.Imm})
+		qp.complete(qp.sendCQ, Completion{WRID: item.wr.WRID, Opcode: OpSend, Bytes: n})
+	}
+}
+
+// complete enqueues a completion, dropping it only if the QP is closed and
+// the CQ is full (flush overflow).
+func (qp *QueuePair) complete(cq chan Completion, c Completion) {
+	select {
+	case cq <- c:
+	case <-qp.closed:
+		select {
+		case cq <- c:
+		default:
+		}
+	}
+}
+
+// flushSends errors out any still-queued sends after close.
+func (qp *QueuePair) flushSends() {
+	for {
+		select {
+		case item := <-qp.sendQ:
+			qp.complete(qp.sendCQ, Completion{WRID: item.wr.WRID, Opcode: OpSend, Err: ErrClosed})
+		default:
+			return
+		}
+	}
+}
+
+// flushRecvs errors out posted receives after close.
+func (qp *QueuePair) flushRecvs() {
+	for {
+		select {
+		case rwr := <-qp.recvQ:
+			qp.complete(qp.recvCQ, Completion{WRID: rwr.WRID, Opcode: OpRecv, Err: ErrClosed})
+		default:
+			return
+		}
+	}
+}
+
+func (qp *QueuePair) close() {
+	qp.closeOnce.Do(func() {
+		close(qp.closed)
+		qp.flushRecvs()
+	})
+}

@@ -1,0 +1,331 @@
+// Package rdma emulates the RDMA verbs programming model in process memory.
+//
+// The paper's JBS transport uses RDMA verbs through the rdma_cm connection
+// manager (Section IV-A, Fig. 6): a client allocates a connection (queue
+// pair), calls rdma_connect; the server's event thread sees a
+// CONNECT_REQUEST on its event channel, allocates a connection, and calls
+// rdma_accept; both sides then observe an ESTABLISHED event, completing the
+// queue pair. Data moves via work requests posted to the QP and completions
+// harvested from completion queues, out of registered memory regions, over
+// the Reliable Connection (RC) service.
+//
+// Real hardware is substituted by an in-process Fabric: addresses are
+// strings, "the wire" is a memory copy, and ordering/blocking semantics of
+// RC (in-order delivery, receiver-not-ready blocking) are preserved. This
+// keeps the JBS transport code structurally faithful to a verbs
+// implementation while running anywhere.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the verbs emulation.
+var (
+	ErrAddrInUse     = errors.New("rdma: address already in use")
+	ErrNoListener    = errors.New("rdma: no listener at address")
+	ErrClosed        = errors.New("rdma: connection closed")
+	ErrNotConnected  = errors.New("rdma: queue pair not established")
+	ErrBadState      = errors.New("rdma: invalid connection state for operation")
+	ErrOutOfRange    = errors.New("rdma: work request outside memory region")
+	ErrListenerClose = errors.New("rdma: listener closed")
+)
+
+// CMEventType enumerates connection-manager events (subset of rdma_cm).
+type CMEventType int
+
+const (
+	// ConnectRequest is delivered to a listener when a client calls
+	// Connect; the event carries the server-side ConnID to Accept or
+	// Reject.
+	ConnectRequest CMEventType = iota
+	// Established is delivered to both sides once Accept completes.
+	Established
+	// Disconnected is delivered when the peer disconnects.
+	Disconnected
+	// Rejected is delivered to the client when the server rejects.
+	Rejected
+)
+
+// String names the event type.
+func (t CMEventType) String() string {
+	switch t {
+	case ConnectRequest:
+		return "CONNECT_REQUEST"
+	case Established:
+		return "ESTABLISHED"
+	case Disconnected:
+		return "DISCONNECTED"
+	case Rejected:
+		return "REJECTED"
+	default:
+		return fmt.Sprintf("cm-event(%d)", int(t))
+	}
+}
+
+// CMEvent is one connection-manager event on an event channel.
+type CMEvent struct {
+	Type CMEventType
+	// ID is the connection the event concerns. For ConnectRequest it is a
+	// newly allocated server-side connection.
+	ID *ConnID
+}
+
+// connState tracks the Fig. 6 state machine.
+type connState int
+
+const (
+	stateIdle connState = iota
+	stateConnecting
+	stateRequestDelivered // server side: request surfaced, awaiting Accept
+	stateEstablished
+	stateClosed
+)
+
+// Fabric is an in-process emulated RDMA fabric. Addresses are arbitrary
+// strings (conventionally "node:service").
+type Fabric struct {
+	mu        sync.Mutex
+	listeners map[string]*Listener
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric() *Fabric {
+	return &Fabric{listeners: make(map[string]*Listener)}
+}
+
+// Listener waits for connection requests at an address (rdma_listen).
+type Listener struct {
+	fabric *Fabric
+	addr   string
+	events chan CMEvent
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Listen registers a listener at addr.
+func (f *Fabric) Listen(addr string) (*Listener, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	l := &Listener{fabric: f, addr: addr, events: make(chan CMEvent, 128)}
+	f.listeners[addr] = l
+	return l, nil
+}
+
+// Addr returns the listen address.
+func (l *Listener) Addr() string { return l.addr }
+
+// Events returns the listener's CM event channel; ConnectRequest events
+// arrive here. A dedicated network thread normally drains this channel, as
+// in the paper's RDMAServer.
+func (l *Listener) Events() <-chan CMEvent { return l.events }
+
+// Close unregisters the listener. Pending undelivered requests are dropped.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+
+	l.fabric.mu.Lock()
+	delete(l.fabric.listeners, l.addr)
+	l.fabric.mu.Unlock()
+	close(l.events)
+	return nil
+}
+
+func (l *Listener) deliver(ev CMEvent) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrListenerClose
+	}
+	l.events <- ev
+	return nil
+}
+
+// ConnID is the emulated rdma_cm_id: one endpoint of a (potential)
+// connection, owning its queue pair once established.
+type ConnID struct {
+	fabric *Fabric
+	events chan CMEvent
+
+	mu     sync.Mutex
+	state  connState
+	peer   *ConnID
+	qp     *QueuePair
+	remote string // address of the remote side, for diagnostics
+}
+
+// NewConnID allocates a client-side connection identifier ("alloc conn" in
+// Fig. 6).
+func (f *Fabric) NewConnID() *ConnID {
+	return &ConnID{fabric: f, events: make(chan CMEvent, 16), state: stateIdle}
+}
+
+// Events returns this connection's CM event channel (Established,
+// Disconnected, Rejected).
+func (id *ConnID) Events() <-chan CMEvent { return id.events }
+
+// RemoteAddr returns the address of the peer, when known.
+func (id *ConnID) RemoteAddr() string {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	return id.remote
+}
+
+// Connect sends a connection request to the listener at addr
+// (rdma_connect). The call is asynchronous like the real verb: success
+// means the request was delivered; the caller must wait for Established
+// (or Rejected) on Events.
+func (id *ConnID) Connect(addr string) error {
+	id.mu.Lock()
+	if id.state != stateIdle {
+		id.mu.Unlock()
+		return ErrBadState
+	}
+	id.state = stateConnecting
+	id.remote = addr
+	id.mu.Unlock()
+
+	id.fabric.mu.Lock()
+	l, ok := id.fabric.listeners[addr]
+	id.fabric.mu.Unlock()
+	if !ok {
+		id.mu.Lock()
+		id.state = stateIdle
+		id.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoListener, addr)
+	}
+
+	// Allocate the server-side connection carried by the request event.
+	server := &ConnID{
+		fabric: id.fabric,
+		events: make(chan CMEvent, 16),
+		state:  stateRequestDelivered,
+		peer:   id,
+		remote: "client",
+	}
+	id.mu.Lock()
+	id.peer = server
+	id.mu.Unlock()
+
+	if err := l.deliver(CMEvent{Type: ConnectRequest, ID: server}); err != nil {
+		id.mu.Lock()
+		id.state = stateIdle
+		id.peer = nil
+		id.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Accept accepts a connection request (rdma_accept). Valid only on the
+// server-side ConnID delivered by a ConnectRequest event. On success both
+// sides receive Established and have functional queue pairs.
+func (id *ConnID) Accept() error {
+	id.mu.Lock()
+	if id.state != stateRequestDelivered {
+		id.mu.Unlock()
+		return ErrBadState
+	}
+	client := id.peer
+	id.mu.Unlock()
+
+	client.mu.Lock()
+	if client.state != stateConnecting {
+		client.mu.Unlock()
+		return ErrBadState
+	}
+	client.mu.Unlock()
+
+	// Build the cross-connected queue pairs.
+	a, b := newQueuePairPair(client, id)
+
+	client.mu.Lock()
+	client.qp = a
+	client.state = stateEstablished
+	client.mu.Unlock()
+
+	id.mu.Lock()
+	id.qp = b
+	id.state = stateEstablished
+	id.mu.Unlock()
+
+	// Both network threads detect the established event.
+	id.events <- CMEvent{Type: Established, ID: id}
+	client.events <- CMEvent{Type: Established, ID: client}
+	return nil
+}
+
+// Reject declines a connection request; the client receives Rejected.
+func (id *ConnID) Reject() error {
+	id.mu.Lock()
+	if id.state != stateRequestDelivered {
+		id.mu.Unlock()
+		return ErrBadState
+	}
+	client := id.peer
+	id.state = stateClosed
+	id.peer = nil
+	id.mu.Unlock()
+
+	client.mu.Lock()
+	client.state = stateIdle
+	client.peer = nil
+	client.mu.Unlock()
+	client.events <- CMEvent{Type: Rejected, ID: client}
+	return nil
+}
+
+// QP returns the established queue pair, or an error before establishment.
+func (id *ConnID) QP() (*QueuePair, error) {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	if id.state != stateEstablished || id.qp == nil {
+		return nil, ErrNotConnected
+	}
+	return id.qp, nil
+}
+
+// Disconnect tears down an established connection. Both sides receive
+// Disconnected; outstanding and future work requests complete with
+// ErrClosed (completion-queue flush).
+func (id *ConnID) Disconnect() error {
+	id.mu.Lock()
+	if id.state != stateEstablished {
+		id.mu.Unlock()
+		return ErrBadState
+	}
+	id.state = stateClosed
+	peer := id.peer
+	qp := id.qp
+	id.mu.Unlock()
+
+	qp.close()
+	id.events <- CMEvent{Type: Disconnected, ID: id}
+
+	if peer != nil {
+		peer.mu.Lock()
+		alreadyClosed := peer.state == stateClosed
+		peer.state = stateClosed
+		peerQP := peer.qp
+		peer.mu.Unlock()
+		if !alreadyClosed {
+			if peerQP != nil {
+				peerQP.close()
+			}
+			peer.events <- CMEvent{Type: Disconnected, ID: peer}
+		}
+	}
+	return nil
+}

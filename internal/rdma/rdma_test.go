@@ -1,0 +1,484 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// establish builds a connected client/server pair following the Fig. 6
+// sequence and returns both established ConnIDs.
+func establish(t *testing.T, f *Fabric, addr string) (client, server *ConnID) {
+	t.Helper()
+	l, err := f.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	// Server network thread: accept the first request.
+	serverCh := make(chan *ConnID, 1)
+	go func() {
+		ev := <-l.Events()
+		if ev.Type != ConnectRequest {
+			t.Errorf("server got %v, want CONNECT_REQUEST", ev.Type)
+			return
+		}
+		if err := ev.ID.Accept(); err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		// Wait for our own Established event.
+		ev2 := <-ev.ID.Events()
+		if ev2.Type != Established {
+			t.Errorf("server got %v, want ESTABLISHED", ev2.Type)
+		}
+		serverCh <- ev.ID
+	}()
+
+	client = f.NewConnID()
+	if err := client.Connect(addr); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	ev := <-client.Events()
+	if ev.Type != Established {
+		t.Fatalf("client got %v, want ESTABLISHED", ev.Type)
+	}
+	server = <-serverCh
+	return client, server
+}
+
+func TestConnectionEstablishmentFig6(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "node1:9010")
+	if _, err := client.QP(); err != nil {
+		t.Fatalf("client QP: %v", err)
+	}
+	if _, err := server.QP(); err != nil {
+		t.Fatalf("server QP: %v", err)
+	}
+}
+
+func TestConnectNoListener(t *testing.T) {
+	f := NewFabric()
+	c := f.NewConnID()
+	err := c.Connect("nowhere:1")
+	if !errors.Is(err, ErrNoListener) {
+		t.Fatalf("err = %v, want ErrNoListener", err)
+	}
+	// The ConnID must be reusable after a failed connect.
+	l, _ := f.Listen("somewhere:1")
+	defer l.Close()
+	go func() {
+		ev := <-l.Events()
+		ev.ID.Accept()
+	}()
+	if err := c.Connect("somewhere:1"); err != nil {
+		t.Fatalf("reconnect: %v", err)
+	}
+}
+
+func TestListenAddrInUse(t *testing.T) {
+	f := NewFabric()
+	l, err := f.Listen("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := f.Listen("a:1"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("second Listen err = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestListenerCloseFreesAddr(t *testing.T) {
+	f := NewFabric()
+	l, _ := f.Listen("a:1")
+	l.Close()
+	l2, err := f.Listen("a:1")
+	if err != nil {
+		t.Fatalf("Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestReject(t *testing.T) {
+	f := NewFabric()
+	l, _ := f.Listen("s:1")
+	defer l.Close()
+	go func() {
+		ev := <-l.Events()
+		ev.ID.Reject()
+	}()
+	c := f.NewConnID()
+	if err := c.Connect("s:1"); err != nil {
+		t.Fatal(err)
+	}
+	ev := <-c.Events()
+	if ev.Type != Rejected {
+		t.Fatalf("client got %v, want REJECTED", ev.Type)
+	}
+	if _, err := c.QP(); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("QP after reject: %v, want ErrNotConnected", err)
+	}
+}
+
+func TestQPBeforeEstablished(t *testing.T) {
+	f := NewFabric()
+	c := f.NewConnID()
+	if _, err := c.QP(); !errors.Is(err, ErrNotConnected) {
+		t.Fatalf("QP = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	payload := []byte("hello over emulated verbs")
+	sendMR := f.RegisterMemory(payload)
+	recvBuf := make([]byte, 64)
+	recvMR := f.RegisterMemory(recvBuf)
+
+	if err := sqp.PostRecv(WorkRequest{WRID: 7, MR: recvMR, Length: len(recvBuf)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cqp.PostSend(WorkRequest{WRID: 3, MR: sendMR, Length: len(payload), Imm: 42}); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := <-cqp.SendCQ()
+	if sc.WRID != 3 || sc.Err != nil || sc.Bytes != len(payload) || sc.Opcode != OpSend {
+		t.Fatalf("send completion = %+v", sc)
+	}
+	rc := <-sqp.RecvCQ()
+	if rc.WRID != 7 || rc.Err != nil || rc.Bytes != len(payload) || rc.Imm != 42 || rc.Opcode != OpRecv {
+		t.Fatalf("recv completion = %+v", rc)
+	}
+	if !bytes.Equal(recvBuf[:rc.Bytes], payload) {
+		t.Fatalf("payload mismatch: %q", recvBuf[:rc.Bytes])
+	}
+}
+
+func TestSendOrderingRC(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	const n = 100
+	recvBufs := make([][]byte, n)
+	for i := range recvBufs {
+		recvBufs[i] = make([]byte, 4)
+		mr := f.RegisterMemory(recvBufs[i])
+		if err := sqp.PostRecv(WorkRequest{WRID: uint64(i), MR: mr, Length: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		buf := []byte{byte(i), 0, 0, 0}
+		mr := f.RegisterMemory(buf)
+		if err := cqp.PostSend(WorkRequest{WRID: uint64(i), MR: mr, Length: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		rc := <-sqp.RecvCQ()
+		if rc.Err != nil {
+			t.Fatalf("recv %d err: %v", i, rc.Err)
+		}
+		if rc.WRID != uint64(i) {
+			t.Fatalf("recv order broken: got WRID %d at position %d", rc.WRID, i)
+		}
+		if recvBufs[i][0] != byte(i) {
+			t.Fatalf("payload order broken at %d: %d", i, recvBufs[i][0])
+		}
+	}
+}
+
+func TestSendBlocksUntilRecvPosted(t *testing.T) {
+	// Receiver-not-ready: the send must not complete before a receive is
+	// posted.
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	payload := f.RegisterMemory([]byte("x"))
+	if err := cqp.PostSend(WorkRequest{WRID: 1, MR: payload, Length: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-cqp.SendCQ():
+		t.Fatalf("send completed with no posted recv: %+v", c)
+	case <-time.After(20 * time.Millisecond):
+	}
+	recvMR := f.RegisterMemory(make([]byte, 8))
+	if err := sqp.PostRecv(WorkRequest{WRID: 2, MR: recvMR, Length: 8}); err != nil {
+		t.Fatal(err)
+	}
+	c := <-cqp.SendCQ()
+	if c.Err != nil {
+		t.Fatalf("send completion err: %v", c.Err)
+	}
+}
+
+func TestRecvBufferTooSmall(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	recvMR := f.RegisterMemory(make([]byte, 2))
+	sqp.PostRecv(WorkRequest{WRID: 1, MR: recvMR, Length: 2})
+	sendMR := f.RegisterMemory(make([]byte, 10))
+	cqp.PostSend(WorkRequest{WRID: 2, MR: sendMR, Length: 10})
+
+	sc := <-cqp.SendCQ()
+	rc := <-sqp.RecvCQ()
+	if sc.Err == nil || rc.Err == nil {
+		t.Fatalf("expected length errors, got send=%+v recv=%+v", sc, rc)
+	}
+}
+
+func TestWorkRequestValidation(t *testing.T) {
+	f := NewFabric()
+	client, _ := establish(t, f, "n:1")
+	qp, _ := client.QP()
+
+	mr := f.RegisterMemory(make([]byte, 8))
+	cases := []WorkRequest{
+		{MR: nil, Length: 1},
+		{MR: mr, Offset: -1, Length: 2},
+		{MR: mr, Offset: 0, Length: 9},
+		{MR: mr, Offset: 8, Length: 1},
+	}
+	for i, wr := range cases {
+		if err := qp.PostSend(wr); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("case %d: err = %v, want ErrOutOfRange", i, err)
+		}
+	}
+}
+
+func TestOneSidedWrite(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	_ = server
+
+	remoteBuf := make([]byte, 32)
+	remoteMR := f.RegisterMemory(remoteBuf)
+	local := f.RegisterMemory([]byte("rdma-write-payload"))
+
+	err := cqp.PostWrite(WorkRequest{WRID: 9, MR: local, Length: 18}, remoteMR.RKey(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := <-cqp.SendCQ()
+	if c.Opcode != OpWrite || c.Err != nil || c.Bytes != 18 {
+		t.Fatalf("write completion = %+v", c)
+	}
+	if string(remoteBuf[4:22]) != "rdma-write-payload" {
+		t.Fatalf("remote buffer = %q", remoteBuf)
+	}
+}
+
+func TestWriteBadRKey(t *testing.T) {
+	f := NewFabric()
+	client, _ := establish(t, f, "n:1")
+	qp, _ := client.QP()
+	local := f.RegisterMemory(make([]byte, 4))
+	if err := qp.PostWrite(WorkRequest{MR: local, Length: 4}, 0xdeadbeef, 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestWriteDeregisteredRKey(t *testing.T) {
+	f := NewFabric()
+	client, _ := establish(t, f, "n:1")
+	qp, _ := client.QP()
+	remote := f.RegisterMemory(make([]byte, 8))
+	remote.Deregister()
+	local := f.RegisterMemory(make([]byte, 4))
+	if err := qp.PostWrite(WorkRequest{MR: local, Length: 4}, remote.RKey(), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestRKeyIsFabricScoped(t *testing.T) {
+	f1, f2 := NewFabric(), NewFabric()
+	client, _ := establish(t, f1, "n:1")
+	qp, _ := client.QP()
+	foreign := f2.RegisterMemory(make([]byte, 8))
+	local := f1.RegisterMemory(make([]byte, 4))
+	if err := qp.PostWrite(WorkRequest{MR: local, Length: 4}, foreign.RKey(), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("cross-fabric rkey accepted: %v", err)
+	}
+}
+
+func TestDisconnectFlushesBothSides(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	recvMR := f.RegisterMemory(make([]byte, 4))
+	sqp.PostRecv(WorkRequest{WRID: 11, MR: recvMR, Length: 4})
+
+	if err := client.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if ev := <-client.Events(); ev.Type != Disconnected {
+		t.Fatalf("client event = %v, want DISCONNECTED", ev.Type)
+	}
+	if ev := <-server.Events(); ev.Type != Disconnected {
+		t.Fatalf("server event = %v, want DISCONNECTED", ev.Type)
+	}
+	// The posted receive is flushed with an error.
+	rc := <-sqp.RecvCQ()
+	if rc.WRID != 11 || !errors.Is(rc.Err, ErrClosed) {
+		t.Fatalf("flushed recv = %+v", rc)
+	}
+	// Posting after close fails fast.
+	if err := cqp.PostSend(WorkRequest{MR: recvMR, Length: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post after close: %v, want ErrClosed", err)
+	}
+	// Double disconnect is an error (already closed).
+	if err := client.Disconnect(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("second disconnect: %v, want ErrBadState", err)
+	}
+}
+
+func TestManyConcurrentConnections(t *testing.T) {
+	f := NewFabric()
+	l, err := f.Listen("srv:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Server network thread accepts everything and echoes one message.
+	go func() {
+		for ev := range l.Events() {
+			if ev.Type != ConnectRequest {
+				continue
+			}
+			id := ev.ID
+			go func() {
+				if err := id.Accept(); err != nil {
+					return
+				}
+				<-id.Events() // Established
+				qp, err := id.QP()
+				if err != nil {
+					return
+				}
+				buf := make([]byte, 16)
+				mr := f.RegisterMemory(buf)
+				qp.PostRecv(WorkRequest{WRID: 1, MR: mr, Length: 16})
+				rc := <-qp.RecvCQ()
+				if rc.Err != nil {
+					return
+				}
+				qp.PostSend(WorkRequest{WRID: 2, MR: mr, Offset: 0, Length: rc.Bytes})
+				<-qp.SendCQ()
+			}()
+		}
+	}()
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := f.NewConnID()
+			if err := c.Connect("srv:1"); err != nil {
+				errs <- err
+				return
+			}
+			if ev := <-c.Events(); ev.Type != Established {
+				errs <- errors.New("not established")
+				return
+			}
+			qp, err := c.QP()
+			if err != nil {
+				errs <- err
+				return
+			}
+			msg := []byte("ping")
+			smr := f.RegisterMemory(msg)
+			rbuf := make([]byte, 16)
+			rmr := f.RegisterMemory(rbuf)
+			qp.PostRecv(WorkRequest{WRID: 1, MR: rmr, Length: 16})
+			qp.PostSend(WorkRequest{WRID: 2, MR: smr, Length: 4})
+			<-qp.SendCQ()
+			rc := <-qp.RecvCQ()
+			if rc.Err != nil || string(rbuf[:rc.Bytes]) != "ping" {
+				errs <- errors.New("echo mismatch")
+				return
+			}
+			c.Disconnect()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestOpcodeAndEventStrings(t *testing.T) {
+	if OpSend.String() != "SEND" || OpRecv.String() != "RECV" || OpWrite.String() != "WRITE" {
+		t.Error("opcode names wrong")
+	}
+	if Opcode(9).String() == "" || CMEventType(9).String() == "" {
+		t.Error("defensive strings empty")
+	}
+	names := map[CMEventType]string{
+		ConnectRequest: "CONNECT_REQUEST", Established: "ESTABLISHED",
+		Disconnected: "DISCONNECTED", Rejected: "REJECTED",
+	}
+	for ev, name := range names {
+		if ev.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(ev), ev.String(), name)
+		}
+	}
+}
+
+// Property: any payload survives a send/recv round trip bit-for-bit.
+func TestPayloadIntegrityProperty(t *testing.T) {
+	f := NewFabric()
+	client, server := establish(t, f, "n:1")
+	cqp, _ := client.QP()
+	sqp, _ := server.QP()
+
+	check := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		rbuf := make([]byte, len(data))
+		rmr := f.RegisterMemory(rbuf)
+		smr := f.RegisterMemory(data)
+		if err := sqp.PostRecv(WorkRequest{WRID: 1, MR: rmr, Length: len(rbuf)}); err != nil {
+			return false
+		}
+		if err := cqp.PostSend(WorkRequest{WRID: 2, MR: smr, Length: len(data)}); err != nil {
+			return false
+		}
+		sc := <-cqp.SendCQ()
+		rc := <-sqp.RecvCQ()
+		return sc.Err == nil && rc.Err == nil && bytes.Equal(rbuf[:rc.Bytes], data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package shuffle
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mapred"
+	"repro/internal/merge"
+	"repro/internal/rdma"
+	"repro/internal/transport"
+)
+
+// JBSConfig configures the JBS shuffle plugin.
+type JBSConfig struct {
+	// Transport selects the backend: "tcp" or "rdma". "rdma" also covers
+	// RoCE (identical implementation, different activation, Section IV).
+	Transport string
+	// Net carries buffer size / pool / connection-cache tunables.
+	Net transport.Config
+	// Supplier tunables (DataCache size, prefetch batch, xmit workers);
+	// Transport and Addr are filled per node.
+	Supplier core.SupplierConfig
+	// WindowPerNode bounds in-flight requests per remote node in the
+	// NetMerger.
+	WindowPerNode int
+	// FetchRetries re-sends failed fetches on fresh connections before
+	// surfacing an error.
+	FetchRetries int
+	// HierarchicalFanIn, when positive, merges fetched segments with the
+	// hierarchical merge algorithm (Que et al., MBDS'12) at that fan-in
+	// instead of one flat network-levitated heap.
+	HierarchicalFanIn int
+}
+
+func (c *JBSConfig) applyDefaults() error {
+	switch c.Transport {
+	case "":
+		c.Transport = "tcp"
+	case "tcp", "rdma":
+	default:
+		return fmt.Errorf("shuffle: unknown transport %q", c.Transport)
+	}
+	if c.Net.BufferSize == 0 {
+		c.Net = transport.DefaultConfig()
+	}
+	if c.HierarchicalFanIn < 0 || c.HierarchicalFanIn == 1 {
+		return fmt.Errorf("shuffle: hierarchical fan-in %d invalid", c.HierarchicalFanIn)
+	}
+	return c.Net.Validate()
+}
+
+// JBSProvider plugs JVM-Bypass Shuffling into the engine: one MOFSupplier
+// and one NetMerger per node, both native components launched by the
+// TaskTracker in the paper (Section III-A), sharing a portable transport.
+type JBSProvider struct {
+	cfg    JBSConfig
+	fabric *rdma.Fabric
+
+	mu        sync.Mutex
+	suppliers map[string]*core.MOFSupplier
+	mergers   map[string]*core.NetMerger
+}
+
+// NewJBSProvider builds the JBS provider.
+func NewJBSProvider(cfg JBSConfig) (*JBSProvider, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	p := &JBSProvider{
+		cfg:       cfg,
+		suppliers: make(map[string]*core.MOFSupplier),
+		mergers:   make(map[string]*core.NetMerger),
+	}
+	if cfg.Transport == "rdma" {
+		p.fabric = rdma.NewFabric()
+	}
+	return p, nil
+}
+
+// Name returns "jbs-tcp" or "jbs-rdma".
+func (p *JBSProvider) Name() string { return "jbs-" + p.cfg.Transport }
+
+// newTransport builds the per-provider backend instance.
+func (p *JBSProvider) newTransport() (transport.Transport, error) {
+	if p.cfg.Transport == "rdma" {
+		return transport.NewRDMA(p.fabric, p.cfg.Net)
+	}
+	return transport.NewTCP(), nil
+}
+
+// listenAddr picks the node's listen address for the backend.
+func (p *JBSProvider) listenAddr(node string) string {
+	if p.cfg.Transport == "rdma" {
+		return node + ":jbs"
+	}
+	return "127.0.0.1:0"
+}
+
+// StartNode launches the node's MOFSupplier.
+func (p *JBSProvider) StartNode(node string, reg *mapred.MOFRegistry) (string, func() error, error) {
+	tr, err := p.newTransport()
+	if err != nil {
+		return "", nil, err
+	}
+	lookup := func(task string) (string, string, error) {
+		paths, ok := reg.Lookup(task)
+		if !ok {
+			return "", "", fmt.Errorf("no MOF registered for %s", task)
+		}
+		return paths.Data, paths.Index, nil
+	}
+	cfg := p.cfg.Supplier
+	cfg.Transport = tr
+	cfg.Addr = p.listenAddr(node)
+	cfg.BufferSize = p.cfg.Net.BufferSize
+	s, err := core.NewMOFSupplier(cfg, lookup)
+	if err != nil {
+		return "", nil, err
+	}
+	p.mu.Lock()
+	p.suppliers[node] = s
+	p.mu.Unlock()
+	return s.Addr(), s.Close, nil
+}
+
+// NewFetcher launches the node's NetMerger.
+func (p *JBSProvider) NewFetcher(node string, addrOf func(string) (string, error)) (mapred.Fetcher, error) {
+	tr, err := p.newTransport()
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.NewNetMerger(core.MergerConfig{
+		Transport:      tr,
+		MaxConnections: p.cfg.Net.MaxConnections,
+		WindowPerNode:  p.cfg.WindowPerNode,
+		MaxRetries:     p.cfg.FetchRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.mergers[node] = m
+	p.mu.Unlock()
+	return &jbsFetcher{m: m, addrOf: addrOf}, nil
+}
+
+// NewMerger pairs JBS with the network-levitated merger (or its
+// hierarchical variant): shuffle data never spills to disk.
+func (p *JBSProvider) NewMerger(spillDir string) (merge.Merger, error) {
+	if p.cfg.HierarchicalFanIn > 0 {
+		return merge.NewHierarchicalMerger(p.cfg.HierarchicalFanIn)
+	}
+	return merge.NewNetLevitatedMerger(), nil
+}
+
+// SupplierStats returns a node's supplier counters (zero value if absent).
+func (p *JBSProvider) SupplierStats(node string) core.SupplierStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.suppliers[node]; ok {
+		return s.Stats()
+	}
+	return core.SupplierStats{}
+}
+
+// MergerStats returns a node's NetMerger counters (zero value if absent).
+func (p *JBSProvider) MergerStats(node string) core.MergerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.mergers[node]; ok {
+		return m.Stats()
+	}
+	return core.MergerStats{}
+}
+
+// jbsFetcher adapts the NetMerger to the engine's Fetcher interface.
+type jbsFetcher struct {
+	m      *core.NetMerger
+	addrOf func(string) (string, error)
+}
+
+func (f *jbsFetcher) Fetch(reduceTask string, segs []mapred.SegmentID, deliver func(mapred.SegmentID, []byte) error) error {
+	specs := make([]core.FetchSpec, 0, len(segs))
+	back := make(map[core.FetchSpec]mapred.SegmentID, len(segs))
+	for _, s := range segs {
+		addr, err := f.addrOf(s.Host)
+		if err != nil {
+			return err
+		}
+		spec := core.FetchSpec{Addr: addr, MapTask: s.MapTask, Partition: s.Partition}
+		specs = append(specs, spec)
+		back[spec] = s
+	}
+	return f.m.Fetch(specs, func(spec core.FetchSpec, data []byte) error {
+		return deliver(back[spec], data)
+	})
+}
+
+func (f *jbsFetcher) Close() error { return f.m.Close() }
+
+// Interface check.
+var _ mapred.ShuffleProvider = (*JBSProvider)(nil)

@@ -1,0 +1,116 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel supports two programming styles: callback events scheduled with
+// Engine.At/After, and coroutine-style processes (Proc) that sleep, acquire
+// resources, and exchange items through Stores. Execution is strictly
+// sequential — exactly one event handler or process runs at a time — so a
+// simulation produces identical results on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds.
+type Time = float64
+
+// Infinity is a time later than any event the kernel will execute.
+const Infinity Time = math.MaxFloat64
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	running bool
+	// procs counts live processes, used to detect deadlock at Run exit.
+	procs int
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a logic error in a simulation model.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %g before now %g", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events in time order until the event queue is empty.
+func (e *Engine) Run() {
+	e.RunUntil(Infinity)
+}
+
+// RunUntil executes events in time order until the event queue is empty or
+// the next event is later than deadline. The clock is left at the time of
+// the last executed event (or at deadline if it is reached).
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		next.fn()
+	}
+}
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.pq) }

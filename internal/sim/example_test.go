@@ -1,0 +1,27 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Example shows the kernel's process style: two processes contending for a
+// one-server resource in simulated time.
+func Example() {
+	eng := sim.NewEngine()
+	disk := sim.NewResource(eng, "disk", 1)
+	for i := 1; i <= 2; i++ {
+		i := i
+		eng.Go(func(p *sim.Proc) {
+			disk.Use(p, 10) // a 10-second read
+			fmt.Printf("reader %d done at t=%v\n", i, p.Now())
+		})
+	}
+	eng.Run()
+	fmt.Printf("disk utilization: %v\n", disk.Utilization(eng.Now()))
+	// Output:
+	// reader 1 done at t=10
+	// reader 2 done at t=20
+	// disk utilization: 1
+}

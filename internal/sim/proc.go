@@ -1,0 +1,75 @@
+package sim
+
+// Proc is a coroutine-style simulation process. A process runs in its own
+// goroutine but execution is strictly serialized with the engine: the engine
+// resumes a process, then blocks until the process either finishes or parks
+// itself again (Sleep, resource acquisition, Store operations). At most one
+// goroutine — engine or a single process — ever runs at a time.
+type Proc struct {
+	eng  *Engine
+	wake chan struct{} // engine -> process
+	park chan struct{} // process -> engine
+	done bool
+}
+
+// Go starts fn as a new process at the current simulation time. The process
+// body must only interact with the simulation through its *Proc (and through
+// data structures owned by the simulation, which are safe because execution
+// is serialized).
+func (e *Engine) Go(fn func(p *Proc)) {
+	p := &Proc{
+		eng:  e,
+		wake: make(chan struct{}),
+		park: make(chan struct{}),
+	}
+	e.procs++
+	go func() {
+		<-p.wake // wait for first dispatch
+		fn(p)
+		p.done = true
+		e.procs--
+		p.park <- struct{}{}
+	}()
+	// Start the process as an event "now" so that Go never runs user code
+	// inline; this keeps scheduling order deterministic.
+	e.After(0, func() { p.resume() })
+}
+
+// resume hands control to the process goroutine and blocks until it parks
+// or finishes.
+func (p *Proc) resume() {
+	p.wake <- struct{}{}
+	<-p.park
+}
+
+// yield parks the process and returns control to the engine. The process
+// blocks until some event calls resume.
+func (p *Proc) yield() {
+	p.park <- struct{}{}
+	<-p.wake
+}
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Engine returns the engine that owns this process.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep suspends the process for d seconds of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.eng.After(d, func() { p.resume() })
+	p.yield()
+}
+
+// waiter parks the process until the returned wake function is invoked by
+// an event handler. It is the building block for resources and stores.
+func (p *Proc) waiter() (wake func()) {
+	return func() { p.resume() }
+}
+
+// block parks the process; the caller must have arranged for wake (from
+// waiter) to be called by a future event.
+func (p *Proc) block() { p.yield() }

@@ -1,0 +1,531 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestEngineClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+}
+
+func TestEngineEventOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("final clock = %g, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAccumulates(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || !almostEqual(times[0], 1) || !almostEqual(times[1], 3) {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(10, func() { ran++ })
+	e.RunUntil(5)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %g, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d after full run, want 2", ran)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var wakeTimes []Time
+	e.Go(func(p *Proc) {
+		p.Sleep(2)
+		wakeTimes = append(wakeTimes, p.Now())
+		p.Sleep(3)
+		wakeTimes = append(wakeTimes, p.Now())
+	})
+	e.Run()
+	if len(wakeTimes) != 2 || !almostEqual(wakeTimes[0], 2) || !almostEqual(wakeTimes[1], 5) {
+		t.Fatalf("wakeTimes = %v, want [2 5]", wakeTimes)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Go(func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, "a1")
+		p.Sleep(2)
+		order = append(order, "a3")
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, "b2")
+	})
+	e.Run()
+	want := []string{"a1", "b2", "a3"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Go(func(p *Proc) {
+			r.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if !almostEqual(finish[i], want[i]) {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelism(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		e.Go(func(p *Proc) {
+			r.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run()
+	sort.Float64s(finish)
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if !almostEqual(finish[i], want[i]) {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go(func(p *Proc) {
+			p.Sleep(Time(i) * 0.001) // arrive in index order
+			r.Use(p, 1)
+			order = append(order, i)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	e.Go(func(p *Proc) {
+		release := r.Acquire(p)
+		release()
+		defer func() {
+			if recover() == nil {
+				t.Error("double release did not panic")
+			}
+		}()
+		release()
+	})
+	e.Run()
+}
+
+func TestResourceBusyTimeAndUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 2)
+	e.Go(func(p *Proc) { r.Use(p, 10) })
+	e.Go(func(p *Proc) { r.Use(p, 4) })
+	e.Run()
+	// busy: [0,4): 2 servers, [4,10): 1 server => 8 + 6 = 14 server-sec.
+	if bt := r.BusyTime(10); !almostEqual(bt, 14) {
+		t.Fatalf("BusyTime(10) = %g, want 14", bt)
+	}
+	if u := r.Utilization(10); !almostEqual(u, 0.7) {
+		t.Fatalf("Utilization(10) = %g, want 0.7", u)
+	}
+}
+
+func TestResourceUtilizationTrace(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	e.Go(func(p *Proc) {
+		p.Sleep(5)
+		r.Use(p, 5)
+	})
+	e.Run()
+	trace := r.UtilizationTrace(5, 10)
+	if len(trace) != 2 {
+		t.Fatalf("trace len = %d, want 2", len(trace))
+	}
+	if !almostEqual(trace[0], 0) || !almostEqual(trace[1], 1) {
+		t.Fatalf("trace = %v, want [0 1]", trace)
+	}
+}
+
+func TestStoreFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewStore[int](e, 0)
+	var got []int
+	e.Go(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			s.Put(p, i)
+			p.Sleep(1)
+		}
+		s.Close()
+	})
+	e.Go(func(p *Proc) {
+		for {
+			v, ok := s.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	e.Run()
+	if len(got) != 3 {
+		t.Fatalf("got = %v, want 3 items", got)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("got = %v, want FIFO [0 1 2]", got)
+		}
+	}
+}
+
+func TestStoreCapacityBlocksPutter(t *testing.T) {
+	e := NewEngine()
+	s := NewStore[int](e, 1)
+	var putDone Time
+	e.Go(func(p *Proc) {
+		s.Put(p, 1)
+		s.Put(p, 2) // blocks until the getter drains one
+		putDone = p.Now()
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(7)
+		s.Get(p)
+	})
+	e.Run()
+	if !almostEqual(putDone, 7) {
+		t.Fatalf("second Put completed at %g, want 7", putDone)
+	}
+}
+
+func TestStoreGetBlocksUntilPut(t *testing.T) {
+	e := NewEngine()
+	s := NewStore[string](e, 0)
+	var at Time
+	var val string
+	e.Go(func(p *Proc) {
+		v, ok := s.Get(p)
+		if !ok {
+			t.Error("Get returned !ok")
+		}
+		val, at = v, p.Now()
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(3)
+		s.Put(p, "x")
+	})
+	e.Run()
+	if val != "x" || !almostEqual(at, 3) {
+		t.Fatalf("got %q at %g, want \"x\" at 3", val, at)
+	}
+}
+
+func TestStoreCloseWakesGetters(t *testing.T) {
+	e := NewEngine()
+	s := NewStore[int](e, 0)
+	oks := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go(func(p *Proc) {
+			_, ok := s.Get(p)
+			oks[i] = ok
+		})
+	}
+	e.Go(func(p *Proc) {
+		p.Sleep(1)
+		s.Close()
+	})
+	e.Run()
+	if oks[0] || oks[1] {
+		t.Fatalf("Get after close returned ok = %v, want false", oks)
+	}
+}
+
+func TestStorePutAfterClosePanics(t *testing.T) {
+	e := NewEngine()
+	s := NewStore[int](e, 0)
+	e.Go(func(p *Proc) {
+		s.Close()
+		defer func() {
+			if recover() == nil {
+				t.Error("Put after Close did not panic")
+			}
+		}()
+		s.Put(p, 1)
+	})
+	e.Run()
+}
+
+func TestGate(t *testing.T) {
+	e := NewEngine()
+	g := NewGate(e)
+	var wokenAt []Time
+	for i := 0; i < 3; i++ {
+		e.Go(func(p *Proc) {
+			g.Wait(p)
+			wokenAt = append(wokenAt, p.Now())
+		})
+	}
+	e.Go(func(p *Proc) {
+		p.Sleep(9)
+		g.Open()
+	})
+	e.Run()
+	if len(wokenAt) != 3 {
+		t.Fatalf("woken = %v, want 3 processes", wokenAt)
+	}
+	for _, at := range wokenAt {
+		if !almostEqual(at, 9) {
+			t.Fatalf("woken at %v, want all at 9", wokenAt)
+		}
+	}
+	// Waiting on an open gate returns immediately.
+	var instant Time = -1
+	e.Go(func(p *Proc) {
+		g.Wait(p)
+		instant = p.Now()
+	})
+	e.Run()
+	if !almostEqual(instant, 9) {
+		t.Fatalf("wait on open gate returned at %g, want 9", instant)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	var doneAt Time = -1
+	e.Go(func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := Time(i)
+		e.Go(func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	e.Run()
+	if !almostEqual(doneAt, 3) {
+		t.Fatalf("WaitGroup released at %g, want 3", doneAt)
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	wg.Add(-1)
+}
+
+// Property: for any set of jobs on a single-server resource, total busy time
+// equals the sum of service times, and the makespan equals that sum when all
+// jobs arrive at time zero.
+func TestResourceConservationProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		jobs := int(n%20) + 1
+		var total Time
+		e := NewEngine()
+		r := NewResource(e, "r", 1)
+		durs := make([]Time, jobs)
+		for i := range durs {
+			durs[i] = rng.Float64()*10 + 0.01
+			total += durs[i]
+		}
+		var maxFinish Time
+		for _, d := range durs {
+			d := d
+			e.Go(func(p *Proc) {
+				r.Use(p, d)
+				if p.Now() > maxFinish {
+					maxFinish = p.Now()
+				}
+			})
+		}
+		e.Run()
+		return almostEqual(r.BusyTime(maxFinish), total) && almostEqual(maxFinish, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a store preserves item order and count for any put/get schedule.
+func TestStoreOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		e := NewEngine()
+		s := NewStore[int](e, int(n%7)) // mixed capacities incl. unbounded
+		var got []int
+		e.Go(func(p *Proc) {
+			for i := 0; i < count; i++ {
+				p.Sleep(rng.Float64())
+				s.Put(p, i)
+			}
+			s.Close()
+		})
+		e.Go(func(p *Proc) {
+			for {
+				v, ok := s.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+				p.Sleep(rng.Float64())
+			}
+		})
+		e.Run()
+		if len(got) != count {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		r := NewResource(e, "r", 2)
+		s := NewStore[int](e, 3)
+		var finish []Time
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Go(func(p *Proc) {
+				r.Use(p, Time(i%3)+1)
+				s.Put(p, i)
+				finish = append(finish, p.Now())
+			})
+		}
+		e.Go(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				s.Get(p)
+				p.Sleep(0.5)
+			}
+		})
+		e.Run()
+		return finish
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: run1=%v run2=%v", a, b)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package sim
+
+// Store is a FIFO buffer of items with optional capacity, analogous to a
+// bounded channel inside the simulation. Put blocks while the store is full;
+// Get blocks while it is empty. Waiters are served in arrival order.
+type Store[T any] struct {
+	eng      *Engine
+	capacity int // 0 means unbounded
+	items    []T
+	getters  []func()
+	putters  []func()
+	closed   bool
+}
+
+// NewStore creates a store. capacity == 0 means unbounded.
+func NewStore[T any](eng *Engine, capacity int) *Store[T] {
+	if capacity < 0 {
+		panic("sim: negative store capacity")
+	}
+	return &Store[T]{eng: eng, capacity: capacity}
+}
+
+// Len returns the number of buffered items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put inserts an item, blocking while the store is at capacity.
+func (s *Store[T]) Put(p *Proc, item T) {
+	if s.closed {
+		panic("sim: Put on closed store")
+	}
+	for s.capacity > 0 && len(s.items) >= s.capacity {
+		s.putters = append(s.putters, p.waiter())
+		p.block()
+	}
+	s.items = append(s.items, item)
+	s.wakeOneGetter()
+}
+
+// TryPut inserts an item without blocking; it reports whether the item was
+// accepted. Useful from event-handler (non-process) context.
+func (s *Store[T]) TryPut(item T) bool {
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		return false
+	}
+	s.items = append(s.items, item)
+	s.wakeOneGetter()
+	return true
+}
+
+// ForcePut inserts an item even beyond capacity. It never blocks and is
+// intended for event-handler context where overshoot is acceptable.
+func (s *Store[T]) ForcePut(item T) {
+	s.items = append(s.items, item)
+	s.wakeOneGetter()
+}
+
+// Get removes and returns the oldest item, blocking while the store is
+// empty. ok is false if the store was closed and drained.
+func (s *Store[T]) Get(p *Proc) (item T, ok bool) {
+	for len(s.items) == 0 {
+		if s.closed {
+			var zero T
+			return zero, false
+		}
+		s.getters = append(s.getters, p.waiter())
+		p.block()
+	}
+	item = s.items[0]
+	s.items = s.items[1:]
+	s.wakeOnePutter()
+	return item, true
+}
+
+// Close marks the store closed: blocked and future Gets return ok == false
+// once the buffer drains. Puts after Close panic.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	// Wake all getters so they can observe the close.
+	for _, wake := range s.getters {
+		s.eng.After(0, wake)
+	}
+	s.getters = nil
+}
+
+func (s *Store[T]) wakeOneGetter() {
+	if len(s.getters) > 0 {
+		wake := s.getters[0]
+		s.getters = s.getters[1:]
+		s.eng.After(0, wake)
+	}
+}
+
+func (s *Store[T]) wakeOnePutter() {
+	if len(s.putters) > 0 {
+		wake := s.putters[0]
+		s.putters = s.putters[1:]
+		s.eng.After(0, wake)
+	}
+}
+
+// Gate is a broadcast condition: processes Wait until Open is called, after
+// which Wait returns immediately forever.
+type Gate struct {
+	eng     *Engine
+	open    bool
+	waiters []func()
+}
+
+// NewGate creates a closed gate.
+func NewGate(eng *Engine) *Gate { return &Gate{eng: eng} }
+
+// Opened reports whether the gate has been opened.
+func (g *Gate) Opened() bool { return g.open }
+
+// Wait blocks the process until the gate opens.
+func (g *Gate) Wait(p *Proc) {
+	if g.open {
+		return
+	}
+	g.waiters = append(g.waiters, p.waiter())
+	p.block()
+}
+
+// Open opens the gate and wakes all waiters.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	for _, wake := range g.waiters {
+		g.eng.After(0, wake)
+	}
+	g.waiters = nil
+}
+
+// WaitGroup counts outstanding work inside the simulation; Wait blocks until
+// the count reaches zero.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []func()
+}
+
+// NewWaitGroup creates a WaitGroup with count zero.
+func NewWaitGroup(eng *Engine) *WaitGroup { return &WaitGroup{eng: eng} }
+
+// Add adjusts the count by delta.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if w.count == 0 {
+		for _, wake := range w.waiters {
+			w.eng.After(0, wake)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the process until the count is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p.waiter())
+	p.block()
+}

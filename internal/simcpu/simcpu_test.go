@@ -1,0 +1,128 @@
+package simcpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRuntimeString(t *testing.T) {
+	if NativeC.String() != "Native C" || JavaJVM.String() != "Java" {
+		t.Fatalf("unexpected names: %q %q", NativeC, JavaJVM)
+	}
+	if Runtime(99).String() != "unknown-runtime" {
+		t.Fatalf("unexpected name for invalid runtime")
+	}
+}
+
+func TestJavaDiskFactorMatchesPaper(t *testing.T) {
+	// The paper measures Java stream MOF reads as 3.1x native (Fig. 2a).
+	j, n := Java(), Native()
+	ratio := j.DiskReadTime(1.0) / n.DiskReadTime(1.0)
+	if math.Abs(ratio-3.1) > 1e-9 {
+		t.Fatalf("Java/native disk read ratio = %g, want 3.1", ratio)
+	}
+}
+
+func TestStreamRateRatioNearPaper(t *testing.T) {
+	// On fast fabrics the stream stack is the bottleneck; the paper
+	// measures Java ~3.4x slower than native C (Fig. 2b). Our per-stream
+	// rates must make Java the bottleneck well below InfiniBand speed.
+	j, n := Java(), Native()
+	if j.StreamRate >= n.StreamRate {
+		t.Fatal("Java stream rate should be below native")
+	}
+	if j.StreamRate > 500e6 {
+		t.Fatalf("Java stream rate %g too high to reproduce the JVM bottleneck", j.StreamRate)
+	}
+}
+
+func TestForRuntime(t *testing.T) {
+	if ForRuntime(JavaJVM) != Java() {
+		t.Fatal("ForRuntime(JavaJVM) != Java()")
+	}
+	if ForRuntime(NativeC) != Native() {
+		t.Fatal("ForRuntime(NativeC) != Native()")
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	m := Native()
+	got := m.StreamTime(int64(m.StreamRate))
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("StreamTime(rate bytes) = %g, want 1s", got)
+	}
+}
+
+func TestMoveCPUIncludesGC(t *testing.T) {
+	j := Java()
+	base := float64(1<<20) * j.CopyCostPerByte * 2
+	got := j.MoveCPU(1<<20, 2)
+	want := base * (1 + j.GCFraction)
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("MoveCPU = %g, want %g", got, want)
+	}
+	n := Native()
+	if n.MoveCPU(1<<20, 2) != float64(1<<20)*n.CopyCostPerByte*2 {
+		t.Fatal("native MoveCPU should have no GC amplification")
+	}
+}
+
+func TestMoveCPUZeroCopies(t *testing.T) {
+	if got := Java().MoveCPU(1<<30, 0); got != 0 {
+		t.Fatalf("MoveCPU with 0 copies = %g, want 0", got)
+	}
+}
+
+func TestRequestCPUMonotone(t *testing.T) {
+	j := Java()
+	if j.RequestCPU(10) <= j.RequestCPU(1) {
+		t.Fatal("RequestCPU not monotone in request count")
+	}
+	if j.RequestCPU(1) <= Native().RequestCPU(1) {
+		t.Fatal("Java per-request CPU should exceed native")
+	}
+}
+
+func TestThreadCountsMatchPaper(t *testing.T) {
+	// Section V-D: each ReduceTask spawns more than 8 JVM threads for
+	// shuffling; JBS needs only 3 native threads.
+	if Java().ShuffleThreadsPerReducer < 8 {
+		t.Fatalf("Java threads = %d, want >= 8", Java().ShuffleThreadsPerReducer)
+	}
+	if Native().ShuffleThreadsPerReducer != 3 {
+		t.Fatalf("native threads = %d, want 3", Native().ShuffleThreadsPerReducer)
+	}
+}
+
+func TestThreadCPUScales(t *testing.T) {
+	j := Java()
+	a := j.ThreadCPU(8, 10)
+	b := j.ThreadCPU(8, 20)
+	if math.Abs(b-2*a) > 1e-12 {
+		t.Fatalf("ThreadCPU not linear in elapsed: %g vs %g", a, b)
+	}
+}
+
+// Property: all cost functions are non-negative and monotone in size.
+func TestCostMonotonicityProperty(t *testing.T) {
+	f := func(kb uint16, copies uint8) bool {
+		size := int64(kb) * 1024
+		c := int(copies % 4)
+		for _, m := range []Model{Java(), Native()} {
+			if m.MoveCPU(size, c) < 0 || m.StreamTime(size) < 0 {
+				return false
+			}
+			if m.MoveCPU(size+1024, c) < m.MoveCPU(size, c) {
+				return false
+			}
+			if m.StreamTime(size+1024) < m.StreamTime(size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package simdisk models the storage hardware of the paper's testbed: two
+// Western Digital SATA 500 GB drives per node, plus the OS page cache whose
+// effect the paper calls out (small intermediate data "resides in disk cache
+// or system buffers", Section V-A, so jobs <= 64 GB are network-bound while
+// jobs >= 128 GB are disk-bound).
+package simdisk
+
+// Disk describes one rotational drive.
+type Disk struct {
+	// SeekTime is the average positioning time charged per discontiguous
+	// request (seconds).
+	SeekTime float64
+	// Bandwidth is the sequential transfer rate (bytes/second).
+	Bandwidth float64
+}
+
+// SATA500 returns the model of the testbed's WD SATA 500 GB drive.
+func SATA500() Disk {
+	return Disk{
+		SeekTime:  8e-3,
+		Bandwidth: 110e6,
+	}
+}
+
+// ReadTime returns the device service time for one contiguous read of size
+// bytes. sequential indicates the head is already positioned (e.g. batched
+// reads of adjacent segments in the same MOF, which is what the JBS
+// DataCache grouping buys).
+func (d Disk) ReadTime(size int64, sequential bool) float64 {
+	t := float64(size) / d.Bandwidth
+	if !sequential {
+		t += d.SeekTime
+	}
+	return t
+}
+
+// WriteTime returns the device service time for one contiguous write.
+func (d Disk) WriteTime(size int64, sequential bool) float64 {
+	return d.ReadTime(size, sequential) // symmetric model
+}
+
+// PageCache models the per-node OS page cache. If a node's working set of
+// intermediate data fits, reads come from memory at MemBandwidth instead of
+// the device.
+type PageCache struct {
+	// Capacity is the bytes of page cache available to shuffle data. The
+	// testbed nodes have 24 GB RAM; after Hadoop heaps and the OS, the
+	// paper's observed crossover (<= 64 GB total over 22 nodes cached,
+	// >= 128 GB not) corresponds to roughly 3-4 GB per node.
+	Capacity int64
+	// MemBandwidth is the cached-read rate (bytes/second).
+	MemBandwidth float64
+}
+
+// DefaultPageCache returns the calibrated testbed page cache.
+func DefaultPageCache() PageCache {
+	return PageCache{
+		Capacity:     3 << 30, // ~3 GB effective per node
+		MemBandwidth: 3.0e9,
+	}
+}
+
+// HitFraction returns the fraction of reads of a working set of the given
+// size that are served from cache. A working set within capacity is fully
+// cached; beyond capacity the cached fraction decays toward zero.
+func (c PageCache) HitFraction(workingSet int64) float64 {
+	if workingSet <= 0 {
+		return 1
+	}
+	if workingSet <= c.Capacity {
+		return 1
+	}
+	return float64(c.Capacity) / float64(workingSet)
+}
+
+// ReadTime returns the expected service time for reading size bytes out of
+// a working set of the given total size on disk d: a cache-hit-weighted
+// blend of memory and device time.
+func (c PageCache) ReadTime(d Disk, size, workingSet int64, sequential bool) float64 {
+	hit := c.HitFraction(workingSet)
+	memT := float64(size) / c.MemBandwidth
+	devT := d.ReadTime(size, sequential)
+	return hit*memT + (1-hit)*devT
+}

@@ -1,0 +1,93 @@
+package simdisk
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadTimeSequentialSkipsSeek(t *testing.T) {
+	d := SATA500()
+	seq := d.ReadTime(1<<20, true)
+	random := d.ReadTime(1<<20, false)
+	if math.Abs(random-seq-d.SeekTime) > 1e-12 {
+		t.Fatalf("random-seq = %g, want seek time %g", random-seq, d.SeekTime)
+	}
+}
+
+func TestReadTimeProportionalToSize(t *testing.T) {
+	d := SATA500()
+	a := d.ReadTime(10<<20, true)
+	b := d.ReadTime(20<<20, true)
+	if math.Abs(b-2*a) > 1e-9 {
+		t.Fatalf("read time not linear: %g vs %g", a, b)
+	}
+}
+
+func TestWriteSymmetric(t *testing.T) {
+	d := SATA500()
+	if d.WriteTime(5<<20, false) != d.ReadTime(5<<20, false) {
+		t.Fatal("write/read asymmetry not expected in this model")
+	}
+}
+
+func TestHitFractionFullWhenFits(t *testing.T) {
+	c := DefaultPageCache()
+	if got := c.HitFraction(c.Capacity); got != 1 {
+		t.Fatalf("HitFraction(capacity) = %g, want 1", got)
+	}
+	if got := c.HitFraction(c.Capacity / 2); got != 1 {
+		t.Fatalf("HitFraction(half) = %g, want 1", got)
+	}
+	if got := c.HitFraction(0); got != 1 {
+		t.Fatalf("HitFraction(0) = %g, want 1", got)
+	}
+}
+
+func TestHitFractionDecays(t *testing.T) {
+	c := DefaultPageCache()
+	h2 := c.HitFraction(2 * c.Capacity)
+	h4 := c.HitFraction(4 * c.Capacity)
+	if math.Abs(h2-0.5) > 1e-9 || math.Abs(h4-0.25) > 1e-9 {
+		t.Fatalf("decay wrong: h2=%g h4=%g", h2, h4)
+	}
+}
+
+func TestCachedReadsMuchFaster(t *testing.T) {
+	// The paper's Section V-A observation: <= 64 GB jobs are served largely
+	// from cache, so fast networks help; >= 128 GB jobs hit the disks.
+	c := DefaultPageCache()
+	d := SATA500()
+	small := c.ReadTime(d, 64<<20, c.Capacity/2, true) // fits in cache
+	large := c.ReadTime(d, 64<<20, 8*c.Capacity, true) // mostly misses
+	if small*5 > large {
+		t.Fatalf("cached read %g not much faster than uncached %g", small, large)
+	}
+}
+
+func TestPageCacheReadTimeBlend(t *testing.T) {
+	c := PageCache{Capacity: 100, MemBandwidth: 1000}
+	d := Disk{SeekTime: 0, Bandwidth: 10}
+	// Working set 200 => hit 0.5. size 100: mem 0.1s, dev 10s => 5.05s.
+	got := c.ReadTime(d, 100, 200, true)
+	if math.Abs(got-5.05) > 1e-9 {
+		t.Fatalf("blend = %g, want 5.05", got)
+	}
+}
+
+// Property: read time is non-negative and monotone in size and working set.
+func TestReadTimeMonotoneProperty(t *testing.T) {
+	c := DefaultPageCache()
+	d := SATA500()
+	f := func(sizeKB, wsMB uint16) bool {
+		size := int64(sizeKB)*1024 + 1
+		ws := int64(wsMB) << 20
+		t1 := c.ReadTime(d, size, ws, true)
+		t2 := c.ReadTime(d, size*2, ws, true)
+		t3 := c.ReadTime(d, size, ws+(64<<30), true)
+		return t1 >= 0 && t2 >= t1 && t3 >= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

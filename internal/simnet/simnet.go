@@ -1,0 +1,169 @@
+// Package simnet models the network fabrics and transport protocols of the
+// paper's two testbeds (Section V, Table I): a 1/10 Gigabit Ethernet cluster
+// and an InfiniBand QDR cluster (Mellanox ConnectX-2 HCAs, 108-port QDR
+// switch), with the six protocol configurations the evaluation uses.
+package simnet
+
+import "fmt"
+
+// Protocol identifies one transport protocol / fabric combination from
+// Table I of the paper.
+type Protocol int
+
+const (
+	// TCP1GigE is TCP/IP on 1 Gigabit Ethernet.
+	TCP1GigE Protocol = iota
+	// TCP10GigE is TCP/IP on 10 Gigabit Ethernet.
+	TCP10GigE
+	// IPoIB is TCP/IP over InfiniBand (IP-over-IB encapsulation).
+	IPoIB
+	// SDP is the Sockets Direct Protocol on InfiniBand: socket semantics
+	// over RDMA, usable from Java streams.
+	SDP
+	// RoCE is RDMA over Converged Ethernet on the 10GigE fabric.
+	RoCE
+	// RDMA is native RDMA verbs on InfiniBand QDR.
+	RDMA
+)
+
+// String returns the protocol name as used in the paper's legends.
+func (p Protocol) String() string {
+	switch p {
+	case TCP1GigE:
+		return "1GigE"
+	case TCP10GigE:
+		return "10GigE"
+	case IPoIB:
+		return "IPoIB"
+	case SDP:
+		return "SDP"
+	case RoCE:
+		return "RoCE"
+	case RDMA:
+		return "RDMA"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// Fabric identifies the physical interconnect.
+type Fabric int
+
+const (
+	// Ethernet is the 1/10 GigE cluster.
+	Ethernet Fabric = iota
+	// InfiniBand is the QDR InfiniBand cluster.
+	InfiniBand
+)
+
+// String returns the fabric name.
+func (f Fabric) String() string {
+	if f == InfiniBand {
+		return "InfiniBand"
+	}
+	return "Ethernet"
+}
+
+// Fabric returns the physical network a protocol runs on.
+func (p Protocol) Fabric() Fabric {
+	switch p {
+	case IPoIB, SDP, RDMA:
+		return InfiniBand
+	default:
+		return Ethernet
+	}
+}
+
+// IsRDMA reports whether the protocol provides RDMA semantics (zero-copy,
+// kernel bypass): RDMA and RoCE. SDP uses RDMA underneath but presents
+// socket semantics with one copy into user buffers.
+func (p Protocol) IsRDMA() bool { return p == RDMA || p == RoCE }
+
+// Config holds the calibrated performance characteristics of one protocol.
+type Config struct {
+	Protocol Protocol
+
+	// Bandwidth is the achievable point-to-point application bandwidth in
+	// bytes/second for a well-pipelined native sender.
+	Bandwidth float64
+
+	// Latency is the one-way small-message latency in seconds.
+	Latency float64
+
+	// Copies is the number of payload memory copies per side (socket
+	// protocols copy between user and kernel buffers; RDMA writes straight
+	// from registered memory).
+	Copies int
+
+	// CPUPerByte is protocol-processing CPU seconds per payload byte per
+	// side, excluding the copies accounted separately.
+	CPUPerByte float64
+
+	// SetupTime is the connection establishment time in seconds (three-way
+	// handshake for TCP; the rdma_connect/rdma_accept exchange of Fig. 6
+	// for RDMA, which the paper notes is "relatively high").
+	SetupTime float64
+}
+
+// Lookup returns the calibrated configuration for protocol p.
+//
+// Calibration targets (Section V): QDR InfiniBand verbs reach ~3.2 GB/s;
+// IPoIB in that era delivered ~1.2-1.4 GB/s; SDP slightly more; 10GigE TCP
+// ~1.1 GB/s; RoCE slightly higher effective bandwidth than 10GigE TCP with
+// far lower CPU; 1GigE ~117 MB/s.
+func Lookup(p Protocol) Config {
+	switch p {
+	case TCP1GigE:
+		return Config{Protocol: p, Bandwidth: 117e6, Latency: 55e-6, Copies: 2, CPUPerByte: 0.9e-9, SetupTime: 250e-6}
+	case TCP10GigE:
+		return Config{Protocol: p, Bandwidth: 1.10e9, Latency: 40e-6, Copies: 2, CPUPerByte: 0.9e-9, SetupTime: 220e-6}
+	case IPoIB:
+		return Config{Protocol: p, Bandwidth: 1.30e9, Latency: 30e-6, Copies: 2, CPUPerByte: 1.0e-9, SetupTime: 220e-6}
+	case SDP:
+		// SDP's execution-time profile tracks IPoIB closely (Section V-A);
+		// its RDMA substrate shows up as one fewer copy and lower CPU.
+		return Config{Protocol: p, Bandwidth: 1.32e9, Latency: 28e-6, Copies: 1, CPUPerByte: 0.5e-9, SetupTime: 500e-6}
+	case RoCE:
+		return Config{Protocol: p, Bandwidth: 1.18e9, Latency: 8e-6, Copies: 0, CPUPerByte: 0.08e-9, SetupTime: 900e-6}
+	case RDMA:
+		return Config{Protocol: p, Bandwidth: 3.20e9, Latency: 4e-6, Copies: 0, CPUPerByte: 0.08e-9, SetupTime: 900e-6}
+	default:
+		panic(fmt.Sprintf("simnet: unknown protocol %d", int(p)))
+	}
+}
+
+// TransferTime returns the wire time for one message of size bytes on an
+// otherwise idle link.
+func (c Config) TransferTime(size int64) float64 {
+	return c.Latency + float64(size)/c.Bandwidth
+}
+
+// MessagesFor returns how many transport-buffer-sized messages are needed
+// to move size bytes with the given buffer size.
+func MessagesFor(size int64, bufSize int) int {
+	if bufSize <= 0 {
+		panic("simnet: non-positive buffer size")
+	}
+	n := size / int64(bufSize)
+	if size%int64(bufSize) != 0 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return int(n)
+}
+
+// SegmentTime returns the time to move one segment of size bytes using
+// messages of bufSize, with per-message latency charged once per message
+// (the Fig. 11 effect: small buffers mean many round-trips and overheads;
+// large buffers amortize them).
+func (c Config) SegmentTime(size int64, bufSize int) float64 {
+	n := MessagesFor(size, bufSize)
+	return float64(n)*c.Latency + float64(size)/c.Bandwidth
+}
+
+// AllProtocols lists every protocol in Table I order.
+func AllProtocols() []Protocol {
+	return []Protocol{TCP1GigE, TCP10GigE, IPoIB, SDP, RoCE, RDMA}
+}

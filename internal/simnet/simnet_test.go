@@ -1,0 +1,192 @@
+package simnet
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtocolNames(t *testing.T) {
+	want := map[Protocol]string{
+		TCP1GigE: "1GigE", TCP10GigE: "10GigE", IPoIB: "IPoIB",
+		SDP: "SDP", RoCE: "RoCE", RDMA: "RDMA",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), name)
+		}
+	}
+	if !strings.Contains(Protocol(42).String(), "protocol") {
+		t.Error("invalid protocol should stringify defensively")
+	}
+}
+
+func TestFabricAssignmentMatchesTableI(t *testing.T) {
+	// Table I: IPoIB, SDP, RDMA run on InfiniBand; 1GigE, 10GigE, RoCE on
+	// Ethernet.
+	ib := []Protocol{IPoIB, SDP, RDMA}
+	eth := []Protocol{TCP1GigE, TCP10GigE, RoCE}
+	for _, p := range ib {
+		if p.Fabric() != InfiniBand {
+			t.Errorf("%v fabric = %v, want InfiniBand", p, p.Fabric())
+		}
+	}
+	for _, p := range eth {
+		if p.Fabric() != Ethernet {
+			t.Errorf("%v fabric = %v, want Ethernet", p, p.Fabric())
+		}
+	}
+	if InfiniBand.String() != "InfiniBand" || Ethernet.String() != "Ethernet" {
+		t.Error("fabric names wrong")
+	}
+}
+
+func TestIsRDMA(t *testing.T) {
+	for _, p := range AllProtocols() {
+		want := p == RDMA || p == RoCE
+		if p.IsRDMA() != want {
+			t.Errorf("%v.IsRDMA() = %v, want %v", p, p.IsRDMA(), want)
+		}
+	}
+}
+
+func TestBandwidthOrdering(t *testing.T) {
+	// The calibrated bandwidths must preserve the paper's ordering:
+	// RDMA > SDP > IPoIB > RoCE > 10GigE >> 1GigE.
+	order := []Protocol{RDMA, SDP, IPoIB, RoCE, TCP10GigE, TCP1GigE}
+	for i := 0; i < len(order)-1; i++ {
+		hi, lo := Lookup(order[i]), Lookup(order[i+1])
+		if hi.Bandwidth <= lo.Bandwidth {
+			t.Errorf("bandwidth(%v)=%g <= bandwidth(%v)=%g", order[i], hi.Bandwidth, order[i+1], lo.Bandwidth)
+		}
+	}
+}
+
+func TestRDMAHasZeroCopiesAndLowCPU(t *testing.T) {
+	for _, p := range []Protocol{RDMA, RoCE} {
+		c := Lookup(p)
+		if c.Copies != 0 {
+			t.Errorf("%v copies = %d, want 0", p, c.Copies)
+		}
+		if c.CPUPerByte >= Lookup(TCP10GigE).CPUPerByte {
+			t.Errorf("%v CPU/byte not below TCP", p)
+		}
+	}
+	if Lookup(SDP).Copies != 1 {
+		t.Errorf("SDP copies = %d, want 1", Lookup(SDP).Copies)
+	}
+	for _, p := range []Protocol{TCP1GigE, TCP10GigE, IPoIB} {
+		if Lookup(p).Copies != 2 {
+			t.Errorf("%v copies = %d, want 2", p, Lookup(p).Copies)
+		}
+	}
+}
+
+func TestRDMASetupCostHigherThanTCP(t *testing.T) {
+	// Section IV-A: "the cost of setting up RDMA connection is relatively
+	// high", which motivates the connection cache.
+	if Lookup(RDMA).SetupTime <= Lookup(TCP10GigE).SetupTime {
+		t.Fatal("RDMA setup should cost more than TCP setup")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	c := Lookup(TCP1GigE)
+	got := c.TransferTime(int64(c.Bandwidth)) // one second of payload
+	want := 1 + c.Latency
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("TransferTime = %g, want %g", got, want)
+	}
+}
+
+func TestMessagesFor(t *testing.T) {
+	cases := []struct {
+		size int64
+		buf  int
+		want int
+	}{
+		{0, 128 << 10, 1},
+		{1, 128 << 10, 1},
+		{128 << 10, 128 << 10, 1},
+		{(128 << 10) + 1, 128 << 10, 2},
+		{1 << 20, 8 << 10, 128},
+	}
+	for _, tc := range cases {
+		if got := MessagesFor(tc.size, tc.buf); got != tc.want {
+			t.Errorf("MessagesFor(%d,%d) = %d, want %d", tc.size, tc.buf, got, tc.want)
+		}
+	}
+}
+
+func TestMessagesForPanicsOnBadBuf(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MessagesFor(_, 0) did not panic")
+		}
+	}()
+	MessagesFor(1, 0)
+}
+
+func TestSegmentTimeBufferEffect(t *testing.T) {
+	// Fig. 11: larger transport buffers reduce per-segment time by
+	// amortizing per-message latency; the effect levels off.
+	c := Lookup(RDMA)
+	size := int64(8 << 20)
+	t8k := c.SegmentTime(size, 8<<10)
+	t128k := c.SegmentTime(size, 128<<10)
+	t256k := c.SegmentTime(size, 256<<10)
+	if !(t8k > t128k && t128k >= t256k) {
+		t.Fatalf("buffer effect wrong: 8K=%g 128K=%g 256K=%g", t8k, t128k, t256k)
+	}
+	// Leveling off: the 128K->256K gain is much smaller than 8K->128K.
+	if (t8k - t128k) < 4*(t128k-t256k) {
+		t.Fatalf("expected diminishing returns: d1=%g d2=%g", t8k-t128k, t128k-t256k)
+	}
+}
+
+func TestLookupPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup(99) did not panic")
+		}
+	}()
+	Lookup(Protocol(99))
+}
+
+func TestAllProtocolsComplete(t *testing.T) {
+	ps := AllProtocols()
+	if len(ps) != 6 {
+		t.Fatalf("AllProtocols returned %d entries, want 6", len(ps))
+	}
+	seen := map[Protocol]bool{}
+	for _, p := range ps {
+		if seen[p] {
+			t.Fatalf("duplicate protocol %v", p)
+		}
+		seen[p] = true
+		Lookup(p) // must not panic
+	}
+}
+
+// Property: SegmentTime is monotone non-increasing in buffer size and
+// monotone non-decreasing in segment size.
+func TestSegmentTimeMonotoneProperty(t *testing.T) {
+	f := func(sizeKB uint16, bufKB uint8) bool {
+		size := int64(sizeKB)*1024 + 1
+		buf := (int(bufKB%64) + 1) * 1024
+		for _, p := range AllProtocols() {
+			c := Lookup(p)
+			if c.SegmentTime(size, buf) < c.SegmentTime(size, buf*2) {
+				return false
+			}
+			if c.SegmentTime(size*2, buf) < c.SegmentTime(size, buf) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"container/list"
+	"sync"
+)
+
+// ConnCache keeps established connections for reuse, since connection setup
+// is expensive (especially for RDMA, Section IV-A). It holds at most max
+// active connections; when the threshold is reached the least recently used
+// connection is torn down. A client's first fetch request to a node
+// triggers the dial, exactly as in the paper.
+type ConnCache struct {
+	tr  Transport
+	max int
+
+	mu    sync.Mutex
+	conns map[string]*list.Element // addr -> element in lru
+	lru   *list.List               // front = most recently used
+	// dialing deduplicates concurrent dials to the same address.
+	dialing map[string]*sync.WaitGroup
+
+	hits, misses, evictions int
+}
+
+type cacheEntry struct {
+	addr string
+	conn Conn
+}
+
+// NewConnCache builds a cache over transport tr with the given connection
+// limit (the paper uses 512).
+func NewConnCache(tr Transport, max int) *ConnCache {
+	if max <= 0 {
+		panic("transport: cache max must be positive")
+	}
+	return &ConnCache{
+		tr:      tr,
+		max:     max,
+		conns:   make(map[string]*list.Element),
+		lru:     list.New(),
+		dialing: make(map[string]*sync.WaitGroup),
+	}
+}
+
+// Get returns a cached connection to addr, dialing on first use. Concurrent
+// Gets for the same address share one dial.
+func (c *ConnCache) Get(addr string) (Conn, error) {
+	for {
+		c.mu.Lock()
+		if el, ok := c.conns[addr]; ok {
+			c.lru.MoveToFront(el)
+			c.hits++
+			conn := el.Value.(*cacheEntry).conn
+			c.mu.Unlock()
+			return conn, nil
+		}
+		if wg, ok := c.dialing[addr]; ok {
+			c.mu.Unlock()
+			wg.Wait()
+			continue // re-check the table
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		c.dialing[addr] = wg
+		c.misses++
+		c.mu.Unlock()
+
+		conn, err := c.tr.Dial(addr)
+
+		c.mu.Lock()
+		delete(c.dialing, addr)
+		wg.Done()
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		el := c.lru.PushFront(&cacheEntry{addr: addr, conn: conn})
+		c.conns[addr] = el
+		var evicted []Conn
+		for c.lru.Len() > c.max {
+			back := c.lru.Back()
+			entry := back.Value.(*cacheEntry)
+			c.lru.Remove(back)
+			delete(c.conns, entry.addr)
+			evicted = append(evicted, entry.conn)
+			c.evictions++
+		}
+		c.mu.Unlock()
+		for _, ev := range evicted {
+			ev.Close()
+		}
+		return conn, nil
+	}
+}
+
+// Invalidate removes and closes the connection to addr (e.g. after an I/O
+// error) so the next Get re-dials.
+func (c *ConnCache) Invalidate(addr string) {
+	c.mu.Lock()
+	el, ok := c.conns[addr]
+	if ok {
+		c.lru.Remove(el)
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	if ok {
+		el.Value.(*cacheEntry).conn.Close()
+	}
+}
+
+// Len returns the number of cached connections.
+func (c *ConnCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats reports cache hits, misses, and evictions.
+func (c *ConnCache) Stats() (hits, misses, evictions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// Close tears down every cached connection.
+func (c *ConnCache) Close() {
+	c.mu.Lock()
+	var conns []Conn
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		conns = append(conns, el.Value.(*cacheEntry).conn)
+	}
+	c.lru.Init()
+	c.conns = make(map[string]*list.Element)
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Close()
+	}
+}

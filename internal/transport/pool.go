@@ -1,0 +1,55 @@
+package transport
+
+// BufferPool is a fixed population of transport buffers shared by data
+// threads. The population is fixed because registered memory is a scarce
+// resource: with very large buffer sizes fewer buffers exist and threads
+// contend for them, which is the degradation the paper observes at 512 KB
+// in Fig. 11.
+type BufferPool struct {
+	size int
+	free chan []byte
+}
+
+// NewBufferPool creates count buffers of size bytes each.
+func NewBufferPool(size, count int) *BufferPool {
+	if size <= 0 || count <= 0 {
+		panic("transport: pool size and count must be positive")
+	}
+	p := &BufferPool{size: size, free: make(chan []byte, count)}
+	for i := 0; i < count; i++ {
+		p.free <- make([]byte, size)
+	}
+	return p
+}
+
+// BufferSize returns the size of each buffer.
+func (p *BufferPool) BufferSize() int { return p.size }
+
+// Get blocks until a buffer is available.
+func (p *BufferPool) Get() []byte { return <-p.free }
+
+// TryGet returns a buffer without blocking, or nil if none is free.
+func (p *BufferPool) TryGet() []byte {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return nil
+	}
+}
+
+// Put returns a buffer to the pool. Putting a foreign-sized buffer panics:
+// it indicates the caller mixed pools.
+func (p *BufferPool) Put(b []byte) {
+	if cap(b) < p.size {
+		panic("transport: foreign buffer returned to pool")
+	}
+	select {
+	case p.free <- b[:p.size]:
+	default:
+		panic("transport: pool overfilled")
+	}
+}
+
+// Available returns the number of free buffers.
+func (p *BufferPool) Available() int { return len(p.free) }

@@ -1,0 +1,264 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/rdma"
+)
+
+// immLast marks the final chunk of a framed message in the immediate data.
+const immLast uint32 = 1
+
+// recvSlots is the number of pre-posted receive buffers per connection
+// (receive credits).
+const recvSlots = 16
+
+// RDMA is the verbs backend. One instance wraps one emulated fabric; the
+// same code path serves both "RDMA" (InfiniBand) and "RoCE" (Ethernet)
+// configurations, as in the paper.
+type RDMA struct {
+	fabric  *rdma.Fabric
+	bufSize int
+}
+
+// NewRDMA returns a verbs backend on the given fabric using the configured
+// transport buffer size for message chunking.
+func NewRDMA(fabric *rdma.Fabric, cfg Config) (*RDMA, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RDMA{fabric: fabric, bufSize: cfg.BufferSize}, nil
+}
+
+// Name returns "rdma".
+func (*RDMA) Name() string { return "rdma" }
+
+// Listen registers a listener and starts its network thread (the paper's
+// RDMAServer event thread) which accepts every connection request.
+func (t *RDMA) Listen(addr string) (Listener, error) {
+	rl, err := t.fabric.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &rdmaListener{
+		rl:     rl,
+		addr:   addr,
+		accept: make(chan *rdmaConn, 64),
+		done:   make(chan struct{}),
+	}
+	go l.eventLoop(t)
+	return l, nil
+}
+
+// Dial allocates a connection, performs the Fig. 6 handshake, and waits for
+// the ESTABLISHED event.
+func (t *RDMA) Dial(addr string) (Conn, error) {
+	id := t.fabric.NewConnID()
+	if err := id.Connect(addr); err != nil {
+		return nil, err
+	}
+	ev, ok := <-id.Events()
+	if !ok {
+		return nil, ErrConnClosed
+	}
+	switch ev.Type {
+	case rdma.Established:
+		return newRDMAConn(t, id, addr)
+	case rdma.Rejected:
+		return nil, fmt.Errorf("transport: rdma connect to %s rejected", addr)
+	default:
+		return nil, fmt.Errorf("transport: unexpected CM event %v dialing %s", ev.Type, addr)
+	}
+}
+
+type rdmaListener struct {
+	rl     *rdma.Listener
+	addr   string
+	accept chan *rdmaConn
+	done   chan struct{}
+
+	closeOnce sync.Once
+}
+
+// eventLoop is the server-side network thread: it handles CONNECT_REQUEST
+// events, accepts, and waits for ESTABLISHED before exposing the
+// connection.
+func (l *rdmaListener) eventLoop(t *RDMA) {
+	for ev := range l.rl.Events() {
+		if ev.Type != rdma.ConnectRequest {
+			continue
+		}
+		id := ev.ID
+		if err := id.Accept(); err != nil {
+			continue
+		}
+		ev2 := <-id.Events()
+		if ev2.Type != rdma.Established {
+			continue
+		}
+		conn, err := newRDMAConn(t, id, "client@"+l.addr)
+		if err != nil {
+			id.Disconnect()
+			continue
+		}
+		select {
+		case l.accept <- conn:
+		case <-l.done:
+			conn.Close()
+			return
+		}
+	}
+}
+
+func (l *rdmaListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, ErrConnClosed
+	}
+}
+
+func (l *rdmaListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.done)
+		l.rl.Close()
+	})
+	return nil
+}
+
+func (l *rdmaListener) Addr() string { return l.addr }
+
+// rdmaConn frames messages as sequences of transport-buffer-sized chunks
+// carried by RC sends; the immediate data flags the last chunk.
+type rdmaConn struct {
+	id      *rdma.ConnID
+	qp      *rdma.QueuePair
+	fabric  *rdma.Fabric
+	bufSize int
+	remote  string
+
+	// slots are the pre-posted receive buffers, indexed by WRID.
+	slots []*rdma.MemoryRegion
+
+	sendMu sync.Mutex
+	sendMR *rdma.MemoryRegion
+
+	recvMu sync.Mutex
+
+	closeOnce sync.Once
+}
+
+func newRDMAConn(t *RDMA, id *rdma.ConnID, remote string) (*rdmaConn, error) {
+	qp, err := id.QP()
+	if err != nil {
+		return nil, err
+	}
+	c := &rdmaConn{
+		id:      id,
+		qp:      qp,
+		fabric:  t.fabric,
+		bufSize: t.bufSize,
+		remote:  remote,
+		sendMR:  t.fabric.RegisterMemory(make([]byte, t.bufSize)),
+	}
+	c.slots = make([]*rdma.MemoryRegion, recvSlots)
+	for i := range c.slots {
+		c.slots[i] = t.fabric.RegisterMemory(make([]byte, t.bufSize))
+		if err := c.repost(i); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *rdmaConn) repost(slot int) error {
+	return c.qp.PostRecv(rdma.WorkRequest{
+		WRID:   uint64(slot),
+		MR:     c.slots[slot],
+		Length: c.bufSize,
+	})
+}
+
+func (c *rdmaConn) Send(msg []byte) error {
+	if len(msg) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	rest := msg
+	for {
+		chunk := rest
+		if len(chunk) > c.bufSize {
+			chunk = chunk[:c.bufSize]
+		}
+		rest = rest[len(chunk):]
+		var imm uint32
+		if len(rest) == 0 {
+			imm = immLast
+		}
+		copy(c.sendMR.Bytes(), chunk)
+		err := c.qp.PostSend(rdma.WorkRequest{
+			WRID:   0,
+			MR:     c.sendMR,
+			Length: len(chunk),
+			Imm:    imm,
+		})
+		if err != nil {
+			return c.mapErr(err)
+		}
+		// Wait for the completion before reusing the send buffer.
+		comp, ok := <-c.qp.SendCQ()
+		if !ok {
+			return ErrConnClosed
+		}
+		if comp.Err != nil {
+			return c.mapErr(comp.Err)
+		}
+		if len(rest) == 0 {
+			return nil
+		}
+	}
+}
+
+func (c *rdmaConn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var msg []byte
+	for {
+		comp, ok := <-c.qp.RecvCQ()
+		if !ok {
+			return nil, ErrConnClosed
+		}
+		if comp.Err != nil {
+			return nil, c.mapErr(comp.Err)
+		}
+		slot := int(comp.WRID)
+		msg = append(msg, c.slots[slot].Bytes()[:comp.Bytes]...)
+		if err := c.repost(slot); err != nil {
+			return nil, c.mapErr(err)
+		}
+		if comp.Imm&immLast != 0 {
+			return msg, nil
+		}
+		if len(msg) > MaxFrameSize {
+			return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
+		}
+	}
+}
+
+func (c *rdmaConn) mapErr(err error) error {
+	if errors.Is(err, rdma.ErrClosed) {
+		return ErrConnClosed
+	}
+	return err
+}
+
+func (c *rdmaConn) Close() error {
+	c.closeOnce.Do(func() { c.id.Disconnect() })
+	return nil
+}
+
+func (c *rdmaConn) RemoteAddr() string { return c.remote }

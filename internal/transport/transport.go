@@ -1,0 +1,103 @@
+// Package transport is JBS's portable network layer (Section IV): one
+// message-oriented API over two interchangeable backends, conventional
+// TCP/IP sockets and RDMA verbs (which also covers RoCE — the paper notes
+// the implementation is identical for RDMA and RoCE, only the activation
+// differs). It also provides the connection cache (connections are kept for
+// reuse, at most 512 active, LRU teardown; Section IV-A) and the pool of
+// fixed-size transport buffers whose size is the Fig. 11 tuning knob
+// (default 128 KB).
+package transport
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by transports.
+var (
+	ErrConnClosed    = errors.New("transport: connection closed")
+	ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+)
+
+// MaxFrameSize bounds a single framed message. Fetch requests and transport
+// buffers are far below this; it exists to fail fast on stream corruption.
+const MaxFrameSize = 64 << 20
+
+// DefaultBufferSize is the default transport buffer size. The paper selects
+// 128 KB after the Fig. 11 sweep.
+const DefaultBufferSize = 128 << 10
+
+// DefaultMaxConnections is the connection-cache limit (Section IV-A).
+const DefaultMaxConnections = 512
+
+// Conn is a framed, message-oriented connection. Send and Recv are safe for
+// one concurrent sender and one concurrent receiver; multiple senders must
+// serialize externally (the NetMerger's consolidation does exactly that).
+type Conn interface {
+	// Send transmits one framed message.
+	Send(msg []byte) error
+	// Recv returns the next framed message.
+	Recv() ([]byte, error)
+	// Close tears the connection down; blocked Send/Recv return errors.
+	Close() error
+	// RemoteAddr identifies the peer.
+	RemoteAddr() string
+}
+
+// Listener accepts incoming connections.
+type Listener interface {
+	// Accept returns the next incoming connection.
+	Accept() (Conn, error)
+	// Close stops listening; blocked Accepts return an error.
+	Close() error
+	// Addr returns the bound address (useful when listening on ":0").
+	Addr() string
+}
+
+// Transport is one pluggable network backend.
+type Transport interface {
+	// Name identifies the backend ("tcp" or "rdma").
+	Name() string
+	// Listen binds a listener at addr.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+}
+
+// Config carries the tunables shared by all backends.
+type Config struct {
+	// BufferSize is the transport buffer size in bytes (Fig. 11 knob).
+	BufferSize int
+	// BufferCount is how many transport buffers the pool holds; data
+	// threads contend for them (the paper's very-large-buffer degradation
+	// comes from fewer available buffers).
+	BufferCount int
+	// MaxConnections caps cached connections (512 in the paper).
+	MaxConnections int
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{
+		BufferSize:     DefaultBufferSize,
+		BufferCount:    64,
+		MaxConnections: DefaultMaxConnections,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.BufferSize <= 0 {
+		return fmt.Errorf("transport: buffer size %d must be positive", c.BufferSize)
+	}
+	if c.BufferSize > MaxFrameSize {
+		return fmt.Errorf("transport: buffer size %d exceeds frame limit %d", c.BufferSize, MaxFrameSize)
+	}
+	if c.BufferCount <= 0 {
+		return fmt.Errorf("transport: buffer count %d must be positive", c.BufferCount)
+	}
+	if c.MaxConnections <= 0 {
+		return fmt.Errorf("transport: max connections %d must be positive", c.MaxConnections)
+	}
+	return nil
+}

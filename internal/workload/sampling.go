@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+)
+
+// SampleTeraSplitPoints reads up to sampleRecords Terasort keys from the
+// head of the input and derives numReduce-1 split points, as TeraSort's
+// TotalOrderPartitioner does from its input sample. The returned
+// partitioner assigns each key the index of its range, so concatenated
+// reducer outputs are globally sorted even for skewed key distributions
+// (the static TeraPartitioner assumes uniform lowercase keys).
+func SampleTeraSplitPoints(fs *dfs.Cluster, path string, sampleRecords, numReduce int) (mapred.Partitioner, error) {
+	if numReduce <= 0 {
+		return nil, fmt.Errorf("workload: numReduce %d must be positive", numReduce)
+	}
+	if sampleRecords < numReduce {
+		sampleRecords = numReduce * 8
+	}
+	fi, err := fs.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	want := int64(sampleRecords) * TeraRecordLen
+	if want > fi.Size {
+		want = fi.Size
+	}
+	r, err := fs.OpenRange(path, "", 0, want)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	var keys [][]byte
+	rec := make([]byte, TeraRecordLen)
+	for {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			break
+		}
+		keys = append(keys, append([]byte(nil), rec[:TeraKeyLen]...))
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("workload: no records to sample in %s", path)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+
+	// numReduce-1 cut points at even quantiles of the sample.
+	cuts := make([][]byte, 0, numReduce-1)
+	for i := 1; i < numReduce; i++ {
+		cuts = append(cuts, keys[i*len(keys)/numReduce])
+	}
+	return RangePartitioner(cuts), nil
+}
+
+// RangePartitioner partitions by binary search over sorted cut points:
+// partition i holds keys in [cuts[i-1], cuts[i]).
+func RangePartitioner(cuts [][]byte) mapred.Partitioner {
+	return func(key []byte, numReduce int) int {
+		p := sort.Search(len(cuts), func(i int) bool {
+			return bytes.Compare(key, cuts[i]) < 0
+		})
+		if p >= numReduce {
+			p = numReduce - 1
+		}
+		return p
+	}
+}
+
+// TeraValidate returns the companion job that checks a Terasort output
+// file: each map validates key order within its split and emits one error
+// record per out-of-order adjacent pair. Its output is empty when the
+// sort is valid within every split, one line per violation otherwise.
+// (Cross-split boundaries are block-aligned reducer output and already
+// ordered by the range partitioner.)
+func TeraValidate(input, output string, reducers int) *mapred.Job {
+	return &mapred.Job{
+		Name:        "teravalidate",
+		Input:       input,
+		Output:      output,
+		NumReducers: reducers,
+		InputFormat: mapred.WholeSplitInput,
+		Map: func(_, value []byte, emit mapred.Emit) error {
+			// Terasort output lines are "key<TAB>payload"; validate order
+			// within the split and emit the boundary keys.
+			lines := bytes.Split(value, []byte("\n"))
+			var prev []byte
+			for _, line := range lines {
+				if len(line) == 0 {
+					continue
+				}
+				key := line
+				if i := bytes.IndexByte(line, '\t'); i >= 0 {
+					key = line[:i]
+				}
+				if prev != nil && bytes.Compare(prev, key) > 0 {
+					emit([]byte("error"), []byte(fmt.Sprintf("out of order: %q > %q", prev, key)))
+				}
+				prev = key
+			}
+			return nil
+		},
+		Reduce: func(key []byte, values [][]byte, emit mapred.Emit) error {
+			if string(key) == "error" {
+				for _, v := range values {
+					emit(key, v)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"io"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/mapred"
+)
+
+func TestSampleTeraSplitPointsBalances(t *testing.T) {
+	fs := newFS(t, 32*TeraRecordLen)
+	if err := Teragen(fs, "/tera", "n0", 512, 77); err != nil {
+		t.Fatal(err)
+	}
+	const reducers = 4
+	part, err := SampleTeraSplitPoints(fs, "/tera", 256, reducers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition the full input and check the ranges are contiguous,
+	// ordered, and roughly balanced.
+	r, _ := fs.Open("/tera", "n0")
+	data, _ := io.ReadAll(r)
+	counts := make([]int, reducers)
+	var perPart [][]string
+	perPart = make([][]string, reducers)
+	for off := 0; off+TeraRecordLen <= len(data); off += TeraRecordLen {
+		key := data[off : off+TeraKeyLen]
+		p := part(key, reducers)
+		if p < 0 || p >= reducers {
+			t.Fatalf("partition %d out of range", p)
+		}
+		counts[p]++
+		perPart[p] = append(perPart[p], string(key))
+	}
+	for p, n := range counts {
+		if n < 512/reducers/3 {
+			t.Errorf("partition %d badly unbalanced: %d of 512", p, n)
+		}
+	}
+	// Global order: max key of partition p <= min key of partition p+1.
+	for p := 0; p < reducers-1; p++ {
+		sort.Strings(perPart[p])
+		sort.Strings(perPart[p+1])
+		if len(perPart[p]) == 0 || len(perPart[p+1]) == 0 {
+			continue
+		}
+		if perPart[p][len(perPart[p])-1] > perPart[p+1][0] {
+			t.Fatalf("ranges overlap between partitions %d and %d", p, p+1)
+		}
+	}
+}
+
+func TestSampledTerasortGloballySorted(t *testing.T) {
+	fs := newFS(t, 16*TeraRecordLen)
+	c := newEngine(t, fs)
+	if err := Teragen(fs, "/tera", "n0", 256, 5); err != nil {
+		t.Fatal(err)
+	}
+	part, err := SampleTeraSplitPoints(fs, "/tera", 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Terasort().Job("/tera", "/sorted", 3)
+	job.Partitioner = part
+	res, err := c.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []string
+	for _, p := range res.OutputFiles {
+		r, _ := fs.Open(p, "")
+		data, _ := io.ReadAll(r)
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			if line != "" {
+				all = append(all, line)
+			}
+		}
+	}
+	if len(all) != 256 {
+		t.Fatalf("records = %d, want 256", len(all))
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Fatal("sampled-partitioner terasort output not globally sorted")
+	}
+}
+
+func TestSampleTeraSplitPointsErrors(t *testing.T) {
+	fs := newFS(t, 16*TeraRecordLen)
+	if _, err := SampleTeraSplitPoints(fs, "/missing", 10, 2); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := Teragen(fs, "/t", "n0", 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleTeraSplitPoints(fs, "/t", 10, 0); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+}
+
+func TestRangePartitionerEdges(t *testing.T) {
+	cuts := [][]byte{[]byte("h"), []byte("p")}
+	part := RangePartitioner(cuts)
+	cases := map[string]int{
+		"a": 0, "g": 0, "h": 1, "o": 1, "p": 2, "z": 2,
+	}
+	for k, want := range cases {
+		if got := part([]byte(k), 3); got != want {
+			t.Errorf("part(%q) = %d, want %d", k, got, want)
+		}
+	}
+	// Clamped when numReduce is smaller than the cut count implies.
+	if got := part([]byte("z"), 2); got != 1 {
+		t.Errorf("clamped partition = %d, want 1", got)
+	}
+}
+
+func TestTeraValidatePassesOnSortedOutput(t *testing.T) {
+	fs := newFS(t, 16*TeraRecordLen)
+	c := newEngine(t, fs)
+	if err := Teragen(fs, "/tera", "n0", 128, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(Terasort().Job("/tera", "/sorted", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Validate each part file.
+	for _, p := range res.OutputFiles {
+		vres, err := c.Run(TeraValidate(p, "/validate"+p, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vres.Counters.OutputRecords != 0 {
+			t.Fatalf("validator found %d violations in sorted output", vres.Counters.OutputRecords)
+		}
+	}
+}
+
+func TestTeraValidateCatchesDisorder(t *testing.T) {
+	fs := newFS(t, 1024)
+	c := newEngine(t, fs)
+	w, _ := fs.Create("/bad", "n0")
+	io.WriteString(w, "zzz\tlate\naaa\tearly\n")
+	w.Close()
+	res, err := c.Run(TeraValidate("/bad", "/validate", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.OutputRecords == 0 {
+		t.Fatal("validator missed out-of-order records")
+	}
+}
+
+func TestWholeSplitInput(t *testing.T) {
+	rr := mapred.WholeSplitInput(strings.NewReader("everything at once"))
+	_, v, err := rr.Next()
+	if err != nil || string(v) != "everything at once" {
+		t.Fatalf("got %q, %v", v, err)
+	}
+	if _, _, err := rr.Next(); err != io.EOF {
+		t.Fatalf("second Next = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,334 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/mapred"
+	"repro/internal/shuffle"
+)
+
+func newFS(t *testing.T, blockSize int64) *dfs.Cluster {
+	t.Helper()
+	fs, err := dfs.NewCluster(dfs.Config{BlockSize: blockSize, Replication: 1},
+		[]string{"n0", "n1"}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func newEngine(t *testing.T, fs *dfs.Cluster) *mapred.Cluster {
+	t.Helper()
+	prov, err := shuffle.NewJBSProvider(shuffle.JBSConfig{Transport: "tcp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := mapred.NewCluster(mapred.Config{Nodes: []string{"n0", "n1"}, WorkDir: t.TempDir()}, fs, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestPadLine(t *testing.T) {
+	line, err := padLine("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) != LineWidth || line[LineWidth-1] != '\n' {
+		t.Fatalf("line = %q", line)
+	}
+	if string(line[:5]) != "hello" || line[5] != ' ' {
+		t.Fatalf("padding wrong: %q", line)
+	}
+	if _, err := padLine(strings.Repeat("x", LineWidth)); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+func TestGeneratorsAlignToBlocks(t *testing.T) {
+	fs := newFS(t, 8*LineWidth)
+	if err := TextCorpus(fs, "/text", "n0", 20, 100, 1); err != nil {
+		t.Fatal(err)
+	}
+	fi, _ := fs.Stat("/text")
+	if fi.Size != 20*LineWidth {
+		t.Fatalf("size = %d, want %d", fi.Size, 20*LineWidth)
+	}
+	// Every block boundary is a line boundary; verify by reading each
+	// split independently and counting lines.
+	splits, _ := fs.Splits("/text")
+	total := 0
+	for _, sp := range splits {
+		r, err := fs.OpenRange("/text", "n0", sp.Offset, sp.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(r)
+		if len(data)%LineWidth != 0 {
+			t.Fatalf("split not line aligned: %d bytes", len(data))
+		}
+		total += len(data) / LineWidth
+	}
+	if total != 20 {
+		t.Fatalf("lines across splits = %d, want 20", total)
+	}
+}
+
+func TestGeneratorsRejectMisalignedBlocks(t *testing.T) {
+	fs := newFS(t, LineWidth+1)
+	if err := TextCorpus(fs, "/text", "n0", 5, 100, 1); err == nil {
+		t.Fatal("misaligned block size accepted")
+	}
+	fsT := newFS(t, TeraRecordLen+1)
+	if err := Teragen(fsT, "/tera", "n0", 5, 1); err == nil {
+		t.Fatal("misaligned terasort block accepted")
+	}
+}
+
+func TestTeragenRecordLayout(t *testing.T) {
+	fs := newFS(t, 10*TeraRecordLen)
+	if err := Teragen(fs, "/tera", "n0", 10, 42); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("/tera", "n0")
+	data, _ := io.ReadAll(r)
+	if len(data) != 10*TeraRecordLen {
+		t.Fatalf("size = %d", len(data))
+	}
+	for i := 0; i < 10; i++ {
+		rec := data[i*TeraRecordLen : (i+1)*TeraRecordLen]
+		for k := 0; k < TeraKeyLen; k++ {
+			if rec[k] < 'a' || rec[k] > 'z' {
+				t.Fatalf("record %d key byte %d = %q", i, k, rec[k])
+			}
+		}
+		for k := TeraKeyLen; k < TeraRecordLen; k++ {
+			if rec[k] == '\n' {
+				t.Fatalf("record %d contains a newline at %d", i, k)
+			}
+		}
+	}
+}
+
+func TestTeragenDeterministic(t *testing.T) {
+	fs1, fs2 := newFS(t, 10*TeraRecordLen), newFS(t, 10*TeraRecordLen)
+	Teragen(fs1, "/t", "n0", 10, 7)
+	Teragen(fs2, "/t", "n0", 10, 7)
+	r1, _ := fs1.Open("/t", "n0")
+	r2, _ := fs2.Open("/t", "n0")
+	d1, _ := io.ReadAll(r1)
+	d2, _ := io.ReadAll(r2)
+	if string(d1) != string(d2) {
+		t.Fatal("same seed produced different data")
+	}
+	fs3 := newFS(t, 10*TeraRecordLen)
+	Teragen(fs3, "/t", "n0", 10, 8)
+	r3, _ := fs3.Open("/t", "n0")
+	d3, _ := io.ReadAll(r3)
+	if string(d1) == string(d3) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTeraPartitionerRangeAndOrder(t *testing.T) {
+	for r := 1; r <= 26; r++ {
+		prev := 0
+		for c := byte('a'); c <= 'z'; c++ {
+			p := TeraPartitioner([]byte{c, 'x'}, r)
+			if p < 0 || p >= r {
+				t.Fatalf("partition %d out of range for %d reducers", p, r)
+			}
+			if p < prev {
+				t.Fatalf("partitioner not monotone at %q with %d reducers", c, r)
+			}
+			prev = p
+		}
+	}
+	if TeraPartitioner(nil, 5) != 0 {
+		t.Fatal("empty key should land in partition 0")
+	}
+	if TeraPartitioner([]byte{'~'}, 5) != 4 {
+		t.Fatal("out-of-range high byte should land in last partition")
+	}
+	if TeraPartitioner([]byte{'!'}, 5) != 0 {
+		t.Fatal("out-of-range low byte should land in partition 0")
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("terasort")
+	if err != nil || b.Name != "Terasort" {
+		t.Fatalf("ByName(terasort) = %v, %v", b.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark found")
+	}
+}
+
+func TestSuiteContents(t *testing.T) {
+	suite := TarazuSuite()
+	want := []string{"SelfJoin", "InvertedIndex", "SequenceCount", "AdjacencyList", "WordCount", "Grep"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	for i, b := range suite {
+		if b.Name != want[i] {
+			t.Fatalf("suite[%d] = %s, want %s (paper Fig. 12 order)", i, b.Name, want[i])
+		}
+	}
+	heavy := map[string]bool{"SelfJoin": true, "InvertedIndex": true, "SequenceCount": true, "AdjacencyList": true}
+	for _, b := range suite {
+		if b.ShuffleHeavy != heavy[b.Name] {
+			t.Fatalf("%s shuffle-heavy = %v", b.Name, b.ShuffleHeavy)
+		}
+	}
+	if len(All()) != 7 {
+		t.Fatalf("All() = %d benchmarks, want 7", len(All()))
+	}
+}
+
+// TestEveryBenchmarkRuns executes each benchmark end-to-end at small scale
+// on the JBS engine and sanity-checks its output.
+func TestEveryBenchmarkRuns(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			blockSize := int64(8 * LineWidth)
+			if b.Name == "Terasort" {
+				blockSize = 8 * TeraRecordLen
+			}
+			fs := newFS(t, blockSize)
+			c := newEngine(t, fs)
+			if err := b.Generate(fs, "/in", "n0", 64, 123); err != nil {
+				t.Fatal(err)
+			}
+			res, err := c.Run(b.Job("/in", "/out", 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.MapTasks == 0 {
+				t.Fatal("no map tasks ran")
+			}
+			if res.Counters.OutputRecords == 0 && b.Name != "Grep" {
+				t.Fatalf("%s produced no output", b.Name)
+			}
+			if b.Name == "Terasort" {
+				var sb strings.Builder
+				for _, p := range res.OutputFiles {
+					r, _ := fs.Open(p, "")
+					data, _ := io.ReadAll(r)
+					sb.Write(data)
+				}
+				lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+				if len(lines) != 64 {
+					t.Fatalf("terasort records = %d, want 64", len(lines))
+				}
+				for i := 1; i < len(lines); i++ {
+					if lines[i-1][:TeraKeyLen] > lines[i][:TeraKeyLen] {
+						t.Fatalf("terasort output unsorted at %d", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShuffleVolumeClasses verifies the property the paper's Fig. 12
+// explanation rests on: the shuffle-heavy benchmarks move much more
+// intermediate data relative to input than WordCount and Grep.
+func TestShuffleVolumeClasses(t *testing.T) {
+	ratios := map[string]float64{}
+	for _, b := range All() {
+		blockSize := int64(32 * LineWidth)
+		if b.Name == "Terasort" {
+			blockSize = 32 * TeraRecordLen
+		}
+		fs := newFS(t, blockSize)
+		c := newEngine(t, fs)
+		if err := b.Generate(fs, "/in", "n0", 256, 99); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(b.Job("/in", "/out", 2))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		fi, _ := fs.Stat("/in")
+		ratios[b.Name] = float64(res.Counters.ShuffledBytes) / float64(fi.Size)
+	}
+	t.Logf("shuffle/input ratios: %v", ratios)
+	for _, heavy := range []string{"Terasort", "SelfJoin", "InvertedIndex", "SequenceCount", "AdjacencyList"} {
+		for _, light := range []string{"WordCount", "Grep"} {
+			if ratios[heavy] <= ratios[light] {
+				t.Errorf("%s ratio %.3f not above %s ratio %.3f",
+					heavy, ratios[heavy], light, ratios[light])
+			}
+		}
+	}
+	if ratios["Grep"] > 0.05 {
+		t.Errorf("Grep ratio %.3f should be near zero", ratios["Grep"])
+	}
+	// Terasort shuffles roughly its input size (minus padding/encoding).
+	if ratios["Terasort"] < 0.5 {
+		t.Errorf("Terasort ratio %.3f should be near 1", ratios["Terasort"])
+	}
+}
+
+func TestEdgeListNoSelfLoops(t *testing.T) {
+	fs := newFS(t, 8*LineWidth)
+	if err := EdgeList(fs, "/e", "n0", 50, 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open("/e", "n0")
+	data, _ := io.ReadAll(r)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		parts := strings.Split(strings.TrimSpace(line), "\t")
+		if len(parts) != 2 {
+			t.Fatalf("bad edge line %q", line)
+		}
+		if parts[0] == strings.TrimSpace(parts[1]) {
+			t.Fatalf("self loop %q", line)
+		}
+	}
+}
+
+func TestVocabularyValidation(t *testing.T) {
+	fs := newFS(t, 8*LineWidth)
+	if err := TextCorpus(fs, "/t", "n0", 5, 1, 1); err == nil {
+		t.Fatal("vocab=1 accepted")
+	}
+	if err := EdgeList(fs, "/e", "n0", 5, 1, 1); err == nil {
+		t.Fatal("vertices=1 accepted")
+	}
+}
+
+func TestGrepFindsPattern(t *testing.T) {
+	fs := newFS(t, 8*LineWidth)
+	c := newEngine(t, fs)
+	// Hand-build input with known matches.
+	w, _ := fs.Create("/in", "n0")
+	for i := 0; i < 8; i++ {
+		content := fmt.Sprintf("d%06d nothing here", i)
+		if i%4 == 0 {
+			content = fmt.Sprintf("d%06d has %s inside", i, GrepPattern)
+		}
+		line, _ := padLine(content)
+		w.Write(line)
+	}
+	w.Close()
+	res, err := c.Run(Grep().Job("/in", "/out", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := fs.Open(res.OutputFiles[0], "")
+	out, _ := io.ReadAll(r)
+	want := GrepPattern + "\t2\n"
+	if string(out) != want {
+		t.Fatalf("grep output = %q, want %q", out, want)
+	}
+}
