@@ -1,0 +1,31 @@
+# JBS reproduction — build, test, and static-analysis gates.
+#
+# `make vet` and `make race` together are the CI gate (.github/workflows/ci.yml);
+# see docs/STATIC_ANALYSIS.md for what jbsvet enforces.
+
+GO ?= go
+
+.PHONY: all build test vet race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# vet: the stock toolchain vet plus jbsvet, the repo-specific pass
+# (lock hygiene, goroutine lifecycle, unchecked Close/Write/Flush,
+# sim-clock purity).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/jbsvet ./...
+
+# race: the full suite under the race detector, with the leakcheck
+# TestMain hooks active in the concurrent packages.
+race:
+	$(GO) test -race -timeout 10m ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...

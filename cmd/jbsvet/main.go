@@ -1,0 +1,161 @@
+// Command jbsvet is the repo-specific static-analysis gate for the JBS
+// tree. It loads packages with go/parser + go/types (stdlib only, no
+// third-party analysis framework) and enforces the concurrency and
+// correctness invariants the shuffle pipeline depends on; see
+// docs/STATIC_ANALYSIS.md for the check catalogue and the
+// //jbsvet:ignore suppression syntax.
+//
+// Usage:
+//
+//	jbsvet [-checks lockhygiene,goroutines,...] [-list] [-v] [patterns]
+//
+// Patterns are Go-style package patterns rooted at the module
+// ("./...", "./internal/...", "./internal/core"). With no patterns the
+// default is "./internal/... ./cmd/...". Exit status: 0 clean, 1 findings,
+// 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	listFlag := flag.Bool("list", false, "list available checks and exit")
+	verbose := flag.Bool("v", false, "log each package as it is checked")
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range analysis.AllChecks() {
+			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	checks, err := selectChecks(*checksFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsvet:", err)
+		os.Exit(2)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsvet:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsvet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	dirs, err := expandPatterns(loader.Root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsvet:", err)
+		os.Exit(2)
+	}
+
+	runner := &analysis.Runner{
+		Loader: loader,
+		Checks: checks,
+		Scopes: analysis.DefaultScopes(),
+	}
+	if *verbose {
+		runner.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	findings, err := runner.RunDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsvet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, f.Check, f.Message)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "jbsvet: %d finding(s) in %d package(s) scanned\n", n, len(dirs))
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "jbsvet: clean (%d packages)\n", len(dirs))
+	}
+}
+
+// selectChecks resolves the -checks flag against the registry.
+func selectChecks(spec string) ([]analysis.Check, error) {
+	all := analysis.AllChecks()
+	if spec == "" {
+		return all, nil
+	}
+	byName := make(map[string]analysis.Check, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+	}
+	var out []analysis.Check
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (use -list)", name)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// expandPatterns turns package patterns into package directories under
+// root, via analysis.GoPackageDirs for the recursive "/..." form.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		recursive := false
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			recursive = true
+			p = rest
+			if p == "." || p == "" {
+				p = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(p, "./")))
+		if !recursive {
+			if analysis.HasGoFiles(base) {
+				add(base)
+				continue
+			}
+			return nil, fmt.Errorf("no Go files in %s", base)
+		}
+		sub, err := analysis.GoPackageDirs(base)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range sub {
+			add(d)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

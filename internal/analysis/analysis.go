@@ -1,0 +1,153 @@
+// Package analysis implements jbsvet, the repo-specific static-analysis
+// pass (see docs/STATIC_ANALYSIS.md). JBS's value proposition is a
+// lock-tight concurrent data path — MOFSupplier's pipelined DataCache,
+// NetMerger's per-node request groups, the LRU connection cache — and the
+// checks here enforce the invariants that keep that path correct:
+//
+//   - lockhygiene: every Lock has a matching Unlock, no return while a
+//     mutex is held without a deferred unlock, and no blocking operation
+//     (channel send/recv, select, net I/O, time.Sleep, WaitGroup.Wait)
+//     while a state mutex is held.
+//   - goroutines: every goroutine launched in the concurrent core packages
+//     must be reachable from a shutdown path (a context.Context, a
+//     done-channel receive, or a sync.WaitGroup).
+//   - errcheck: Close/Write/Flush results in the data-integrity packages
+//     must be checked or explicitly discarded with `_ =`.
+//   - simclock: no direct wall-clock calls in simulation/model packages
+//     outside the clock abstraction.
+//
+// The package uses only the standard library (go/ast, go/parser,
+// go/types); go.mod stays dependency-free.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Check, f.Message)
+}
+
+// A Check inspects one type-checked package and reports violations. Run
+// must not filter suppressions; the Runner applies //jbsvet:ignore
+// directives so golden tests can observe raw findings.
+type Check interface {
+	// Name is the identifier used in -checks and in suppression comments.
+	Name() string
+	// Doc is a one-line description.
+	Doc() string
+	// Run reports every violation in pkg.
+	Run(pkg *Package) []Finding
+}
+
+// AllChecks returns every jbsvet check in stable order.
+func AllChecks() []Check {
+	return []Check{
+		&LockCheck{},
+		&GoroutineCheck{},
+		&ErrCheck{},
+		&SimClockCheck{},
+	}
+}
+
+// DefaultScopes maps a check name to the module-relative directory
+// prefixes it applies to. A missing entry (or nil slice) means the check
+// runs on every scanned package. A trailing "*" matches any directory
+// whose path begins with the stem (e.g. "internal/sim*" covers
+// internal/sim, internal/simnet, internal/simdisk, internal/simcpu).
+func DefaultScopes() map[string][]string {
+	return map[string][]string{
+		"goroutines": {"internal/core", "internal/transport", "internal/mapred"},
+		"errcheck":   {"internal/transport", "internal/mof"},
+		"simclock":   {"internal/sim*", "internal/shuffle"},
+	}
+}
+
+// inScope reports whether a package at module-relative path rel matches
+// one of the scope patterns.
+func inScope(rel string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		if stem, ok := strings.CutSuffix(p, "*"); ok {
+			if strings.HasPrefix(rel, stem) {
+				return true
+			}
+			continue
+		}
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Runner loads packages and applies the configured checks.
+type Runner struct {
+	Loader *Loader
+	Checks []Check
+	// Scopes maps check name -> directory prefixes (see DefaultScopes).
+	Scopes map[string][]string
+	// Verbose, when set, receives one line per package checked.
+	Verbose func(format string, args ...any)
+}
+
+// RunDirs checks every package directory in dirs and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; malformed
+// suppression directives are themselves reported as findings.
+func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
+	var all []Finding
+	for _, dir := range dirs {
+		pkg, err := r.Loader.Load(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: load %s: %w", dir, err)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: type-check %s: %v (and %d more)",
+				dir, pkg.TypeErrors[0], len(pkg.TypeErrors)-1)
+		}
+		if r.Verbose != nil {
+			r.Verbose("jbsvet: checking %s", pkg.Rel)
+		}
+		var raw []Finding
+		for _, c := range r.Checks {
+			if !inScope(pkg.Rel, r.Scopes[c.Name()]) {
+				continue
+			}
+			raw = append(raw, c.Run(pkg)...)
+		}
+		kept, malformed := ApplySuppressions(pkg, raw)
+		all = append(all, kept...)
+		all = append(all, malformed...)
+	}
+	SortFindings(all)
+	return all, nil
+}
+
+// SortFindings orders findings by file, line, column, then check name.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+}

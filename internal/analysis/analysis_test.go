@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One shared loader across all golden tests: the stdlib source importer is
+// the expensive part, and memoization makes subsequent fixtures cheap.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func fixturePkg(t *testing.T, name string) *Package {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	pkg, err := loader.Load(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+var wantRE = regexp.MustCompile(`"([^"]*)"`)
+
+// matchFindings compares findings against the fixture's `// want "substr"`
+// comments 1:1: every finding must land on a line with an unconsumed want
+// whose substring it contains, and every want must be consumed.
+func matchFindings(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	type want struct {
+		substr  string
+		matched bool
+	}
+	wants := make(map[int][]*want) // keyed by line
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, "// want ") {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					wants[line] = append(wants[line], &want{substr: m[1]})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants[f.Pos.Line] {
+			if !w.matched && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("line %d: expected a finding containing %q, got none", line, w.substr)
+			}
+		}
+	}
+}
+
+func TestLockCheckGolden(t *testing.T) {
+	pkg := fixturePkg(t, "lock")
+	matchFindings(t, pkg, (&LockCheck{}).Run(pkg))
+}
+
+func TestGoroutineCheckGolden(t *testing.T) {
+	pkg := fixturePkg(t, "goroutine")
+	matchFindings(t, pkg, (&GoroutineCheck{}).Run(pkg))
+}
+
+func TestErrCheckGolden(t *testing.T) {
+	pkg := fixturePkg(t, "errcheck")
+	matchFindings(t, pkg, (&ErrCheck{}).Run(pkg))
+}
+
+func TestSimClockCheckGolden(t *testing.T) {
+	pkg := fixturePkg(t, "simclock")
+	matchFindings(t, pkg, (&SimClockCheck{}).Run(pkg))
+}
+
+// TestSuppressions runs simclock raw over the suppress fixture, then checks
+// that ApplySuppressions silences exactly the directive-covered findings
+// and reports the reason-less directive as malformed.
+func TestSuppressions(t *testing.T) {
+	pkg := fixturePkg(t, "suppress")
+	raw := (&SimClockCheck{}).Run(pkg)
+	if len(raw) != 5 {
+		t.Fatalf("raw simclock findings = %d, want 5:\n%v", len(raw), raw)
+	}
+	kept, malformed := ApplySuppressions(pkg, raw)
+	matchFindings(t, pkg, kept)
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives = %d, want 1: %v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed //jbsvet:ignore") {
+		t.Errorf("malformed finding message = %q", malformed[0].Message)
+	}
+	if malformed[0].Check != "suppress" {
+		t.Errorf("malformed finding check = %q, want %q", malformed[0].Check, "suppress")
+	}
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		rel      string
+		patterns []string
+		want     bool
+	}{
+		{"internal/core", nil, true},
+		{"internal/core", []string{"internal/core"}, true},
+		{"internal/core/sub", []string{"internal/core"}, true},
+		{"internal/coreutils", []string{"internal/core"}, false},
+		{"internal/simnet", []string{"internal/sim*"}, true},
+		{"internal/simdisk", []string{"internal/sim*"}, true},
+		{"internal/shuffle", []string{"internal/sim*"}, false},
+		{"internal/shuffle", []string{"internal/sim*", "internal/shuffle"}, true},
+	}
+	for _, c := range cases {
+		if got := inScope(c.rel, c.patterns); got != c.want {
+			t.Errorf("inScope(%q, %v) = %v, want %v", c.rel, c.patterns, got, c.want)
+		}
+	}
+}
+
+// TestRepoIsClean is the in-test CI gate: the full Runner over the repo's
+// own internal and cmd trees must report nothing, mirroring
+// `go run ./cmd/jbsvet ./...`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo scan in -short mode")
+	}
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	dirs, err := GoPackageDirs(loader.Root, "internal", "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Loader: loader, Checks: AllChecks(), Scopes: DefaultScopes()}
+	findings, err := r.RunDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("repo not jbsvet-clean: %s", f)
+	}
+}

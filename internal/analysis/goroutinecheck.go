@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineCheck flags fire-and-forget goroutines in the concurrent core
+// packages. Every `go` statement must be reachable from a shutdown path,
+// which we accept as any of the following in the launched function:
+//
+//   - a reference to a context.Context (cancellation),
+//   - a sync.WaitGroup Done/Wait call (join),
+//   - a channel receive — including range-over-channel and select recv
+//     clauses — since a receiver observes close() from a shutdown path.
+//
+// A goroutine that only computes and sends (or loops forever) with none of
+// these signals can outlive its owner, pin memory, and stall `go test`;
+// that is exactly the class of bug the runtime leakcheck package catches
+// dynamically, and this check catches statically.
+//
+// For `go obj.method()` the method body is resolved within the same
+// package and scanned; goroutines launching functions defined in other
+// packages are flagged (the lifecycle cannot be proven locally).
+type GoroutineCheck struct{}
+
+// Name implements Check.
+func (*GoroutineCheck) Name() string { return "goroutines" }
+
+// Doc implements Check.
+func (*GoroutineCheck) Doc() string {
+	return "every goroutine must be joinable or stoppable (context, done channel, or WaitGroup)"
+}
+
+// Run implements Check.
+func (c *GoroutineCheck) Run(pkg *Package) []Finding {
+	// Index this package's function/method declarations by object so
+	// `go s.loop()` can be resolved to its body.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if fd := decls[pkg.Info.Uses[fun]]; fd != nil {
+					body = fd.Body
+				}
+			case *ast.SelectorExpr:
+				if fd := decls[pkg.Info.Uses[fun.Sel]]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body == nil {
+				out = append(out, Finding{
+					Pos:     position(pkg, g.Pos()),
+					Check:   "goroutines",
+					Message: "goroutine launches a function defined outside this package; shutdown path cannot be proven — wrap it or add a suppression",
+				})
+				return true
+			}
+			if !c.hasLifecycleSignal(pkg, body) {
+				out = append(out, Finding{
+					Pos:     position(pkg, g.Pos()),
+					Check:   "goroutines",
+					Message: "fire-and-forget goroutine: no shutdown path (context.Context, done-channel receive, or sync.WaitGroup) reachable from the goroutine body",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasLifecycleSignal scans a goroutine body (including nested literals —
+// a join signal anywhere below keeps the tree collectable) for evidence
+// it can be stopped or joined.
+func (c *GoroutineCheck) hasLifecycleSignal(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.Ident:
+			if obj := pkg.Info.Uses[e]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(e.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				if fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func); fn != nil &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+					(fn.Name() == "Done" || fn.Name() == "Wait") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

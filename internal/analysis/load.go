@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package directory.
+type Package struct {
+	// Name is the package clause name.
+	Name string
+	// Dir is the absolute directory path.
+	Dir string
+	// Rel is the module-root-relative path ("internal/core"), or the
+	// absolute path when the directory lies outside the module.
+	Rel string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the non-test source files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package (possibly incomplete if
+	// TypeErrors is non-empty).
+	Types *types.Package
+	// Info carries the type-checker's expression/object tables.
+	Info *types.Info
+	// TypeErrors collects type-check errors; checks still run but may be
+	// unreliable when this is non-empty.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks package directories. Our own module's
+// import paths resolve directly against the module root; standard-library
+// imports resolve through the stdlib source importer. Both are memoized,
+// so a whole-repo scan type-checks each dependency once.
+type Loader struct {
+	Fset   *token.FileSet
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+
+	std  types.Importer
+	pkgs map[string]*Package // keyed by cleaned absolute dir
+}
+
+// NewLoader creates a loader rooted at the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		Root:   root,
+		Module: mod,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// Load parses and type-checks the package in dir (memoized).
+func (l *Loader) Load(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs = filepath.Clean(abs)
+	if pkg, ok := l.pkgs[abs]; ok {
+		return pkg, nil
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", abs)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	rel := abs
+	if r, err := filepath.Rel(l.Root, abs); err == nil && !strings.HasPrefix(r, "..") {
+		rel = filepath.ToSlash(r)
+	}
+	pkg := &Package{
+		Name:  files[0].Name.Name,
+		Dir:   abs,
+		Rel:   rel,
+		Fset:  l.Fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	// Memoize before type-checking: import cycles would otherwise recurse
+	// forever (valid Go has none, but a broken tree should fail cleanly).
+	l.pkgs[abs] = pkg
+
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			return l.importPath(path)
+		}),
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	tpkg, _ := conf.Check(l.importPathFor(rel), l.Fset, files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importPathFor derives the import path recorded for a checked package.
+func (l *Loader) importPathFor(rel string) string {
+	if filepath.IsAbs(rel) {
+		return rel // outside the module (e.g. test fixtures)
+	}
+	if rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + rel
+}
+
+// importPath resolves one import: module-local paths load from source
+// under the module root, everything else goes to the stdlib importer.
+func (l *Loader) importPath(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.Load(filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("analysis: dependency %s failed to type-check", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,481 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockCheck enforces JBS's lock hygiene rules on every function:
+//
+//  1. a sync.Mutex/RWMutex Lock (or RLock) must have a matching Unlock
+//     (or RUnlock) — explicit or deferred — somewhere in the same
+//     function;
+//  2. no return statement may execute while a lock is held unless a
+//     matching deferred unlock has been registered;
+//  3. no blocking operation — channel send/receive, select without a
+//     default, time.Sleep, sync.WaitGroup.Wait, or I/O on an
+//     interface-typed or net.* value — may run while a mutex is held.
+//
+// Dedicated I/O-serialization mutexes (the repo convention: a name
+// containing "send", "recv", "read", "write", or "io", e.g. sendMu /
+// recvMu guarding a framed connection) are exempt from rule 3 — their
+// whole purpose is holding across one I/O — but still subject to 1 and 2.
+//
+// The held-lock tracking is branch-aware but intraprocedural and
+// heuristic: a branch that terminates (return/continue/break) does not
+// leak its lock state into the fall-through path, and after an
+// if/else both branches must hold a lock for it to count as held.
+// False negatives are possible; false positives should be rare.
+type LockCheck struct{}
+
+// Name implements Check.
+func (*LockCheck) Name() string { return "lockhygiene" }
+
+// Doc implements Check.
+func (*LockCheck) Doc() string {
+	return "paired Lock/Unlock on all paths; no blocking calls while a state mutex is held"
+}
+
+// Run implements Check.
+func (c *LockCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, name = fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				body, name = fn.Body, "func literal"
+			default:
+				return true
+			}
+			if body != nil {
+				s := &lockScanner{pkg: pkg, funcName: name,
+					use: make(map[string]*lockUse), deferred: make(map[string]bool)}
+				s.scanStmts(body.List, newHeldSet())
+				s.finishBalance()
+				out = append(out, s.findings...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// lockUse tracks per-key balance within one function.
+type lockUse struct {
+	lockPos  token.Pos // first write-Lock
+	rlockPos token.Pos // first RLock
+	unlocks  int       // explicit or deferred Unlock
+	runlocks int       // explicit or deferred RUnlock
+}
+
+// heldSet maps lock key -> state while scanning.
+type heldState struct {
+	read     bool // held via RLock
+	deferred bool // a matching deferred unlock is registered
+}
+
+func newHeldSet() map[string]heldState { return map[string]heldState{} }
+
+func copyHeld(h map[string]heldState) map[string]heldState {
+	c := make(map[string]heldState, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersectHeld keeps keys held on both paths (deferred if on either).
+func intersectHeld(a, b map[string]heldState) map[string]heldState {
+	out := newHeldSet()
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = heldState{read: va.read && vb.read, deferred: va.deferred || vb.deferred}
+		}
+	}
+	return out
+}
+
+// exemptLock reports whether key names an I/O-serialization mutex.
+func exemptLock(key string) bool {
+	last := key
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		last = key[i+1:]
+	}
+	last = strings.ToLower(last)
+	for _, s := range []string{"send", "recv", "read", "write", "io"} {
+		if strings.Contains(last, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingHeld returns a non-exempt held key, or "".
+func blockingHeld(held map[string]heldState) string {
+	for k := range held {
+		if !exemptLock(k) {
+			return k
+		}
+	}
+	return ""
+}
+
+type lockScanner struct {
+	pkg      *Package
+	funcName string
+	use      map[string]*lockUse
+	// deferred records keys with a registered deferred unlock: once a
+	// defer is on the books it also covers later re-acquisitions of the
+	// same lock in this function.
+	deferred map[string]bool
+	findings []Finding
+}
+
+func (s *lockScanner) addf(pos token.Pos, format string, args ...any) {
+	s.findings = append(s.findings, Finding{
+		Pos:     position(s.pkg, pos),
+		Check:   "lockhygiene",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// lockCall classifies call as a sync lock operation. It returns the
+// canonical receiver key ("c.mu") and the method name.
+func (s *lockScanner) lockCall(call *ast.CallExpr) (key, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, _ := s.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// finishBalance reports locks that are never unlocked in the function.
+func (s *lockScanner) finishBalance() {
+	for key, u := range s.use {
+		if u.lockPos.IsValid() && u.unlocks == 0 {
+			s.addf(u.lockPos, "%s.Lock() in %s has no matching Unlock on any path", key, s.funcName)
+		}
+		if u.rlockPos.IsValid() && u.runlocks == 0 {
+			s.addf(u.rlockPos, "%s.RLock() in %s has no matching RUnlock on any path", key, s.funcName)
+		}
+	}
+}
+
+func (s *lockScanner) useFor(key string) *lockUse {
+	u, ok := s.use[key]
+	if !ok {
+		u = &lockUse{}
+		s.use[key] = u
+	}
+	return u
+}
+
+// applyLockCall updates balance and held state for one lock call.
+func (s *lockScanner) applyLockCall(call *ast.CallExpr, key, method string, deferred bool, held map[string]heldState) {
+	u := s.useFor(key)
+	switch method {
+	case "Lock":
+		if !u.lockPos.IsValid() {
+			u.lockPos = call.Pos()
+		}
+		if !deferred {
+			held[key] = heldState{deferred: s.deferred[key]}
+		}
+	case "RLock":
+		if !u.rlockPos.IsValid() {
+			u.rlockPos = call.Pos()
+		}
+		if !deferred {
+			held[key] = heldState{read: true, deferred: s.deferred[key]}
+		}
+	case "Unlock", "RUnlock":
+		if method == "Unlock" {
+			u.unlocks++
+		} else {
+			u.runlocks++
+		}
+		if deferred {
+			s.deferred[key] = true
+			if st, ok := held[key]; ok {
+				st.deferred = true
+				held[key] = st
+			}
+		} else {
+			delete(held, key)
+		}
+	}
+}
+
+// scanStmts walks one statement list, threading the held-lock state.
+// It returns the exit state and whether the list terminates abruptly
+// (return/branch/panic) rather than falling through.
+func (s *lockScanner) scanStmts(stmts []ast.Stmt, held map[string]heldState) (map[string]heldState, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		held, term = s.scanStmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *lockScanner) scanStmt(stmt ast.Stmt, held map[string]heldState) (map[string]heldState, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, method, ok := s.lockCall(call); ok {
+				s.applyLockCall(call, key, method, false, held)
+				return held, false
+			}
+			if isPanicCall(call) {
+				return held, true
+			}
+		}
+		s.checkBlocking(st, held)
+		return held, false
+
+	case *ast.DeferStmt:
+		if key, method, ok := s.lockCall(st.Call); ok {
+			s.applyLockCall(st.Call, key, method, true, held)
+			return held, false
+		}
+		// The deferred call itself runs at return; don't treat its body
+		// as executing here.
+		return held, false
+
+	case *ast.SendStmt:
+		if key := blockingHeld(held); key != "" {
+			s.addf(st.Pos(), "channel send while %s is held in %s", key, s.funcName)
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		s.checkBlocking(st, held)
+		for key, state := range held {
+			if !state.deferred {
+				s.addf(st.Pos(), "return while %s is locked in %s (no deferred unlock)", key, s.funcName)
+			}
+		}
+		return held, true
+
+	case *ast.BranchStmt: // break, continue, goto, fallthrough
+		return held, st.Tok != token.FALLTHROUGH
+
+	case *ast.LabeledStmt:
+		return s.scanStmt(st.Stmt, held)
+
+	case *ast.BlockStmt:
+		return s.scanStmts(st.List, held)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		s.checkBlocking(st.Cond, held)
+		bodyHeld, bodyTerm := s.scanStmts(st.Body.List, copyHeld(held))
+		elseHeld, elseTerm := copyHeld(held), false
+		if st.Else != nil {
+			elseHeld, elseTerm = s.scanStmt(st.Else, copyHeld(held))
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, st.Else != nil // no else: fall through remains
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return intersectHeld(bodyHeld, elseHeld), false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkBlocking(st.Cond, held)
+		}
+		s.scanStmts(st.Body.List, copyHeld(held))
+		return held, false
+
+	case *ast.RangeStmt:
+		if t := s.pkg.Info.TypeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				if key := blockingHeld(held); key != "" {
+					s.addf(st.Pos(), "range over channel while %s is held in %s", key, s.funcName)
+				}
+			}
+		}
+		s.checkBlocking(st.X, held)
+		s.scanStmts(st.Body.List, copyHeld(held))
+		return held, false
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			if key := blockingHeld(held); key != "" {
+				s.addf(st.Pos(), "blocking select while %s is held in %s", key, s.funcName)
+			}
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held, false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.scanStmt(st.Init, held)
+		}
+		s.checkBlocking(st.Tag, held)
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held, false
+
+	case *ast.TypeSwitchStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+		return held, false
+
+	case *ast.GoStmt:
+		// The goroutine runs concurrently and does not inherit our locks;
+		// only its argument expressions evaluate here.
+		for _, arg := range st.Call.Args {
+			s.checkBlocking(arg, held)
+		}
+		return held, false
+
+	case nil:
+		return held, false
+
+	default: // assignments, declarations, inc/dec, ...
+		s.checkBlocking(stmt, held)
+		return held, false
+	}
+}
+
+// checkBlocking flags blocking operations inside node (not descending into
+// function literals) while a non-exempt lock is held.
+func (s *lockScanner) checkBlocking(node ast.Node, held map[string]heldState) {
+	if node == nil {
+		return
+	}
+	key := blockingHeld(held)
+	if key == "" {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // separate goroutine/function context
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				s.addf(e.Pos(), "channel receive while %s is held in %s", key, s.funcName)
+			}
+		case *ast.SendStmt:
+			s.addf(e.Pos(), "channel send while %s is held in %s", key, s.funcName)
+		case *ast.CallExpr:
+			s.checkBlockingCall(e, key)
+		}
+		return true
+	})
+}
+
+// ioMethods are method names that block on a peer when invoked on an
+// interface or net.* value.
+var ioMethods = map[string]bool{
+	"Read": true, "Write": true, "Send": true, "Recv": true,
+	"Accept": true, "Dial": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func (s *lockScanner) checkBlockingCall(call *ast.CallExpr, key string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := s.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			s.addf(call.Pos(), "time.Sleep while %s is held in %s", key, s.funcName)
+		}
+		return
+	case "sync":
+		// WaitGroup.Wait blocks on other goroutines (deadlock bait under a
+		// lock); Cond.Wait releases the mutex and is fine.
+		if fn.Name() == "Wait" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil &&
+				strings.Contains(recv.Type().String(), "WaitGroup") {
+				s.addf(call.Pos(), "WaitGroup.Wait while %s is held in %s", key, s.funcName)
+			}
+		}
+		return
+	case "io":
+		switch fn.Name() {
+		case "Copy", "CopyN", "CopyBuffer", "ReadAll", "ReadFull", "ReadAtLeast":
+			s.addf(call.Pos(), "io.%s while %s is held in %s", fn.Name(), key, s.funcName)
+		}
+		return
+	}
+	if !ioMethods[fn.Name()] {
+		return
+	}
+	recvType := s.pkg.Info.TypeOf(sel.X)
+	if recvType == nil {
+		return
+	}
+	if _, isIface := recvType.Underlying().(*types.Interface); isIface || fromNetPackage(recvType) {
+		s.addf(call.Pos(), "%s.%s (potential network I/O) while %s is held in %s",
+			types.ExprString(sel.X), fn.Name(), key, s.funcName)
+	}
+}
+
+// fromNetPackage reports whether t names a type from package net.
+func fromNetPackage(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}
+
+// isPanicCall reports whether call is the builtin panic.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

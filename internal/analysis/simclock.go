@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// SimClockCheck keeps the simulation and model packages wall-clock pure:
+// the discrete-event simulator owns virtual time, and a stray time.Now or
+// time.Sleep in a sim package silently couples simulated results to host
+// scheduling (and makes tests slow and flaky). The JVM-tax model in
+// internal/shuffle falls under the same rule: its delay must flow through
+// an injectable sleeper so tests can run without wall-clock waits.
+//
+// Files implementing the clock abstraction itself — clock.go or
+// *_clock.go — are exempt; anything else needs a //jbsvet:ignore with a
+// reason.
+type SimClockCheck struct{}
+
+// Name implements Check.
+func (*SimClockCheck) Name() string { return "simclock" }
+
+// Doc implements Check.
+func (*SimClockCheck) Doc() string {
+	return "no direct wall-clock calls (time.Now/Sleep/After/...) in simulation or model packages"
+}
+
+// bannedTimeFuncs are the package-time functions that read or wait on the
+// wall clock. Duration arithmetic (time.Second etc.) is fine.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"Since": true, "Until": true,
+}
+
+// Run implements Check.
+func (c *SimClockCheck) Run(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		base := filepath.Base(position(pkg, file.Pos()).Filename)
+		if base == "clock.go" || strings.HasSuffix(base, "_clock.go") {
+			continue
+		}
+		// Flag any reference to a banned function — calls and function
+		// values alike — so `sleep := time.Sleep` cannot dodge the check.
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !bannedTimeFuncs[fn.Name()] {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   position(pkg, sel.Pos()),
+				Check: "simclock",
+				Message: fmt.Sprintf("direct time.%s in a simulation/model package; route it through the clock abstraction or an injected sleeper",
+					fn.Name()),
+			})
+			return true
+		})
+	}
+	return out
+}

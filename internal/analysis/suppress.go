@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//jbsvet:ignore <check> <reason>
+//
+// The directive silences findings of <check> ("all" silences every check)
+// on its own line and on the line directly below it, so it works both as a
+// trailing comment and as a comment above the flagged statement. A reason
+// is mandatory; directives without one are reported as findings so
+// suppressions stay auditable.
+const ignorePrefix = "//jbsvet:ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	check string
+	file  string
+	line  int
+}
+
+// ApplySuppressions filters findings through the package's
+// //jbsvet:ignore directives. It returns the surviving findings and, as a
+// second slice, findings for malformed directives (missing check name or
+// reason).
+func ApplySuppressions(pkg *Package, findings []Finding) (kept, malformed []Finding) {
+	var sups []suppression
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:     pos,
+						Check:   "suppress",
+						Message: "malformed //jbsvet:ignore: need \"//jbsvet:ignore <check> <reason>\"",
+					})
+					continue
+				}
+				sups = append(sups, suppression{check: fields[0], file: pos.Filename, line: pos.Line})
+			}
+		}
+	}
+	for _, f := range findings {
+		if suppressed(f, sups) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, malformed
+}
+
+func suppressed(f Finding, sups []suppression) bool {
+	for _, s := range sups {
+		if s.file != f.Pos.Filename {
+			continue
+		}
+		if s.check != f.Check && s.check != "all" {
+			continue
+		}
+		if s.line == f.Pos.Line || s.line == f.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// position is a small helper for checks.
+func position(pkg *Package, pos token.Pos) token.Position {
+	return pkg.Fset.Position(pos)
+}

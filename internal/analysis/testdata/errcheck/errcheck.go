@@ -1,0 +1,39 @@
+// Package errfix is a golden-file fixture for the errcheck check.
+package errfix
+
+import "bufio"
+
+type closer struct{}
+
+func (closer) Close() error                { return nil }
+func (closer) Flush() error                { return nil }
+func (closer) Write(p []byte) (int, error) { return len(p), nil }
+
+// quiet's Close returns nothing, so there is no error to drop.
+type quiet struct{}
+
+func (quiet) Close() {}
+
+func bad(c closer, p []byte) {
+	c.Close()  // want "result of c.Close"
+	c.Flush()  // want "result of c.Flush"
+	c.Write(p) // want "result of c.Write"
+}
+
+func good(c closer, q quiet, p []byte) error {
+	_ = c.Close()
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	q.Close()       // no error result: nothing to check
+	defer c.Close() // deferred read-side close is accepted idiom
+	_, err := c.Write(p)
+	return err
+}
+
+// buffered exercises the bufio.Writer exemption: Write's error is sticky
+// and recovered at the (checked) Flush.
+func buffered(bw *bufio.Writer, p []byte) error {
+	bw.Write(p)
+	return bw.Flush()
+}

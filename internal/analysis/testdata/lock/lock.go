@@ -1,0 +1,138 @@
+// Package lockfix is a golden-file fixture for the lockhygiene check.
+// Lines annotated `// want "substr"` must produce a finding whose message
+// contains substr; unannotated lines must stay silent.
+package lockfix
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	sendMu sync.Mutex
+	ch     chan int
+	conn   net.Conn
+}
+
+var sink int
+
+// LeakLock acquires and never releases.
+func (s *S) LeakLock() {
+	s.mu.Lock() // want "no matching Unlock"
+	sink++
+}
+
+// LeakRLock acquires a read lock and never releases.
+func (s *S) LeakRLock() {
+	s.rw.RLock() // want "no matching RUnlock"
+	sink = len(s.ch)
+}
+
+// DeferPair is the canonical safe pattern.
+func (s *S) DeferPair() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sink++
+}
+
+// ExplicitPair releases on every path before returning.
+func (s *S) ExplicitPair() int {
+	s.mu.Lock()
+	if s.ch == nil {
+		s.mu.Unlock()
+		return 0
+	}
+	n := len(s.ch)
+	s.mu.Unlock()
+	return n
+}
+
+// ReturnLocked leaks the lock out of one return path.
+func (s *S) ReturnLocked() int {
+	s.mu.Lock()
+	if s.ch == nil {
+		return 0 // want "return while s.mu is locked"
+	}
+	s.mu.Unlock()
+	return 1
+}
+
+// BlockingWhileLocked performs channel operations and sleeps under a state
+// mutex.
+func (s *S) BlockingWhileLocked(v int) {
+	s.mu.Lock()
+	s.ch <- v                    // want "channel send while s.mu is held"
+	<-s.ch                       // want "channel receive while s.mu is held"
+	time.Sleep(time.Millisecond) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+// NetWhileLocked does socket I/O under a state mutex.
+func (s *S) NetWhileLocked(buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(buf) // want "potential network I/O"
+	return err
+}
+
+// WaitWhileLocked joins a WaitGroup under a state mutex.
+func (s *S) WaitWhileLocked(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want "WaitGroup.Wait while s.mu is held"
+}
+
+// SelectWhileLocked blocks in select under a state mutex.
+func (s *S) SelectWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select while s.mu is held"
+	case v := <-s.ch:
+		sink = v
+	}
+}
+
+// SelectDefault never blocks: a default clause makes the select a poll.
+func (s *S) SelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		sink = v
+	default:
+	}
+}
+
+// RangeWhileLocked drains a channel under a state mutex.
+func (s *S) RangeWhileLocked() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want "range over channel while s.mu is held"
+		sink = v
+	}
+}
+
+// SendSerialized holds a dedicated I/O-serialization mutex across a write —
+// the repo convention (names containing send/recv/read/write/io) exempts it
+// from the blocking rules, though balance is still enforced.
+func (s *S) SendSerialized(buf []byte) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	_, err := s.conn.Write(buf)
+	return err
+}
+
+// BranchAware releases on the terminating branch; the blocking send there
+// happens after the unlock and must not be flagged.
+func (s *S) BranchAware(v int) {
+	s.mu.Lock()
+	if v == 0 {
+		s.mu.Unlock()
+		s.ch <- v
+		return
+	}
+	s.mu.Unlock()
+}

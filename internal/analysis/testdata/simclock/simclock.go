@@ -1,0 +1,22 @@
+// Package simfix is a golden-file fixture for the simclock check.
+package simfix
+
+import "time"
+
+// Duration arithmetic is fine; only wall-clock access is banned.
+const tick = 10 * time.Millisecond
+
+func bad() time.Time {
+	time.Sleep(tick)  // want "direct time.Sleep"
+	return time.Now() // want "direct time.Now"
+}
+
+// alsoBad takes a function-value reference, not a call — still banned, or
+// `sleep := time.Sleep` would dodge the check.
+func alsoBad() func(time.Duration) {
+	return time.Sleep // want "direct time.Sleep"
+}
+
+func fine(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}

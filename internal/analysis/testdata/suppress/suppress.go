@@ -1,0 +1,29 @@
+// Package supfix is a fixture for //jbsvet:ignore handling, exercised
+// through the simclock check. Lines with a `// want` survive suppression;
+// the rest are silenced by well-formed directives.
+package supfix
+
+import "time"
+
+func suppressedTrailing() {
+	time.Sleep(time.Millisecond) //jbsvet:ignore simclock calibrated wall-clock wait in a fixture
+}
+
+func suppressedAbove() time.Time {
+	//jbsvet:ignore simclock documented wall-clock read
+	return time.Now()
+}
+
+func notSuppressed() time.Time {
+	return time.Now() // want "direct time.Now"
+}
+
+func wrongCheck() time.Time {
+	//jbsvet:ignore errcheck a directive for another check must not silence simclock
+	return time.Now() // want "direct time.Now"
+}
+
+func missingReason() {
+	//jbsvet:ignore simclock
+	time.Sleep(time.Millisecond) // want "direct time.Sleep"
+}

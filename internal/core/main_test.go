@@ -1,0 +1,14 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine past teardown
+// (see internal/leakcheck): every supplier loop, merger reader, and
+// transport event thread must be reachable from a shutdown path.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -142,19 +142,21 @@ func (m *NetMerger) Close() error {
 	m.closed = true
 	for id, p := range m.pending {
 		delete(m.pending, id)
+		//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
 		p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
 	}
 	for _, g := range m.groups {
 		for _, p := range g.queue {
+			//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
 			p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
 		}
 		g.queue = nil
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
-	m.cache.Close()
+	err := m.cache.Close()
 	m.wg.Wait()
-	return nil
+	return err
 }
 
 // Fetch retrieves every segment in specs, invoking deliver once per

@@ -1,0 +1,66 @@
+package leakcheck_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain: the leak checker checks itself.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}
+
+// leakyWorker blocks until released — a deliberate leak while release
+// stays open.
+func leakyWorker(release chan struct{}) {
+	<-release
+}
+
+func TestDetectsDeliberateLeak(t *testing.T) {
+	snap := leakcheck.Take()
+	release := make(chan struct{})
+	go leakyWorker(release)
+
+	err := snap.Check(150 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Check passed despite a deliberately leaked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakyWorker") {
+		t.Fatalf("leak report does not name the leaked function:\n%v", err)
+	}
+	if !strings.Contains(err.Error(), "chan receive") {
+		t.Errorf("leak report does not include the goroutine state:\n%v", err)
+	}
+
+	close(release)
+	if err := snap.Check(0); err != nil {
+		t.Fatalf("Check still failing after the leak was released: %v", err)
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	snap := leakcheck.Take()
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	if err := snap.Check(0); err != nil {
+		t.Fatalf("Check failed on a clean run: %v", err)
+	}
+}
+
+func TestPreexistingGoroutinesAreExempt(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	go leakyWorker(release) // started before the snapshot
+	time.Sleep(10 * time.Millisecond)
+
+	snap := leakcheck.Take()
+	if err := snap.Check(100 * time.Millisecond); err != nil {
+		t.Fatalf("Check flagged a goroutine that predates the snapshot: %v", err)
+	}
+}

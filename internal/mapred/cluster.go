@@ -190,10 +190,18 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 		feeds[i] = make(chan mapEvent, len(assignments)+1)
 	}
 
-	mapDone := make(chan error, 1)
-	go func() { mapDone <- c.runMapPhase(assignments, job, cs, feeds) }()
+	// The map phase runs concurrently with the reduce phase; the WaitGroup
+	// makes the join explicit, so the goroutine provably cannot outlive Run
+	// (mapErr is written before Done and read only after Wait).
+	var mapWG sync.WaitGroup
+	var mapErr error
+	mapWG.Add(1)
+	go func() {
+		defer mapWG.Done()
+		mapErr = c.runMapPhase(assignments, job, cs, feeds)
+	}()
 	outputs, reduceErr := c.runReducePhase(jobID, job, len(assignments), feeds, cs)
-	mapErr := <-mapDone
+	mapWG.Wait()
 
 	if mapErr != nil {
 		return nil, fmt.Errorf("mapred: %s map phase: %w", jobID, mapErr)

@@ -277,14 +277,14 @@ func (w *Writer) finishSegment() error {
 // flushes the data file, and writes the index file.
 func (w *Writer) Close() error {
 	if err := w.finishSegment(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // already failing; report the segment error
 		return err
 	}
 	for len(w.entries) < w.partitions {
 		w.entries = append(w.entries, IndexEntry{Offset: w.offset, Checksum: crc32.ChecksumIEEE(nil)})
 	}
 	if err := w.bw.Flush(); err != nil {
-		w.f.Close()
+		_ = w.f.Close() // already failing; report the flush error
 		return fmt.Errorf("mof: flush: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
@@ -316,7 +316,7 @@ func writeIndex(path string, ix *Index) error {
 		bw.Write(buf[:4])
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; report the flush error
 		return fmt.Errorf("mof: write index: %w", err)
 	}
 	return f.Close()
@@ -440,7 +440,7 @@ func OpenSegment(dataPath string, e IndexEntry) (*SegmentReader, error) {
 		return nil, fmt.Errorf("mof: open data: %w", err)
 	}
 	if _, err := f.Seek(e.Offset, io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close() // already failing; report the seek error
 		return nil, fmt.Errorf("mof: seek: %w", err)
 	}
 	sr := &SegmentReader{f: f}
@@ -482,10 +482,16 @@ func (sr *SegmentReader) Next() (Record, error) {
 	return rec, nil
 }
 
-// Close releases the underlying file (and decompressor, if any).
+// Close releases the underlying file (and decompressor, if any). The
+// file-close error wins; a decompressor error is reported only when the
+// file closes cleanly.
 func (sr *SegmentReader) Close() error {
+	var inflateErr error
 	if sr.inflate != nil {
-		sr.inflate.Close()
+		inflateErr = sr.inflate.Close()
 	}
-	return sr.f.Close()
+	if err := sr.f.Close(); err != nil {
+		return err
+	}
+	return inflateErr
 }

@@ -19,6 +19,9 @@ import (
 type JVMTax struct {
 	// BytesPerSecond caps throughput; zero disables the tax.
 	BytesPerSecond float64
+	// Sleep replaces the wall-clock wait when non-nil, so the tax model is
+	// testable (and simulatable) without real delays. Nil means time.Sleep.
+	Sleep func(time.Duration)
 }
 
 // Reader wraps r with the tax.
@@ -26,13 +29,18 @@ func (j JVMTax) Reader(r io.Reader) io.Reader {
 	if j.BytesPerSecond <= 0 {
 		return r
 	}
-	return &taxedReader{r: r, rate: j.BytesPerSecond}
+	sleep := j.Sleep
+	if sleep == nil {
+		sleep = time.Sleep //jbsvet:ignore simclock the default sleeper is the real wall clock; tests inject a fake
+	}
+	return &taxedReader{r: r, rate: j.BytesPerSecond, sleep: sleep}
 }
 
 type taxedReader struct {
-	r    io.Reader
-	rate float64
-	debt time.Duration
+	r     io.Reader
+	rate  float64
+	sleep func(time.Duration)
+	debt  time.Duration
 }
 
 func (t *taxedReader) Read(p []byte) (int, error) {
@@ -42,7 +50,7 @@ func (t *taxedReader) Read(p []byte) (int, error) {
 		// Sleep in coarse slices so tiny reads accumulate debt instead of
 		// issuing sub-millisecond sleeps.
 		if t.debt >= time.Millisecond {
-			time.Sleep(t.debt)
+			t.sleep(t.debt)
 			t.debt = 0
 		}
 	}

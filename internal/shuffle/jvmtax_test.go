@@ -1,0 +1,51 @@
+package shuffle
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJVMTaxInjectedSleeper verifies the tax model is testable without
+// wall-clock waits: a fake sleeper observes exactly the throttle delay the
+// rate implies, and no real sleeping happens.
+func TestJVMTaxInjectedSleeper(t *testing.T) {
+	const rate = 1 << 20 // 1 MiB/s
+	const payload = 256 << 10
+
+	var slept time.Duration
+	tax := JVMTax{
+		BytesPerSecond: rate,
+		Sleep:          func(d time.Duration) { slept += d },
+	}
+
+	start := time.Now()
+	n, err := io.Copy(io.Discard, tax.Reader(strings.NewReader(strings.Repeat("x", payload))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != payload {
+		t.Fatalf("copied %d bytes, want %d", n, payload)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Fatalf("injected sleeper still took %v of wall clock", wall)
+	}
+
+	// 256 KiB at 1 MiB/s is 250ms of modeled delay; sub-millisecond debt
+	// from the final partial slice may remain unslept.
+	want := time.Duration(float64(payload) / rate * float64(time.Second))
+	if slept < want-time.Millisecond || slept > want+time.Millisecond {
+		t.Fatalf("modeled sleep %v, want %v (±1ms)", slept, want)
+	}
+}
+
+// TestJVMTaxDefaultSleeper pins the fallback: a zero Sleep field must use
+// the real clock rather than panic.
+func TestJVMTaxDefaultSleeper(t *testing.T) {
+	tax := JVMTax{BytesPerSecond: 1 << 30} // fast enough to be ~free
+	n, err := io.Copy(io.Discard, tax.Reader(strings.NewReader("hello")))
+	if err != nil || n != 5 {
+		t.Fatalf("copy = %d, %v", n, err)
+	}
+}

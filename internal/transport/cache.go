@@ -88,7 +88,9 @@ func (c *ConnCache) Get(addr string) (Conn, error) {
 		}
 		c.mu.Unlock()
 		for _, ev := range evicted {
-			ev.Close()
+			// Eviction teardown: the connection is being discarded, so its
+			// close error carries no signal for the caller's fetch.
+			_ = ev.Close()
 		}
 		return conn, nil
 	}
@@ -105,7 +107,8 @@ func (c *ConnCache) Invalidate(addr string) {
 	}
 	c.mu.Unlock()
 	if ok {
-		el.Value.(*cacheEntry).conn.Close()
+		// The connection already failed; its close error adds nothing.
+		_ = el.Value.(*cacheEntry).conn.Close()
 	}
 }
 
@@ -123,8 +126,9 @@ func (c *ConnCache) Stats() (hits, misses, evictions int) {
 	return c.hits, c.misses, c.evictions
 }
 
-// Close tears down every cached connection.
-func (c *ConnCache) Close() {
+// Close tears down every cached connection, returning the first close
+// error encountered.
+func (c *ConnCache) Close() error {
 	c.mu.Lock()
 	var conns []Conn
 	for el := c.lru.Front(); el != nil; el = el.Next() {
@@ -133,7 +137,11 @@ func (c *ConnCache) Close() {
 	c.lru.Init()
 	c.conns = make(map[string]*list.Element)
 	c.mu.Unlock()
+	var first error
 	for _, conn := range conns {
-		conn.Close()
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
+	return first
 }

@@ -80,6 +80,7 @@ type rdmaListener struct {
 	done   chan struct{}
 
 	closeOnce sync.Once
+	closeErr  error
 }
 
 // eventLoop is the server-side network thread: it handles CONNECT_REQUEST
@@ -106,7 +107,8 @@ func (l *rdmaListener) eventLoop(t *RDMA) {
 		select {
 		case l.accept <- conn:
 		case <-l.done:
-			conn.Close()
+			// Listener shut down before handoff; drop the connection.
+			_ = conn.Close()
 			return
 		}
 	}
@@ -124,9 +126,9 @@ func (l *rdmaListener) Accept() (Conn, error) {
 func (l *rdmaListener) Close() error {
 	l.closeOnce.Do(func() {
 		close(l.done)
-		l.rl.Close()
+		l.closeErr = l.rl.Close()
 	})
-	return nil
+	return l.closeErr
 }
 
 func (l *rdmaListener) Addr() string { return l.addr }
