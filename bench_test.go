@@ -73,6 +73,7 @@ func functionalBench(b *testing.B, providerName string) {
 	b.Helper()
 	cfg := bench.DefaultFunctionalConfig()
 	cfg.Lines = 1000
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		providers, err := bench.FunctionalProviders()
 		if err != nil {

@@ -1,0 +1,215 @@
+// Package bufpool provides the size-classed, leak-accounted buffer pool
+// behind JBS's allocation-free data path. Segment bytes flow from the
+// MOFSupplier's disk reads through the transport into the NetMerger in
+// leased buffers: a Lease is acquired from a Pool, may be shared by
+// concurrent readers via Retain, and returns its buffer to the pool when
+// the last holder calls Release. The pool keeps gets/puts/outstanding
+// counters so tests can prove no lease leaked (see LeakCheck).
+//
+// The paper's Fig. 11 buffer-size analysis presumes transport buffers are
+// a managed, reused resource; this package is that resource for every
+// backend, with sync.Pool recycling per power-of-two size class.
+package bufpool
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits is the smallest size class, 1 KB: request frames and
+	// chunk headers land here.
+	minClassBits = 10
+	// maxClassBits is the largest pooled class, 16 MB: a shuffle segment at
+	// the paper's scale. Larger leases are allocated directly and returned
+	// to the garbage collector on release.
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Stats is a snapshot of a Pool's counters.
+type Stats struct {
+	// Gets counts leases handed out (including adopted and oversize ones).
+	Gets int64
+	// Puts counts leases fully released.
+	Puts int64
+	// Misses counts Gets that had to allocate because the class was empty.
+	Misses int64
+	// Oversize counts Gets beyond the largest class (direct allocations).
+	Oversize int64
+	// Outstanding is Gets - Puts: leases currently held somewhere.
+	Outstanding int64
+}
+
+// Pool is a size-classed buffer pool. The zero value is not usable; use
+// New. Pools are safe for concurrent use.
+type Pool struct {
+	// classes[i] recycles *Lease values whose buffer is 1<<(i+minClassBits)
+	// bytes; recycling the Lease together with its buffer keeps the steady
+	// state free of both buffer and header allocations.
+	classes [numClasses]sync.Pool
+
+	gets     atomic.Int64
+	puts     atomic.Int64
+	misses   atomic.Int64
+	oversize atomic.Int64
+}
+
+// New creates an empty pool.
+func New() *Pool { return &Pool{} }
+
+// defaultPool serves the transports and any caller that does not inject
+// its own pool.
+var defaultPool = New()
+
+// Default returns the process-wide shared pool.
+func Default() *Pool { return defaultPool }
+
+// classFor returns the smallest class index whose buffers hold n bytes, or
+// -1 when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassBits
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// Get leases a buffer whose Bytes() is exactly n long (backed by the
+// enclosing size class). The lease starts with one reference; the caller
+// owns it and must Release it exactly once, or hand ownership on.
+func (p *Pool) Get(n int) *Lease {
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		p.oversize.Add(1)
+		l := &Lease{pool: p, full: make([]byte, n), n: n, class: -1}
+		l.refs.Store(1)
+		return l
+	}
+	if v := p.classes[c].Get(); v != nil {
+		l := v.(*Lease)
+		l.n = n
+		l.refs.Store(1)
+		return l
+	}
+	p.misses.Add(1)
+	l := &Lease{pool: p, full: make([]byte, 1<<(c+minClassBits)), n: n, class: c}
+	l.refs.Store(1)
+	return l
+}
+
+// Adopt wraps a caller-owned slice in a lease so non-pooled producers (a
+// transport backend without a pooled receive path) fit the lease/release
+// discipline. The buffer is not recycled into a class on release — it came
+// from outside — but the lease still participates in leak accounting.
+func (p *Pool) Adopt(buf []byte) *Lease {
+	p.gets.Add(1)
+	l := &Lease{pool: p, full: buf, n: len(buf), class: -1}
+	l.refs.Store(1)
+	return l
+}
+
+// Grow returns a lease with capacity for at least capacity bytes carrying
+// l's current bytes and length. When l already fits it is returned
+// unchanged; otherwise a larger lease is acquired, l's bytes are copied,
+// and l is released. The caller must treat the returned lease as the new
+// owner handle.
+func (p *Pool) Grow(l *Lease, capacity int) *Lease {
+	if capacity <= len(l.full) {
+		return l
+	}
+	nl := p.Get(capacity)
+	copy(nl.full, l.Bytes())
+	nl.n = l.n
+	l.Release()
+	return nl
+}
+
+// Stats snapshots the counters.
+func (p *Pool) Stats() Stats {
+	gets, puts := p.gets.Load(), p.puts.Load()
+	return Stats{
+		Gets:        gets,
+		Puts:        puts,
+		Misses:      p.misses.Load(),
+		Oversize:    p.oversize.Load(),
+		Outstanding: gets - puts,
+	}
+}
+
+// Outstanding returns the number of leases not yet fully released.
+func (p *Pool) Outstanding() int64 { return p.gets.Load() - p.puts.Load() }
+
+// LeakCheck returns an error when leases are outstanding. Tests call it
+// after draining the code under test: a lease acquired without a matching
+// final Release fails the check.
+func (p *Pool) LeakCheck() error {
+	if n := p.Outstanding(); n != 0 {
+		return fmt.Errorf("bufpool: %d leases outstanding (gets=%d puts=%d)",
+			n, p.gets.Load(), p.puts.Load())
+	}
+	return nil
+}
+
+// Lease is one leased buffer. It starts with a single reference held by
+// the Get/Adopt caller; Retain adds readers, Release drops one, and the
+// final Release returns the buffer to its size class. After the final
+// Release the lease and its bytes must not be touched — the buffer is
+// immediately reusable by another Get.
+type Lease struct {
+	pool  *Pool
+	full  []byte // class-sized backing array
+	n     int    // logical length: Bytes() is full[:n]
+	class int    // size class, or -1 for adopted/oversize buffers
+	refs  atomic.Int32
+}
+
+// Bytes returns the leased buffer's logical contents.
+func (l *Lease) Bytes() []byte { return l.full[:l.n] }
+
+// Len returns the logical length.
+func (l *Lease) Len() int { return l.n }
+
+// Cap returns the backing capacity (the size class).
+func (l *Lease) Cap() int { return len(l.full) }
+
+// SetLen resizes the logical length within the backing capacity; it panics
+// beyond Cap. Use Pool.Grow to enlarge the backing buffer.
+func (l *Lease) SetLen(n int) {
+	if n < 0 || n > len(l.full) {
+		panic(fmt.Sprintf("bufpool: SetLen(%d) outside capacity %d", n, len(l.full)))
+	}
+	l.n = n
+}
+
+// Retain adds a reference for another concurrent holder (a second reader
+// of a cached segment). Each Retain obligates one more Release.
+func (l *Lease) Retain() {
+	if l.refs.Add(1) <= 1 {
+		panic("bufpool: Retain of a released lease")
+	}
+}
+
+// Release drops one reference. The last Release returns the buffer to its
+// size class; releasing more times than retained panics — it means two
+// holders both believed they owned the final reference.
+func (l *Lease) Release() {
+	r := l.refs.Add(-1)
+	if r > 0 {
+		return
+	}
+	if r < 0 {
+		panic("bufpool: Release without matching Get/Retain")
+	}
+	p := l.pool
+	p.puts.Add(1)
+	if l.class >= 0 {
+		p.classes[l.class].Put(l)
+	}
+}

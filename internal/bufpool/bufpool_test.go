@@ -1,0 +1,188 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {1 << 10, 0},
+		{1<<10 + 1, 1}, {1 << 11, 1},
+		{100 << 10, 7}, // 128 KB class holds the default transport buffer
+		{1 << 24, numClasses - 1},
+		{1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetReleaseRecycles(t *testing.T) {
+	p := New()
+	l := p.Get(1000)
+	if len(l.Bytes()) != 1000 || l.Cap() != 1<<10 {
+		t.Fatalf("lease len=%d cap=%d", len(l.Bytes()), l.Cap())
+	}
+	buf := &l.Bytes()[0]
+	l.Release()
+	// The same class-sized buffer must come back on the next Get.
+	l2 := p.Get(512)
+	if &l2.Bytes()[0] != buf {
+		t.Error("released buffer not recycled")
+	}
+	l2.Release()
+	st := p.Stats()
+	if st.Gets != 2 || st.Puts != 2 || st.Misses != 1 || st.Outstanding != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLeakCheckFailsOnHeldLease(t *testing.T) {
+	p := New()
+	l := p.Get(64)
+	if err := p.LeakCheck(); err == nil {
+		t.Fatal("LeakCheck passed with an outstanding lease")
+	}
+	l.Release()
+	if err := p.LeakCheck(); err != nil {
+		t.Fatalf("LeakCheck after release: %v", err)
+	}
+}
+
+func TestRetainSharesOneBuffer(t *testing.T) {
+	p := New()
+	l := p.Get(8)
+	copy(l.Bytes(), "segment!")
+	l.Retain() // second reader
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if string(l.Bytes()) != "segment!" {
+				t.Error("reader observed wrong bytes")
+			}
+			l.Release()
+		}()
+	}
+	wg.Wait()
+	if err := p.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAfterFinalPanics(t *testing.T) {
+	p := New()
+	l := p.Get(1 << 25) // oversize: not recycled, safe to double-release
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Release did not panic")
+		}
+	}()
+	l.Release()
+}
+
+func TestRetainAfterReleasePanics(t *testing.T) {
+	p := New()
+	l := p.Get(1 << 25)
+	l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain after final Release did not panic")
+		}
+	}()
+	l.Retain()
+}
+
+func TestOversizeLease(t *testing.T) {
+	p := New()
+	l := p.Get(1<<24 + 1)
+	if len(l.Bytes()) != 1<<24+1 {
+		t.Fatalf("oversize len = %d", len(l.Bytes()))
+	}
+	l.Release()
+	if st := p.Stats(); st.Oversize != 1 || st.Outstanding != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	p := New()
+	buf := []byte("adopted")
+	l := p.Adopt(buf)
+	if &l.Bytes()[0] != &buf[0] {
+		t.Fatal("Adopt copied")
+	}
+	l.Release()
+	if err := p.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+	// An adopted buffer must not enter a size class.
+	l2 := p.Get(len(buf))
+	if l2.Cap() == len(buf) {
+		t.Error("adopted buffer recycled into a class")
+	}
+	l2.Release()
+}
+
+func TestGrow(t *testing.T) {
+	p := New()
+	l := p.Get(4)
+	copy(l.Bytes(), "abcd")
+	same := p.Grow(l, 4)
+	if same != l {
+		t.Fatal("Grow reallocated within capacity")
+	}
+	grown := p.Grow(l, 1<<12)
+	if grown == l || grown.Cap() < 1<<12 {
+		t.Fatalf("Grow kept capacity %d", grown.Cap())
+	}
+	if string(grown.Bytes()) != "abcd" {
+		t.Fatalf("Grow lost contents: %q", grown.Bytes())
+	}
+	grown.Release()
+	if err := p.LeakCheck(); err != nil {
+		t.Fatal(err) // Grow must have released the old lease
+	}
+}
+
+func TestSetLen(t *testing.T) {
+	p := New()
+	l := p.Get(10)
+	l.SetLen(0)
+	if len(l.Bytes()) != 0 {
+		t.Fatal("SetLen(0) ignored")
+	}
+	l.SetLen(l.Cap())
+	defer l.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLen beyond Cap did not panic")
+		}
+	}()
+	l.SetLen(l.Cap() + 1)
+}
+
+func TestConcurrentGetRelease(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l := p.Get((seed+1)*1024 + i)
+				l.Bytes()[0] = byte(i)
+				l.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,15 +4,25 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/bufpool"
 	"repro/internal/mof"
 	"repro/internal/rdma"
 	"repro/internal/transport"
 )
+
+// leaseOf copies data into a pooled lease for DataCache tests.
+func leaseOf(p *bufpool.Pool, data []byte) *bufpool.Lease {
+	l := p.Get(len(data))
+	copy(l.Bytes(), data)
+	return l
+}
 
 func TestFetchRequestRoundTrip(t *testing.T) {
 	r := fetchRequest{ID: 0xdeadbeef01, Partition: 17, MapTask: "job-0001-m-00042"}
@@ -89,12 +99,13 @@ func TestProtocolRoundTripProperty(t *testing.T) {
 }
 
 func TestDataCachePinMissAndPut(t *testing.T) {
+	pool := bufpool.New()
 	c := NewDataCache(1 << 20)
 	if _, ok := c.Pin("t", 0); ok {
 		t.Fatal("empty cache hit")
 	}
 	data := []byte("segment bytes")
-	c.Put("t", 0, data)
+	c.Put("t", 0, leaseOf(pool, data))
 	got, ok := c.Pin("t", 0)
 	if !ok || !bytes.Equal(got, data) {
 		t.Fatal("Pin after Put missed")
@@ -104,17 +115,22 @@ func TestDataCachePinMissAndPut(t *testing.T) {
 	if c.Used() != int64(len(data)) {
 		t.Fatalf("Used = %d, want %d (unpinned entries stay cached)", c.Used(), len(data))
 	}
+	c.Drain()
+	if err := pool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestDataCacheEvictsUnpinnedLRU(t *testing.T) {
+	pool := bufpool.New()
 	c := NewDataCache(100)
-	c.Put("a", 0, make([]byte, 60))
+	c.Put("a", 0, leaseOf(pool, make([]byte, 60)))
 	c.Unpin("a", 0)
-	c.Put("b", 0, make([]byte, 30))
+	c.Put("b", 0, leaseOf(pool, make([]byte, 30)))
 	c.Unpin("b", 0)
 	// 10 bytes left; inserting 50 must evict "a" (LRU: released first...
 	// actually "b" released later, so "a" is least recent).
-	c.Put("c", 0, make([]byte, 50))
+	c.Put("c", 0, leaseOf(pool, make([]byte, 50)))
 	if _, ok := c.Pin("a", 0); ok {
 		t.Fatal("LRU entry survived eviction")
 	}
@@ -128,11 +144,12 @@ func TestDataCacheEvictsUnpinnedLRU(t *testing.T) {
 }
 
 func TestDataCachePutBlocksOnPinnedData(t *testing.T) {
+	pool := bufpool.New()
 	c := NewDataCache(100)
-	c.Put("a", 0, make([]byte, 80)) // pinned
+	c.Put("a", 0, leaseOf(pool, make([]byte, 80))) // pinned
 	done := make(chan struct{})
 	go func() {
-		c.Put("b", 0, make([]byte, 50)) // must wait for space
+		c.Put("b", 0, leaseOf(pool, make([]byte, 50))) // must wait for space
 		close(done)
 	}()
 	select {
@@ -148,9 +165,9 @@ func TestDataCachePutBlocksOnPinnedData(t *testing.T) {
 }
 
 func TestDataCacheOversizedSegmentAdmitted(t *testing.T) {
+	pool := bufpool.New()
 	c := NewDataCache(10)
-	big := make([]byte, 100)
-	got := c.Put("huge", 0, big)
+	got := c.Put("huge", 0, leaseOf(pool, make([]byte, 100)))
 	if len(got) != 100 {
 		t.Fatal("oversized Put truncated")
 	}
@@ -168,14 +185,94 @@ func TestDataCacheUnpinWithoutPinPanics(t *testing.T) {
 }
 
 func TestDataCachePutExistingPins(t *testing.T) {
+	pool := bufpool.New()
 	c := NewDataCache(1000)
-	c.Put("a", 0, []byte("one"))
-	got := c.Put("a", 0, []byte("different"))
+	c.Put("a", 0, leaseOf(pool, []byte("one")))
+	got := c.Put("a", 0, leaseOf(pool, []byte("different")))
 	if string(got) != "one" {
 		t.Fatalf("second Put replaced entry: %q", got)
 	}
 	c.Unpin("a", 0)
 	c.Unpin("a", 0)
+	// The duplicate's lease was released on the spot; after draining the
+	// resident entry, nothing is outstanding.
+	c.Drain()
+	if err := pool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDataCacheRefCountedSharing exercises the segment-buffer reference
+// counting: two concurrent fetches of one cached segment observe the same
+// bytes in the same buffer, the buffer returns to the pool only after both
+// release (and the entry is evicted), and checksum verification still
+// catches corruption of the shared buffer.
+func TestDataCacheRefCountedSharing(t *testing.T) {
+	pool := bufpool.New()
+	c := NewDataCache(1 << 20)
+	seg := bytes.Repeat([]byte("shuffle segment "), 128)
+	entry := mof.IndexEntry{
+		Length:    int64(len(seg)),
+		RawLength: int64(len(seg)),
+		Checksum:  crc32.ChecksumIEEE(seg),
+	}
+	c.Put("t", 0, leaseOf(pool, seg))
+	c.Unpin("t", 0) // staging pin: segment now resident and unpinned
+
+	// Two concurrent transmitters fetch the cached segment.
+	views := make([][]byte, 2)
+	var wg sync.WaitGroup
+	for i := range views {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, ok := c.Pin("t", 0)
+			if !ok {
+				t.Error("resident segment missed")
+				return
+			}
+			views[i] = d
+		}()
+	}
+	wg.Wait()
+	if !bytes.Equal(views[0], views[1]) || !bytes.Equal(views[0], seg) {
+		t.Fatal("concurrent fetches observed different bytes")
+	}
+	if &views[0][0] != &views[1][0] {
+		t.Fatal("concurrent fetches did not share one buffer")
+	}
+	for _, v := range views {
+		if err := mof.VerifySegment(v, entry); err != nil {
+			t.Fatalf("shared buffer fails verification: %v", err)
+		}
+	}
+
+	// First reader releases; the second still holds the buffer. Drain
+	// cannot evict a pinned entry, so the buffer must not be in the pool.
+	c.Unpin("t", 0)
+	c.Drain()
+	if err := pool.LeakCheck(); err == nil {
+		t.Fatal("buffer returned to pool while a reader still holds it")
+	}
+	if err := mof.VerifySegment(views[1], entry); err != nil {
+		t.Fatalf("buffer corrupted while still held: %v", err)
+	}
+
+	// Checksum verification still catches corruption of the shared bytes.
+	views[1][0] ^= 0xff
+	if err := mof.VerifySegment(views[1], entry); !errors.Is(err, mof.ErrChecksum) {
+		t.Fatalf("corruption not caught: %v", err)
+	}
+	views[1][0] ^= 0xff
+
+	// Last reader releases and the entry is evicted: only now does the
+	// buffer go back to the pool.
+	c.Unpin("t", 0)
+	c.Drain()
+	if err := pool.LeakCheck(); err != nil {
+		t.Fatalf("buffer not returned after last release: %v", err)
+	}
 }
 
 // buildMOF writes a MOF with one segment per partition and returns the
@@ -492,6 +589,45 @@ func TestSupplierConfigValidation(t *testing.T) {
 	}
 }
 
+// TestSupplierConfigRejectsNegativesByName checks that every numeric knob
+// rejects negative values with an error naming the offending field.
+func TestSupplierConfigRejectsNegativesByName(t *testing.T) {
+	base := func() SupplierConfig {
+		return SupplierConfig{Transport: transport.NewTCP(), Addr: "127.0.0.1:0"}
+	}
+	cases := []struct {
+		field string
+		mut   func(*SupplierConfig)
+	}{
+		{"BufferSize", func(c *SupplierConfig) { c.BufferSize = -1 }},
+		{"DataCacheBytes", func(c *SupplierConfig) { c.DataCacheBytes = -1 }},
+		{"PrefetchBatch", func(c *SupplierConfig) { c.PrefetchBatch = -1 }},
+		{"XmitWorkers", func(c *SupplierConfig) { c.XmitWorkers = -1 }},
+		{"IndexCacheEntries", func(c *SupplierConfig) { c.IndexCacheEntries = -1 }},
+		{"FileCacheEntries", func(c *SupplierConfig) { c.FileCacheEntries = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		err := cfg.applyDefaults()
+		if err == nil {
+			t.Errorf("negative %s accepted", tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("negative %s error %q does not name the field", tc.field, err)
+		}
+	}
+	// Zero still means default.
+	cfg := base()
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BufferSize != transport.DefaultBufferSize || cfg.FileCacheEntries != 128 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
 func TestMergerConfigValidation(t *testing.T) {
 	if _, err := NewNetMerger(MergerConfig{}); err == nil {
 		t.Fatal("empty config accepted")
@@ -502,6 +638,31 @@ func TestMergerConfigValidation(t *testing.T) {
 	}
 	if cfg.MaxConnections != 512 {
 		t.Fatalf("default max connections = %d, want 512 (paper)", cfg.MaxConnections)
+	}
+}
+
+// TestMergerConfigRejectsNegativesByName mirrors the supplier check: every
+// numeric knob rejects negatives with a named-field error.
+func TestMergerConfigRejectsNegativesByName(t *testing.T) {
+	cases := []struct {
+		field string
+		mut   func(*MergerConfig)
+	}{
+		{"MaxConnections", func(c *MergerConfig) { c.MaxConnections = -1 }},
+		{"WindowPerNode", func(c *MergerConfig) { c.WindowPerNode = -1 }},
+		{"MaxRetries", func(c *MergerConfig) { c.MaxRetries = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := MergerConfig{Transport: transport.NewTCP()}
+		tc.mut(&cfg)
+		err := cfg.applyDefaults()
+		if err == nil {
+			t.Errorf("negative %s accepted", tc.field)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("negative %s error %q does not name the field", tc.field, err)
+		}
 	}
 }
 

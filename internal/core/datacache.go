@@ -1,8 +1,9 @@
 package core
 
 import (
-	"container/list"
 	"sync"
+
+	"repro/internal/bufpool"
 )
 
 // DataCache is the MOFSupplier's staging memory (Section III-B): the disk
@@ -12,6 +13,12 @@ import (
 // fetches of a hot segment hit memory, and are evicted LRU under capacity
 // pressure. Put blocks when the cache is full of pinned data — the
 // backpressure that paces prefetching to transmission.
+//
+// Segments are held as pooled leases and reference counted: residency in
+// the cache owns the lease's base reference, every Pin retains it, and the
+// buffer returns to its pool only when the entry has been evicted and the
+// last concurrent transmitter has unpinned. Concurrent fetches of one hot
+// segment therefore share a single buffer.
 type DataCache struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -19,8 +26,10 @@ type DataCache struct {
 	used     int64
 
 	entries map[cacheKey]*dcEntry
-	// lru holds unpinned entries, front = most recently released.
-	lru *list.List
+	// lru is the sentinel of an intrusive ring of unpinned entries
+	// (lru.next = most recently released); links live in dcEntry so
+	// pinning and unpinning a hot segment allocates nothing.
+	lru dcEntry
 
 	hits, misses, evictions int64
 }
@@ -31,10 +40,12 @@ type cacheKey struct {
 }
 
 type dcEntry struct {
-	key  cacheKey
-	data []byte
-	pins int
-	el   *list.Element // non-nil while unpinned
+	key   cacheKey
+	lease *bufpool.Lease
+	pins  int
+	// prev/next link the entry into the cache's LRU ring while unpinned;
+	// both are nil while pinned.
+	prev, next *dcEntry
 }
 
 // NewDataCache creates a cache with the given byte capacity.
@@ -45,13 +56,29 @@ func NewDataCache(capacity int64) *DataCache {
 	c := &DataCache{
 		capacity: capacity,
 		entries:  make(map[cacheKey]*dcEntry),
-		lru:      list.New(),
 	}
+	c.lru.prev, c.lru.next = &c.lru, &c.lru
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
 
-// Pin returns the cached segment and pins it, or reports a miss.
+// lruRemove unlinks an entry from the LRU ring. Callers hold mu.
+func (c *DataCache) lruRemove(e *dcEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// lruPushFront links an entry at the most-recently-released end of the
+// ring. Callers hold mu.
+func (c *DataCache) lruPushFront(e *dcEntry) {
+	e.prev, e.next = &c.lru, c.lru.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// Pin returns the cached segment and pins it, or reports a miss. The bytes
+// stay valid until the matching Unpin.
 func (c *DataCache) Pin(task string, partition int) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -62,29 +89,32 @@ func (c *DataCache) Pin(task string, partition int) ([]byte, bool) {
 	}
 	c.hits++
 	c.pin(e)
-	return e.data, true
+	return e.lease.Bytes(), true
 }
 
 func (c *DataCache) pin(e *dcEntry) {
-	if e.el != nil {
-		c.lru.Remove(e.el)
-		e.el = nil
+	if e.next != nil {
+		c.lruRemove(e)
 	}
+	e.lease.Retain()
 	e.pins++
 }
 
-// Put inserts a prefetched segment pinned once. If the key is already
-// cached, the existing entry is pinned instead. Put blocks until the data
-// fits; a segment larger than the whole cache is admitted alone.
-func (c *DataCache) Put(task string, partition int, data []byte) []byte {
+// Put inserts a prefetched segment pinned once, taking ownership of the
+// lease's base reference for as long as the entry stays resident. If the
+// key is already cached, the incoming lease is released and the existing
+// entry pinned instead. Put blocks until the data fits; a segment larger
+// than the whole cache is admitted alone.
+func (c *DataCache) Put(task string, partition int, lease *bufpool.Lease) []byte {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	key := cacheKey{task, partition}
 	if e, ok := c.entries[key]; ok {
 		c.pin(e)
-		return e.data
+		lease.Release() // duplicate prefetch of a resident segment
+		return e.lease.Bytes()
 	}
-	need := int64(len(data))
+	need := int64(lease.Len())
 	for c.used+need > c.capacity {
 		if c.evictOne() {
 			continue
@@ -94,24 +124,25 @@ func (c *DataCache) Put(task string, partition int, data []byte) []byte {
 		}
 		c.cond.Wait()
 	}
-	e := &dcEntry{key: key, data: data, pins: 1}
+	e := &dcEntry{key: key, lease: lease, pins: 1}
+	e.lease.Retain() // the staging pin, on top of the residency reference
 	c.entries[key] = e
 	c.used += need
-	return data
+	return lease.Bytes()
 }
 
-// evictOne removes the least recently used unpinned entry; it reports
-// whether anything was evicted.
+// evictOne removes the least recently used unpinned entry, releasing its
+// residency reference; it reports whether anything was evicted.
 func (c *DataCache) evictOne() bool {
-	back := c.lru.Back()
-	if back == nil {
+	e := c.lru.prev
+	if e == &c.lru {
 		return false
 	}
-	e := back.Value.(*dcEntry)
-	c.lru.Remove(back)
+	c.lruRemove(e)
 	delete(c.entries, e.key)
-	c.used -= int64(len(e.data))
+	c.used -= int64(e.lease.Len())
 	c.evictions++
+	e.lease.Release()
 	return true
 }
 
@@ -125,10 +156,23 @@ func (c *DataCache) Unpin(task string, partition int) {
 		panic("core: Unpin without matching Pin/Put")
 	}
 	e.pins--
+	e.lease.Release()
 	if e.pins == 0 {
-		e.el = c.lru.PushFront(e)
+		c.lruPushFront(e)
 		c.cond.Broadcast()
 	}
+}
+
+// Drain evicts every unpinned entry, returning their buffers to the pool.
+// With no transmissions in flight this empties the cache, which is how the
+// supplier's Close (and leak-checking tests) prove no segment buffer is
+// still outstanding.
+func (c *DataCache) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.evictOne() {
+	}
+	c.cond.Broadcast()
 }
 
 // Used returns the resident byte count.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/transport"
 )
 
@@ -26,14 +27,22 @@ func (c *MergerConfig) applyDefaults() error {
 	if c.Transport == nil {
 		return errors.New("core: merger needs a transport")
 	}
+	// Every numeric knob follows one rule: zero means default, negative is
+	// rejected by name.
+	if c.MaxConnections < 0 {
+		return fmt.Errorf("core: merger MaxConnections %d must not be negative", c.MaxConnections)
+	}
+	if c.WindowPerNode < 0 {
+		return fmt.Errorf("core: merger WindowPerNode %d must not be negative", c.WindowPerNode)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("core: merger MaxRetries %d must not be negative", c.MaxRetries)
+	}
 	if c.MaxConnections == 0 {
 		c.MaxConnections = transport.DefaultMaxConnections
 	}
 	if c.WindowPerNode == 0 {
 		c.WindowPerNode = 4
-	}
-	if c.MaxConnections < 0 || c.WindowPerNode < 0 || c.MaxRetries < 0 {
-		return errors.New("core: merger limits must be positive")
 	}
 	return nil
 }
@@ -260,18 +269,23 @@ func (m *NetMerger) injectLoop() {
 	}
 }
 
-// send transmits one fetch request on the (cached) connection to addr.
+// send transmits one fetch request on the (cached) connection to addr. The
+// request is encoded into a pooled buffer: both backends finish with the
+// bytes before Send returns, so the lease is released immediately.
 func (m *NetMerger) send(addr string, p *pendingFetch) error {
 	conn, err := m.cache.Get(addr)
 	if err != nil {
 		return err
 	}
-	msg := encodeFetchRequest(fetchRequest{
+	req := fetchRequest{
 		ID:        p.id,
 		Partition: uint32(p.spec.Partition),
 		MapTask:   p.spec.MapTask,
-	})
-	if err := conn.Send(msg); err != nil {
+	}
+	l := bufpool.Default().Get(fetchRequestLen(req))
+	err = conn.Send(appendFetchRequest(l.Bytes()[:0], req))
+	l.Release()
+	if err != nil {
 		m.cache.Invalidate(addr)
 		return err
 	}
@@ -299,13 +313,14 @@ func (m *NetMerger) readLoop(addr string) {
 		return
 	}
 	for {
-		msg, err := conn.Recv()
+		l, err := transport.RecvBuf(conn)
 		if err != nil {
 			m.failNode(addr, err)
 			return
 		}
-		chunk, err := decodeDataChunk(msg)
+		chunk, err := decodeDataChunk(l.Bytes())
 		if err != nil {
+			l.Release()
 			m.failNode(addr, err)
 			return
 		}
@@ -314,6 +329,7 @@ func (m *NetMerger) readLoop(addr string) {
 		if !ok {
 			// Response for a request that already failed; ignore.
 			m.mu.Unlock()
+			l.Release()
 			continue
 		}
 		if chunk.Failed {
@@ -323,11 +339,18 @@ func (m *NetMerger) readLoop(addr string) {
 			m.cond.Broadcast()
 			m.mu.Unlock()
 			p.result <- fetchResult{spec: p.spec, err: fmt.Errorf("%w: %s", ErrRemote, chunk.Payload)}
+			l.Release()
 			continue
+		}
+		if chunk.Sized && p.buf == nil && chunk.Total > 0 {
+			// The first chunk announces the segment's size: reassemble in
+			// one exact allocation instead of growing append-by-append.
+			p.buf = make([]byte, 0, chunk.Total)
 		}
 		p.buf = append(p.buf, chunk.Payload...)
 		if !chunk.Last {
 			m.mu.Unlock()
+			l.Release()
 			continue
 		}
 		delete(m.pending, chunk.ID)
@@ -336,6 +359,7 @@ func (m *NetMerger) readLoop(addr string) {
 		m.cond.Broadcast()
 		m.mu.Unlock()
 		p.result <- fetchResult{spec: p.spec, data: p.buf}
+		l.Release()
 	}
 }
 

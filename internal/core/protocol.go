@@ -26,6 +26,16 @@ const (
 const (
 	flagLast  byte = 1 << 0
 	flagError byte = 1 << 1
+	// flagSized marks a chunk carrying the segment's total byte length
+	// after the flags, letting the receiver size its reassembly buffer in
+	// one allocation. The supplier sets it on the first chunk of a segment.
+	flagSized byte = 1 << 2
+)
+
+// Chunk header sizes (type + id + flags, optionally + total length).
+const (
+	chunkHeaderLen      = 1 + 8 + 1
+	sizedChunkHeaderLen = chunkHeaderLen + 8
 )
 
 // FetchSpec identifies one segment to fetch: the segment of MapTask's MOF
@@ -46,19 +56,38 @@ type fetchRequest struct {
 	MapTask   string
 }
 
+// fetchRequestLen returns the encoded size of a fetch request.
+func fetchRequestLen(r fetchRequest) int {
+	return 1 + 8 + 4 + 2 + len(r.MapTask)
+}
+
+// appendFetchRequest marshals a fetch request onto dst (which may be a
+// pooled buffer) and returns the extended slice.
+func appendFetchRequest(dst []byte, r fetchRequest) []byte {
+	var fixed [15]byte
+	fixed[0] = msgFetchRequest
+	binary.BigEndian.PutUint64(fixed[1:], r.ID)
+	binary.BigEndian.PutUint32(fixed[9:], r.Partition)
+	binary.BigEndian.PutUint16(fixed[13:], uint16(len(r.MapTask)))
+	dst = append(dst, fixed[:]...)
+	return append(dst, r.MapTask...)
+}
+
 // encodeFetchRequest marshals a fetch request.
 func encodeFetchRequest(r fetchRequest) []byte {
-	buf := make([]byte, 1+8+4+2+len(r.MapTask))
-	buf[0] = msgFetchRequest
-	binary.BigEndian.PutUint64(buf[1:], r.ID)
-	binary.BigEndian.PutUint32(buf[9:], r.Partition)
-	binary.BigEndian.PutUint16(buf[13:], uint16(len(r.MapTask)))
-	copy(buf[15:], r.MapTask)
-	return buf
+	return appendFetchRequest(make([]byte, 0, fetchRequestLen(r)), r)
 }
 
 // decodeFetchRequest unmarshals a fetch request.
 func decodeFetchRequest(buf []byte) (fetchRequest, error) {
+	return decodeFetchRequestInterned(buf, nil)
+}
+
+// decodeFetchRequestInterned is decodeFetchRequest with map-task-name
+// interning: a fetch stream names a handful of distinct MOFs thousands of
+// times, so with a non-nil intern map the string is materialized once per
+// distinct name instead of once per request.
+func decodeFetchRequestInterned(buf []byte, intern map[string]string) (fetchRequest, error) {
 	if len(buf) < 15 || buf[0] != msgFetchRequest {
 		return fetchRequest{}, fmt.Errorf("%w: short or mistyped request (%d bytes)", ErrBadMessage, len(buf))
 	}
@@ -66,10 +95,21 @@ func decodeFetchRequest(buf []byte) (fetchRequest, error) {
 	if len(buf) != 15+n {
 		return fetchRequest{}, fmt.Errorf("%w: task name length %d vs %d", ErrBadMessage, n, len(buf)-15)
 	}
+	name := buf[15:]
+	var task string
+	if intern != nil {
+		var ok bool
+		if task, ok = intern[string(name)]; !ok { // lookup by []byte: no alloc
+			task = string(name)
+			intern[task] = task
+		}
+	} else {
+		task = string(name)
+	}
 	return fetchRequest{
 		ID:        binary.BigEndian.Uint64(buf[1:]),
 		Partition: binary.BigEndian.Uint32(buf[9:]),
-		MapTask:   string(buf[15:]),
+		MapTask:   task,
 	}, nil
 }
 
@@ -78,17 +118,34 @@ func decodeFetchRequest(buf []byte) (fetchRequest, error) {
 // flagLast. Failures travel as a chunk with flagError whose payload is the
 // error text.
 type dataChunk struct {
-	ID      uint64
-	Last    bool
-	Failed  bool
+	ID     uint64
+	Last   bool
+	Failed bool
+	// Sized marks the first chunk of a segment; Total is then the
+	// segment's full byte length across all its chunks.
+	Sized   bool
+	Total   int64
 	Payload []byte
 }
 
-// encodeDataChunk marshals a chunk.
+// appendChunkHeader writes a chunk header onto dst — sized (with total)
+// when flagSized is set — and returns the extended slice. The supplier
+// appends into a per-connection scratch array so the hot send path builds
+// headers without allocating; the payload travels as a separate vector.
+func appendChunkHeader(dst []byte, id uint64, flags byte, total int64) []byte {
+	var hdr [sizedChunkHeaderLen]byte
+	hdr[0] = msgDataChunk
+	binary.BigEndian.PutUint64(hdr[1:], id)
+	hdr[9] = flags
+	if flags&flagSized != 0 {
+		binary.BigEndian.PutUint64(hdr[10:], uint64(total))
+		return append(dst, hdr[:sizedChunkHeaderLen]...)
+	}
+	return append(dst, hdr[:chunkHeaderLen]...)
+}
+
+// encodeDataChunk marshals a chunk, header and payload coalesced.
 func encodeDataChunk(c dataChunk) []byte {
-	buf := make([]byte, 1+8+1+len(c.Payload))
-	buf[0] = msgDataChunk
-	binary.BigEndian.PutUint64(buf[1:], c.ID)
 	var flags byte
 	if c.Last {
 		flags |= flagLast
@@ -96,20 +153,35 @@ func encodeDataChunk(c dataChunk) []byte {
 	if c.Failed {
 		flags |= flagError
 	}
-	buf[9] = flags
-	copy(buf[10:], c.Payload)
-	return buf
+	if c.Sized {
+		flags |= flagSized
+	}
+	buf := appendChunkHeader(make([]byte, 0, sizedChunkHeaderLen+len(c.Payload)), c.ID, flags, c.Total)
+	return append(buf, c.Payload...)
 }
 
-// decodeDataChunk unmarshals a chunk.
+// decodeDataChunk unmarshals a chunk. The payload aliases buf.
 func decodeDataChunk(buf []byte) (dataChunk, error) {
-	if len(buf) < 10 || buf[0] != msgDataChunk {
+	if len(buf) < chunkHeaderLen || buf[0] != msgDataChunk {
 		return dataChunk{}, fmt.Errorf("%w: short or mistyped chunk (%d bytes)", ErrBadMessage, len(buf))
 	}
-	return dataChunk{
-		ID:      binary.BigEndian.Uint64(buf[1:]),
-		Last:    buf[9]&flagLast != 0,
-		Failed:  buf[9]&flagError != 0,
-		Payload: buf[10:],
-	}, nil
+	c := dataChunk{
+		ID:     binary.BigEndian.Uint64(buf[1:]),
+		Last:   buf[9]&flagLast != 0,
+		Failed: buf[9]&flagError != 0,
+		Sized:  buf[9]&flagSized != 0,
+	}
+	payload := buf[chunkHeaderLen:]
+	if c.Sized {
+		if len(buf) < sizedChunkHeaderLen {
+			return dataChunk{}, fmt.Errorf("%w: sized chunk of %d bytes", ErrBadMessage, len(buf))
+		}
+		c.Total = int64(binary.BigEndian.Uint64(buf[chunkHeaderLen:]))
+		if c.Total < 0 {
+			return dataChunk{}, fmt.Errorf("%w: negative segment size", ErrBadMessage)
+		}
+		payload = buf[sizedChunkHeaderLen:]
+	}
+	c.Payload = payload
+	return c, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bufpool"
 	"repro/internal/mof"
 	"repro/internal/transport"
 )
@@ -31,6 +32,8 @@ type SupplierConfig struct {
 	XmitWorkers int
 	// IndexCacheEntries sizes the IndexCache.
 	IndexCacheEntries int
+	// FileCacheEntries caps the open-file-handle cache over MOF data files.
+	FileCacheEntries int
 }
 
 func (c *SupplierConfig) applyDefaults() error {
@@ -40,11 +43,28 @@ func (c *SupplierConfig) applyDefaults() error {
 	if c.Addr == "" {
 		return errors.New("core: supplier needs an address")
 	}
+	// Every numeric knob follows one rule: zero means default, negative is
+	// rejected by name.
+	if c.BufferSize < 0 {
+		return fmt.Errorf("core: supplier BufferSize %d must not be negative", c.BufferSize)
+	}
+	if c.DataCacheBytes < 0 {
+		return fmt.Errorf("core: supplier DataCacheBytes %d must not be negative", c.DataCacheBytes)
+	}
+	if c.PrefetchBatch < 0 {
+		return fmt.Errorf("core: supplier PrefetchBatch %d must not be negative", c.PrefetchBatch)
+	}
+	if c.XmitWorkers < 0 {
+		return fmt.Errorf("core: supplier XmitWorkers %d must not be negative", c.XmitWorkers)
+	}
+	if c.IndexCacheEntries < 0 {
+		return fmt.Errorf("core: supplier IndexCacheEntries %d must not be negative", c.IndexCacheEntries)
+	}
+	if c.FileCacheEntries < 0 {
+		return fmt.Errorf("core: supplier FileCacheEntries %d must not be negative", c.FileCacheEntries)
+	}
 	if c.BufferSize == 0 {
 		c.BufferSize = transport.DefaultBufferSize
-	}
-	if c.BufferSize < 0 {
-		return fmt.Errorf("core: buffer size %d invalid", c.BufferSize)
 	}
 	if c.DataCacheBytes == 0 {
 		c.DataCacheBytes = 64 << 20
@@ -57,6 +77,9 @@ func (c *SupplierConfig) applyDefaults() error {
 	}
 	if c.IndexCacheEntries == 0 {
 		c.IndexCacheEntries = 256
+	}
+	if c.FileCacheEntries == 0 {
+		c.FileCacheEntries = 128
 	}
 	return nil
 }
@@ -81,24 +104,52 @@ type supplierReq struct {
 	entry mof.IndexEntry
 }
 
-// supplierConn serializes response writes to one client connection.
+// supplierReqPool recycles request records between fetches; without it
+// every fetch allocates one. A record goes back to the pool at whichever
+// point ends its trip through the pipeline (transmit done, stage failure,
+// shutdown); records dropped in channels at shutdown are simply collected.
+var supplierReqPool = sync.Pool{New: func() any { return new(supplierReq) }}
+
+func putSupplierReq(r *supplierReq) {
+	*r = supplierReq{} // drop conn/string references before pooling
+	supplierReqPool.Put(r)
+}
+
+// supplierConn serializes response writes to one client connection. The
+// header scratch is reused under sendMu so chunking a segment performs no
+// allocation: headers come from hdr, payloads are sliced straight out of
+// the cached segment, and SendVec gathers the two on the wire.
 type supplierConn struct {
 	conn   transport.Conn
 	sendMu sync.Mutex
+	hdr    [sizedChunkHeaderLen]byte // sendMu-guarded header scratch
+	vecs   [][]byte                  // sendMu-guarded gather scratch
 }
 
 func (sc *supplierConn) sendChunks(id uint64, data []byte, bufSize int) error {
 	sc.sendMu.Lock()
 	defer sc.sendMu.Unlock()
 	rest := data
+	first := true
 	for {
 		chunk := rest
 		if len(chunk) > bufSize {
 			chunk = chunk[:bufSize]
 		}
 		rest = rest[len(chunk):]
-		msg := encodeDataChunk(dataChunk{ID: id, Last: len(rest) == 0, Payload: chunk})
-		if err := sc.conn.Send(msg); err != nil {
+		var flags byte
+		if len(rest) == 0 {
+			flags |= flagLast
+		}
+		if first {
+			// The first chunk announces the segment's total size so the
+			// merger can allocate its reassembly buffer exactly once.
+			flags |= flagSized
+			first = false
+		}
+		hdr := appendChunkHeader(sc.hdr[:0], id, flags, int64(len(data)))
+		sc.vecs = append(sc.vecs[:0], hdr, chunk)
+		if err := transport.SendVec(sc.conn, sc.vecs...); err != nil {
 			return err
 		}
 		if len(rest) == 0 {
@@ -127,6 +178,8 @@ type MOFSupplier struct {
 	lis    transport.Listener
 	icache *mof.IndexCache
 	dcache *DataCache
+	fcache *mof.FileCache
+	pool   *bufpool.Pool
 
 	reqCh  chan *supplierReq
 	xmitCh chan *supplierReq
@@ -165,6 +218,8 @@ func NewMOFSupplier(cfg SupplierConfig, lookup LookupFunc) (*MOFSupplier, error)
 		lis:    lis,
 		icache: mof.NewIndexCache(cfg.IndexCacheEntries),
 		dcache: NewDataCache(cfg.DataCacheBytes),
+		fcache: mof.NewFileCache(cfg.FileCacheEntries),
+		pool:   bufpool.Default(),
 		reqCh:  make(chan *supplierReq, 1024),
 		xmitCh: make(chan *supplierReq, 256),
 		done:   make(chan struct{}),
@@ -201,7 +256,8 @@ func (s *MOFSupplier) CacheStats() (hits, misses, evictions int64) {
 	return s.dcache.Stats()
 }
 
-// Close stops the supplier and its connections.
+// Close stops the supplier and its connections, drains the DataCache back
+// to the buffer pool, and closes the cached file handles.
 func (s *MOFSupplier) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.done)
@@ -213,7 +269,8 @@ func (s *MOFSupplier) Close() error {
 		s.connMu.Unlock()
 	})
 	s.wg.Wait()
-	return nil
+	s.dcache.Drain()
+	return s.fcache.Close()
 }
 
 func (s *MOFSupplier) acceptLoop() {
@@ -241,12 +298,14 @@ func (s *MOFSupplier) connLoop(conn transport.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
+	intern := make(map[string]string) // task names repeat across requests
 	for {
-		msg, err := conn.Recv()
+		l, err := transport.RecvBuf(conn)
 		if err != nil {
 			return
 		}
-		req, err := decodeFetchRequest(msg)
+		req, err := decodeFetchRequestInterned(l.Bytes(), intern)
+		l.Release() // the decoder copies (or interns) what it keeps
 		if err != nil {
 			s.errCount.Add(1)
 			return // protocol violation: drop the connection
@@ -263,6 +322,7 @@ func (s *MOFSupplier) connLoop(conn transport.Conn) {
 		select {
 		case s.reqCh <- resolved:
 		case <-s.done:
+			putSupplierReq(resolved)
 			return
 		}
 	}
@@ -282,30 +342,49 @@ func (s *MOFSupplier) resolve(sc *supplierConn, req fetchRequest) (*supplierReq,
 	if err != nil {
 		return nil, fmt.Errorf("partition %d of %s: %w", req.Partition, req.MapTask, err)
 	}
-	return &supplierReq{
+	r := supplierReqPool.Get().(*supplierReq)
+	*r = supplierReq{
 		conn:  sc,
 		id:    req.ID,
 		task:  req.MapTask,
 		part:  int(req.Partition),
 		data:  dataPath,
 		entry: entry,
-	}, nil
+	}
+	return r, nil
 }
 
 // mofGroup is the per-MOF request group: requests ordered by segment
-// offset so a batch reads the file near-sequentially.
+// offset so a batch reads the file near-sequentially. Served requests are
+// advanced past with head (instead of re-slicing) so a drained group can
+// be recycled with its backing array intact.
 type mofGroup struct {
 	task string
 	reqs []*supplierReq
+	head int // reqs[:head] have been served
 }
 
+func (g *mofGroup) pending() int { return len(g.reqs) - g.head }
+
 func (g *mofGroup) insert(r *supplierReq) {
-	i := sort.Search(len(g.reqs), func(i int) bool {
-		return g.reqs[i].entry.Offset > r.entry.Offset
+	reqs := g.reqs[g.head:]
+	i := g.head + sort.Search(len(reqs), func(i int) bool {
+		return reqs[i].entry.Offset > r.entry.Offset
 	})
 	g.reqs = append(g.reqs, nil)
 	copy(g.reqs[i+1:], g.reqs[i:])
 	g.reqs[i] = r
+}
+
+// reset clears the group for reuse, dropping request references but
+// keeping the slice capacity.
+func (g *mofGroup) reset() {
+	for i := range g.reqs {
+		g.reqs[i] = nil
+	}
+	g.reqs = g.reqs[:0]
+	g.head = 0
+	g.task = ""
 }
 
 // prefetchLoop is the disk prefetch server: it maintains the per-MOF
@@ -314,13 +393,19 @@ func (g *mofGroup) insert(r *supplierReq) {
 func (s *MOFSupplier) prefetchLoop() {
 	defer s.wg.Done()
 	groups := make(map[string]*mofGroup)
-	var ring []string // round-robin order of group keys
+	var ring []string    // round-robin order of group keys
+	var free []*mofGroup // drained groups, recycled with their capacity
 	next := 0
 
 	add := func(r *supplierReq) {
 		g, ok := groups[r.task]
 		if !ok {
-			g = &mofGroup{task: r.task}
+			if n := len(free); n > 0 {
+				g, free = free[n-1], free[:n-1]
+			} else {
+				g = &mofGroup{}
+			}
+			g.task = r.task
 			groups[r.task] = g
 			ring = append(ring, r.task)
 		}
@@ -359,12 +444,13 @@ func (s *MOFSupplier) prefetchLoop() {
 		key := ring[next]
 		g := groups[key]
 		batch := s.cfg.PrefetchBatch
-		if batch > len(g.reqs) {
-			batch = len(g.reqs)
+		if batch > g.pending() {
+			batch = g.pending()
 		}
-		taken := g.reqs[:batch]
-		g.reqs = g.reqs[batch:]
-		if len(g.reqs) == 0 {
+		taken := g.reqs[g.head : g.head+batch]
+		g.head += batch
+		drained := g.pending() == 0
+		if drained {
 			delete(groups, key)
 			ring = append(ring[:next], ring[next+1:]...)
 		} else {
@@ -374,6 +460,11 @@ func (s *MOFSupplier) prefetchLoop() {
 		for _, r := range taken {
 			s.stage(r)
 		}
+		if drained {
+			// taken aliased g.reqs, so recycle only after staging.
+			g.reset()
+			free = append(free, g)
+		}
 	}
 }
 
@@ -382,19 +473,21 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 	if _, ok := s.dcache.Pin(r.task, r.part); ok {
 		s.cacheHits.Add(1)
 	} else {
-		data, err := mof.ReadSegmentBytes(r.data, r.entry)
+		lease, err := mof.ReadSegmentLease(s.fcache, s.pool, r.data, r.entry)
 		if err != nil {
 			s.errCount.Add(1)
 			r.conn.sendError(r.id, err)
+			putSupplierReq(r)
 			return
 		}
 		s.diskReads.Add(1)
-		s.dcache.Put(r.task, r.part, data)
+		s.dcache.Put(r.task, r.part, lease) // cache owns the lease now
 	}
 	select {
 	case s.xmitCh <- r:
 	case <-s.done:
 		s.dcache.Unpin(r.task, r.part)
+		putSupplierReq(r)
 	}
 }
 
@@ -410,6 +503,7 @@ func (s *MOFSupplier) xmitLoop() {
 				// logic error surfaced to the client.
 				s.errCount.Add(1)
 				r.conn.sendError(r.id, errors.New("segment evicted while staged"))
+				putSupplierReq(r)
 				continue
 			}
 			err := r.conn.sendChunks(r.id, data, s.cfg.BufferSize)
@@ -420,6 +514,7 @@ func (s *MOFSupplier) xmitLoop() {
 			} else {
 				s.errCount.Add(1)
 			}
+			putSupplierReq(r)
 		case <-s.done:
 			return
 		}

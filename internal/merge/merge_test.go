@@ -35,7 +35,12 @@ func drain(t *testing.T, it *Iterator) []mof.Record {
 		if err != nil {
 			t.Fatal(err)
 		}
-		out = append(out, r)
+		// Records from disk-backed sources alias reused buffers; copy to
+		// keep them past the next call.
+		out = append(out, mof.Record{
+			Key:   append([]byte(nil), r.Key...),
+			Value: append([]byte(nil), r.Value...),
+		})
 	}
 }
 
@@ -374,7 +379,11 @@ func TestMergersEquivalentProperty(t *testing.T) {
 				if err != nil {
 					return false
 				}
-				out = append(out, r)
+				// Copy: disk-backed records alias reused buffers.
+				out = append(out, mof.Record{
+					Key:   append([]byte(nil), r.Key...),
+					Value: append([]byte(nil), r.Value...),
+				})
 			}
 			it.Close()
 			if m == Merger(spill) {

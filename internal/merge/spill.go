@@ -208,10 +208,15 @@ func boolToInt(b bool) int {
 	return 0
 }
 
-// runSource streams a spill run file.
+// runSource streams a spill run file. Records are decoded into two
+// alternating buffers instead of per-record allocations: a returned record
+// stays valid until the second following Next, which covers the merge
+// Iterator's head-plus-lookahead access pattern.
 type runSource struct {
-	f *os.File
-	r *bufio.Reader
+	f       *os.File
+	r       *bufio.Reader
+	scratch [2][]byte
+	flip    int
 }
 
 func openRunSource(path string) (Source, error) {
@@ -234,15 +239,21 @@ func (s *runSource) Next() (mof.Record, error) {
 	if err != nil {
 		return mof.Record{}, fmt.Errorf("merge: run corrupt: %w", err)
 	}
-	key := make([]byte, klen)
-	if _, err := io.ReadFull(s.r, key); err != nil {
+	need := int(klen) + int(vlen)
+	if need < 0 {
+		return mof.Record{}, fmt.Errorf("merge: run corrupt: record of %d bytes", need)
+	}
+	buf := s.scratch[s.flip]
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		s.scratch[s.flip] = buf
+	}
+	buf = buf[:need]
+	s.flip ^= 1
+	if _, err := io.ReadFull(s.r, buf); err != nil {
 		return mof.Record{}, fmt.Errorf("merge: run corrupt: %w", err)
 	}
-	val := make([]byte, vlen)
-	if _, err := io.ReadFull(s.r, val); err != nil {
-		return mof.Record{}, fmt.Errorf("merge: run corrupt: %w", err)
-	}
-	return mof.Record{Key: key, Value: val}, nil
+	return mof.Record{Key: buf[:klen:klen], Value: buf[klen:]}, nil
 }
 
 func (s *runSource) Close() error { return s.f.Close() }

@@ -1,0 +1,308 @@
+package mof
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/bufpool"
+)
+
+func writeTempFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestFileCacheHitsAndSharing(t *testing.T) {
+	path := writeTempFile(t, "a.data", []byte("hello"))
+	fc := NewFileCache(4)
+	defer fc.Close()
+
+	h1, err := fc.Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := fc.Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("concurrent acquires of one path should share a handle")
+	}
+	if h1.File() != h2.File() {
+		t.Fatal("shared handle must expose one descriptor")
+	}
+	if err := h1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _ := fc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestFileCacheEvictsLRU(t *testing.T) {
+	fc := NewFileCache(2)
+	defer fc.Close()
+
+	paths := make([]string, 3)
+	for i := range paths {
+		paths[i] = writeTempFile(t, fmt.Sprintf("f%d.data", i), []byte{byte(i)})
+		h, err := fc.Acquire(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fc.Len(); got != 2 {
+		t.Fatalf("cache holds %d files, want 2", got)
+	}
+	_, _, evictions := fc.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", evictions)
+	}
+	// The oldest entry (paths[0]) was evicted; re-acquiring is a miss.
+	if _, err := fc.Acquire(paths[0]); err != nil {
+		t.Fatal(err)
+	}
+	_, misses, _ := fc.Stats()
+	if misses != 4 {
+		t.Fatalf("misses=%d, want 4 (3 cold + 1 after eviction)", misses)
+	}
+}
+
+func TestFileCacheEvictionSparesReferencedHandles(t *testing.T) {
+	fc := NewFileCache(1)
+	defer fc.Close()
+
+	p0 := writeTempFile(t, "held.data", []byte("held"))
+	held, err := fc.Acquire(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the cap while p0 is referenced: it must survive.
+	p1 := writeTempFile(t, "other.data", []byte("other"))
+	h1, err := fc.Acquire(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// The held descriptor still reads.
+	buf := make([]byte, 4)
+	if _, err := held.File().ReadAt(buf, 0); err != nil {
+		t.Fatalf("held descriptor unusable: %v", err)
+	}
+	if string(buf) != "held" {
+		t.Fatalf("read %q through held descriptor", buf)
+	}
+	if err := held.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCacheCloseDefersToLastRelease(t *testing.T) {
+	path := writeTempFile(t, "a.data", []byte("data"))
+	fc := NewFileCache(2)
+	h, err := fc.Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Still readable: the reference keeps the descriptor open past Close.
+	buf := make([]byte, 4)
+	if _, err := h.File().ReadAt(buf, 0); err != nil {
+		t.Fatalf("descriptor closed under in-flight reader: %v", err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Final release closed it.
+	if _, err := h.File().ReadAt(buf, 0); err == nil {
+		t.Fatal("descriptor still open after final release of closed cache")
+	}
+	if _, err := fc.Acquire(path); !errors.Is(err, ErrFileCacheClosed) {
+		t.Fatalf("Acquire after Close: %v, want ErrFileCacheClosed", err)
+	}
+}
+
+func TestFileCacheDoubleReleasePanics(t *testing.T) {
+	path := writeTempFile(t, "a.data", nil)
+	fc := NewFileCache(2)
+	defer fc.Close()
+	h, err := fc.Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	_ = h.Release()
+}
+
+func TestFileCacheConcurrentAcquire(t *testing.T) {
+	path := writeTempFile(t, "a.data", []byte("race"))
+	fc := NewFileCache(2)
+	defer fc.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				h, err := fc.Acquire(path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				buf := make([]byte, 4)
+				if _, err := h.File().ReadAt(buf, 0); err != nil {
+					t.Error(err)
+				}
+				if err := h.Release(); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fc.Len(); got != 1 {
+		t.Fatalf("cache holds %d files, want 1", got)
+	}
+}
+
+func TestReadSegmentLease(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "run.data")
+	indexPath := filepath.Join(dir, "run.index")
+	w, err := NewWriter(dataPath, indexPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ReadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := bufpool.New()
+	fc := NewFileCache(2)
+	defer fc.Close()
+
+	e0, _ := ix.Entry(0)
+	l, err := ReadSegmentLease(fc, pool, dataPath, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadSegmentBytes(dataPath, e0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(l.Bytes()) != string(want) {
+		t.Fatal("pooled read differs from plain read")
+	}
+	l.Release()
+
+	// Empty segment (partition 1 was skipped).
+	e1, _ := ix.Entry(1)
+	l, err = ReadSegmentLease(fc, pool, dataPath, e1)
+	if err != nil {
+		t.Fatalf("empty segment read: %v", err)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("empty segment lease has %d bytes", l.Len())
+	}
+	l.Release()
+
+	// Corruption is still caught, and the lease is not leaked.
+	bad := e0
+	bad.Checksum++
+	if _, err := ReadSegmentLease(fc, pool, dataPath, bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt read: %v, want ErrChecksum", err)
+	}
+	if err := pool.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentReaderRecordsSurviveOneLookahead(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "run.data")
+	indexPath := filepath.Join(dir, "run.index")
+	w, err := NewWriter(dataPath, indexPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	for i := 0; i < n; i++ {
+		if err := w.Append(fmt.Appendf(nil, "key-%03d", i), fmt.Appendf(nil, "val-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ReadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := ix.Entry(0)
+	sr, err := OpenSegment(dataPath, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+
+	// Hold one record across the next Next (merge's lookahead pattern): it
+	// must stay intact because the reader alternates two buffers.
+	prev, err := sr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		cur, err := sr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantK := fmt.Sprintf("key-%03d", i-1)
+		if string(prev.Key) != wantK {
+			t.Fatalf("record %d corrupted by lookahead: key %q, want %q", i-1, prev.Key, wantK)
+		}
+		prev = cur
+	}
+	if string(prev.Value) != fmt.Sprintf("val-%03d", n-1) {
+		t.Fatalf("last record corrupted: %q", prev.Value)
+	}
+}

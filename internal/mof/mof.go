@@ -16,6 +16,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/bufpool"
 )
 
 // Errors returned by the package.
@@ -413,6 +415,34 @@ func ReadSegmentBytes(dataPath string, e IndexEntry) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadSegmentLease reads one raw segment into a pooled buffer through a
+// cached file handle and verifies its checksum. This is the allocation-free
+// variant of ReadSegmentBytes: the descriptor comes from fc instead of a
+// fresh os.Open, and the bytes land in a lease the caller must Release
+// exactly once (ownership typically moves to the DataCache).
+func ReadSegmentLease(fc *FileCache, pool *bufpool.Pool, dataPath string, e IndexEntry) (*bufpool.Lease, error) {
+	h, err := fc.Acquire(dataPath)
+	if err != nil {
+		return nil, err
+	}
+	l := pool.Get(int(e.Length))
+	_, err = h.File().ReadAt(l.Bytes(), e.Offset)
+	relErr := h.Release()
+	if err != nil && !(err == io.EOF && e.Length == 0) {
+		l.Release()
+		return nil, fmt.Errorf("mof: read segment: %w", err)
+	}
+	if relErr != nil {
+		l.Release()
+		return nil, fmt.Errorf("mof: close evicted data file: %w", relErr)
+	}
+	if crc32.ChecksumIEEE(l.Bytes()) != e.Checksum {
+		l.Release()
+		return nil, ErrChecksum
+	}
+	return l, nil
+}
+
 // VerifySegment checks raw segment bytes against an index entry.
 func VerifySegment(data []byte, e IndexEntry) error {
 	if int64(len(data)) != e.Length {
@@ -431,6 +461,8 @@ type SegmentReader struct {
 	r       *bufio.Reader
 	inflate io.ReadCloser // non-nil for compressed segments
 	rem     int64
+	scratch [2][]byte // alternating record storage; see Next
+	flip    int
 }
 
 // OpenSegment opens a streaming reader over one segment.
@@ -456,7 +488,11 @@ func OpenSegment(dataPath string, e IndexEntry) (*SegmentReader, error) {
 	return sr, nil
 }
 
-// Next returns the next record, or io.EOF after the last.
+// Next returns the next record, or io.EOF after the last. The returned
+// record's key and value alias an internal buffer that is overwritten by
+// the second following Next call; merge sources hold at most the current
+// and one lookahead record, so they fit this contract — any consumer
+// keeping records longer must copy.
 func (sr *SegmentReader) Next() (Record, error) {
 	if sr.rem <= 0 {
 		return Record{}, io.EOF
@@ -469,15 +505,21 @@ func (sr *SegmentReader) Next() (Record, error) {
 	if err != nil {
 		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
 	}
-	key := make([]byte, klen)
-	if _, err := io.ReadFull(sr.r, key); err != nil {
+	need := int(klen) + int(vlen)
+	if need < 0 || int64(need) > sr.rem {
+		return Record{}, fmt.Errorf("%w: record of %d bytes exceeds segment", ErrCorruptRecord, need)
+	}
+	buf := sr.scratch[sr.flip]
+	if cap(buf) < need {
+		buf = make([]byte, need)
+		sr.scratch[sr.flip] = buf
+	}
+	buf = buf[:need]
+	sr.flip ^= 1
+	if _, err := io.ReadFull(sr.r, buf); err != nil {
 		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
 	}
-	val := make([]byte, vlen)
-	if _, err := io.ReadFull(sr.r, val); err != nil {
-		return Record{}, fmt.Errorf("%w: %v", ErrCorruptRecord, err)
-	}
-	rec := Record{Key: key, Value: val}
+	rec := Record{Key: buf[:klen:klen], Value: buf[klen:]}
 	sr.rem -= int64(rec.Size())
 	return rec, nil
 }

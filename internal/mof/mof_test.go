@@ -303,7 +303,11 @@ func TestSegmentReaderStreams(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got = append(got, r)
+		// Records alias the reader's alternating buffers; copy to keep them.
+		got = append(got, Record{
+			Key:   append([]byte(nil), r.Key...),
+			Value: append([]byte(nil), r.Value...),
+		})
 	}
 	if !recordsEqual(got, recs) {
 		t.Fatalf("streamed %d records, want %d", len(got), len(recs))

@@ -1,23 +1,40 @@
 package transport
 
+import (
+	"repro/internal/bufpool"
+)
+
 // BufferPool is a fixed population of transport buffers shared by data
 // threads. The population is fixed because registered memory is a scarce
 // resource: with very large buffer sizes fewer buffers exist and threads
 // contend for them, which is the degradation the paper observes at 512 KB
 // in Fig. 11.
+//
+// The population discipline (who may hold a buffer at once) lives here;
+// the buffers themselves are leased from a size-classed bufpool.Pool, so
+// the TCP and RDMA paths recycle one set of memory under one leak-
+// accounted regime.
 type BufferPool struct {
-	size int
-	free chan []byte
+	size   int
+	src    *bufpool.Pool
+	tokens chan struct{}
 }
 
-// NewBufferPool creates count buffers of size bytes each.
+// NewBufferPool creates a population of count buffers of size bytes each,
+// leased from the shared default pool.
 func NewBufferPool(size, count int) *BufferPool {
+	return NewBufferPoolOn(bufpool.Default(), size, count)
+}
+
+// NewBufferPoolOn creates the population over an explicit backing pool
+// (tests use a private pool to assert leak-freedom).
+func NewBufferPoolOn(src *bufpool.Pool, size, count int) *BufferPool {
 	if size <= 0 || count <= 0 {
 		panic("transport: pool size and count must be positive")
 	}
-	p := &BufferPool{size: size, free: make(chan []byte, count)}
+	p := &BufferPool{size: size, src: src, tokens: make(chan struct{}, count)}
 	for i := 0; i < count; i++ {
-		p.free <- make([]byte, size)
+		p.tokens <- struct{}{}
 	}
 	return p
 }
@@ -25,31 +42,37 @@ func NewBufferPool(size, count int) *BufferPool {
 // BufferSize returns the size of each buffer.
 func (p *BufferPool) BufferSize() int { return p.size }
 
-// Get blocks until a buffer is available.
-func (p *BufferPool) Get() []byte { return <-p.free }
+// Get blocks until a population slot is free, then leases a buffer. The
+// caller must return it with Put.
+func (p *BufferPool) Get() *bufpool.Lease {
+	<-p.tokens
+	return p.src.Get(p.size)
+}
 
-// TryGet returns a buffer without blocking, or nil if none is free.
-func (p *BufferPool) TryGet() []byte {
+// TryGet returns a buffer without blocking, or nil if the population is
+// exhausted.
+func (p *BufferPool) TryGet() *bufpool.Lease {
 	select {
-	case b := <-p.free:
-		return b
+	case <-p.tokens:
+		return p.src.Get(p.size)
 	default:
 		return nil
 	}
 }
 
-// Put returns a buffer to the pool. Putting a foreign-sized buffer panics:
-// it indicates the caller mixed pools.
-func (p *BufferPool) Put(b []byte) {
-	if cap(b) < p.size {
+// Put returns a buffer to the population, releasing its lease. Putting a
+// foreign-sized lease panics: it indicates the caller mixed pools.
+func (p *BufferPool) Put(l *bufpool.Lease) {
+	if l.Len() != p.size {
 		panic("transport: foreign buffer returned to pool")
 	}
+	l.Release()
 	select {
-	case p.free <- b[:p.size]:
+	case p.tokens <- struct{}{}:
 	default:
 		panic("transport: pool overfilled")
 	}
 }
 
-// Available returns the number of free buffers.
-func (p *BufferPool) Available() int { return len(p.free) }
+// Available returns the number of free population slots.
+func (p *BufferPool) Available() int { return len(p.tokens) }

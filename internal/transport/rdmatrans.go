@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/rdma"
 )
 
@@ -185,27 +186,51 @@ func (c *rdmaConn) repost(slot int) error {
 }
 
 func (c *rdmaConn) Send(msg []byte) error {
-	if len(msg) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
+	return c.SendVec([][]byte{msg})
+}
+
+// SendVec transmits the concatenation of bufs as one framed message. The
+// slices are gathered into the registered send buffer chunk by chunk, so a
+// protocol header and a cached payload travel without an intermediate
+// concatenation allocation — the registered-memory copy RDMA requires
+// anyway is the only copy.
+func (c *rdmaConn) SendVec(bufs [][]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	rest := msg
+	rest := total
+	vec, off := 0, 0 // cursor into bufs
 	for {
-		chunk := rest
-		if len(chunk) > c.bufSize {
-			chunk = chunk[:c.bufSize]
+		// Gather the next chunk into the registered send buffer.
+		dst := c.sendMR.Bytes()
+		if rest < len(dst) {
+			dst = dst[:rest]
 		}
-		rest = rest[len(chunk):]
+		filled := 0
+		for filled < len(dst) && vec < len(bufs) {
+			n := copy(dst[filled:], bufs[vec][off:])
+			filled += n
+			off += n
+			if off == len(bufs[vec]) {
+				vec++
+				off = 0
+			}
+		}
+		rest -= filled
 		var imm uint32
-		if len(rest) == 0 {
+		if rest == 0 {
 			imm = immLast
 		}
-		copy(c.sendMR.Bytes(), chunk)
 		err := c.qp.PostSend(rdma.WorkRequest{
 			WRID:   0,
 			MR:     c.sendMR,
-			Length: len(chunk),
+			Length: filled,
 			Imm:    imm,
 		})
 		if err != nil {
@@ -219,36 +244,62 @@ func (c *rdmaConn) Send(msg []byte) error {
 		if comp.Err != nil {
 			return c.mapErr(comp.Err)
 		}
-		if len(rest) == 0 {
+		if rest == 0 {
 			return nil
 		}
 	}
 }
 
-func (c *rdmaConn) Recv() ([]byte, error) {
-	c.recvMu.Lock()
-	defer c.recvMu.Unlock()
-	var msg []byte
+// recvInto accumulates one framed message into the leased buffer, growing
+// it as chunks arrive. Callers hold recvMu.
+func (c *rdmaConn) recvInto(l *bufpool.Lease) (*bufpool.Lease, error) {
+	l.SetLen(0)
 	for {
 		comp, ok := <-c.qp.RecvCQ()
 		if !ok {
+			l.Release()
 			return nil, ErrConnClosed
 		}
 		if comp.Err != nil {
+			l.Release()
 			return nil, c.mapErr(comp.Err)
 		}
 		slot := int(comp.WRID)
-		msg = append(msg, c.slots[slot].Bytes()[:comp.Bytes]...)
+		n := l.Len()
+		if n+comp.Bytes > MaxFrameSize {
+			l.Release()
+			return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n+comp.Bytes)
+		}
+		l = bufpool.Default().Grow(l, n+comp.Bytes)
+		l.SetLen(n + comp.Bytes)
+		copy(l.Bytes()[n:], c.slots[slot].Bytes()[:comp.Bytes])
 		if err := c.repost(slot); err != nil {
+			l.Release()
 			return nil, c.mapErr(err)
 		}
 		if comp.Imm&immLast != 0 {
-			return msg, nil
-		}
-		if len(msg) > MaxFrameSize {
-			return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
+			return l, nil
 		}
 	}
+}
+
+func (c *rdmaConn) Recv() ([]byte, error) {
+	l, err := c.RecvBuf()
+	if err != nil {
+		return nil, err
+	}
+	msg := append([]byte(nil), l.Bytes()...)
+	l.Release()
+	return msg, nil
+}
+
+// RecvBuf is the pooled variant of Recv: chunks accumulate straight into a
+// leased buffer sized by the transport buffer, growing for multi-chunk
+// frames. The caller owns the lease.
+func (c *rdmaConn) RecvBuf() (*bufpool.Lease, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return c.recvInto(bufpool.Default().Get(c.bufSize))
 }
 
 func (c *rdmaConn) mapErr(err error) error {

@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/bufpool"
 )
 
 // TCP is the TCP/IP backend. It mirrors the paper's Section IV-B design in
@@ -61,13 +63,21 @@ func (l *tcpListener) Close() error { return l.nl.Close() }
 
 func (l *tcpListener) Addr() string { return l.nl.Addr().String() }
 
-// tcpConn frames messages with a 4-byte big-endian length prefix.
+// tcpConn frames messages with a 4-byte big-endian length prefix. Header
+// and payload leave in one vectored write (writev), so a frame costs a
+// single syscall and no coalescing copy.
 type tcpConn struct {
 	nc net.Conn
 	br *bufio.Reader
 
-	sendMu sync.Mutex
-	recvMu sync.Mutex
+	sendMu  sync.Mutex
+	sendHdr [4]byte     // frame header scratch, guarded by sendMu
+	single  [1][]byte   // Send's one-slice gather view, guarded by sendMu
+	vecsArr [][]byte    // writev gather scratch, guarded by sendMu
+	vecs    net.Buffers // WriteTo cursor over vecsArr, guarded by sendMu
+
+	recvMu  sync.Mutex
+	recvHdr [4]byte // frame header scratch, guarded by recvMu
 
 	closeOnce sync.Once
 	closeErr  error
@@ -78,38 +88,94 @@ func newTCPConn(nc net.Conn) *tcpConn {
 }
 
 func (c *tcpConn) Send(msg []byte) error {
-	if len(msg) > MaxFrameSize {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(msg))
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(msg)))
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	if _, err := c.nc.Write(hdr[:]); err != nil {
-		return c.mapErr(err)
+	c.single[0] = msg
+	err := c.writeFrame(len(msg), c.single[:])
+	c.single[0] = nil
+	return err
+}
+
+// SendVec transmits one framed message gathered from several slices: the
+// frame header and every slice go to the kernel in one writev, so the
+// caller can pass a protocol header and a cached segment payload without
+// concatenating them.
+func (c *tcpConn) SendVec(bufs [][]byte) error {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
 	}
-	if _, err := c.nc.Write(msg); err != nil {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.writeFrame(total, bufs)
+}
+
+// writeFrame issues one vectored write of header + bufs. Callers hold
+// sendMu.
+func (c *tcpConn) writeFrame(total int, bufs [][]byte) error {
+	if total > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
+	}
+	binary.BigEndian.PutUint32(c.sendHdr[:], uint32(total))
+	c.vecsArr = append(c.vecsArr[:0], c.sendHdr[:])
+	for _, b := range bufs {
+		if len(b) > 0 {
+			c.vecsArr = append(c.vecsArr, b)
+		}
+	}
+	// WriteTo consumes its receiver in place, so give it a throwaway cursor
+	// over the scratch; vecsArr keeps the backing array for the next frame.
+	c.vecs = net.Buffers(c.vecsArr)
+	if _, err := c.vecs.WriteTo(c.nc); err != nil {
 		return c.mapErr(err)
 	}
 	return nil
 }
 
+// recvHeader reads one frame header and validates the length. Callers hold
+// recvMu.
+func (c *tcpConn) recvHeader() (int, error) {
+	if _, err := io.ReadFull(c.br, c.recvHdr[:]); err != nil {
+		return 0, c.mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(c.recvHdr[:])
+	if n > MaxFrameSize {
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	return int(n), nil
+}
+
 func (c *tcpConn) Recv() ([]byte, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return nil, c.mapErr(err)
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	n, err := c.recvHeader()
+	if err != nil {
+		return nil, err
 	}
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(c.br, msg); err != nil {
 		return nil, c.mapErr(err)
 	}
 	return msg, nil
+}
+
+// RecvBuf is the pooled variant of Recv: the frame lands in a buffer
+// leased from the shared pool, so steady-state receive loops allocate
+// nothing. The caller owns the lease and must Release it (or hand it on)
+// exactly once.
+func (c *tcpConn) RecvBuf() (*bufpool.Lease, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	n, err := c.recvHeader()
+	if err != nil {
+		return nil, err
+	}
+	l := bufpool.Default().Get(n)
+	if _, err := io.ReadFull(c.br, l.Bytes()); err != nil {
+		l.Release()
+		return nil, c.mapErr(err)
+	}
+	return l, nil
 }
 
 func (c *tcpConn) mapErr(err error) error {

@@ -11,6 +11,8 @@ package transport
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/bufpool"
 )
 
 // Errors returned by transports.
@@ -42,6 +44,60 @@ type Conn interface {
 	Close() error
 	// RemoteAddr identifies the peer.
 	RemoteAddr() string
+}
+
+// PooledReceiver is implemented by connections whose receive path can land
+// frames in pooled buffers. Both built-in backends implement it; use the
+// package-level RecvBuf to fall back gracefully on any Conn.
+type PooledReceiver interface {
+	// RecvBuf returns the next framed message in a leased buffer. The
+	// caller owns the lease and must Release it exactly once.
+	RecvBuf() (*bufpool.Lease, error)
+}
+
+// VectorSender is implemented by connections that can gather one framed
+// message from several slices without coalescing (writev on TCP, chunked
+// registered-buffer copies on RDMA). Use the package-level SendVec to fall
+// back gracefully on any Conn.
+type VectorSender interface {
+	// SendVec transmits the concatenation of bufs as one framed message.
+	SendVec(bufs [][]byte) error
+}
+
+// RecvBuf receives one framed message into a leased buffer, using the
+// connection's pooled path when it has one and adopting the plain Recv
+// allocation otherwise. Either way the caller holds exactly one lease
+// reference to Release.
+func RecvBuf(c Conn) (*bufpool.Lease, error) {
+	if pr, ok := c.(PooledReceiver); ok {
+		return pr.RecvBuf()
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return bufpool.Default().Adopt(msg), nil
+}
+
+// SendVec transmits the concatenation of bufs as one framed message,
+// gathering on capable connections and coalescing through a pooled buffer
+// otherwise.
+func SendVec(c Conn, bufs ...[]byte) error {
+	if vs, ok := c.(VectorSender); ok {
+		return vs.SendVec(bufs)
+	}
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	l := bufpool.Default().Get(total)
+	msg := l.Bytes()[:0]
+	for _, b := range bufs {
+		msg = append(msg, b...)
+	}
+	err := c.Send(msg)
+	l.Release()
+	return err
 }
 
 // Listener accepts incoming connections.

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/rdma"
 )
 
@@ -91,6 +92,99 @@ func TestRoundTripBothBackends(t *testing.T) {
 			}
 			if !bytes.Equal(got, reply) {
 				t.Fatalf("reply = %q, want %q", got, reply)
+			}
+		})
+	}
+}
+
+// TestPooledRoundTripBothBackends sends with SendVec (header and payload
+// as separate slices) and receives with RecvBuf, the allocation-free path
+// the supplier and merger use.
+func TestPooledRoundTripBothBackends(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			tr, addr := mk()
+			client, server, cleanup := pair(t, tr, addr)
+			defer cleanup()
+
+			hdr := []byte{1, 2, 3}
+			payload := bytes.Repeat([]byte("x"), 300<<10) // spans several chunks
+			want := append(append([]byte(nil), hdr...), payload...)
+			done := make(chan error, 1)
+			go func() {
+				done <- SendVec(client, hdr, payload)
+			}()
+			l, err := RecvBuf(server)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(l.Bytes(), want) {
+				t.Fatalf("pooled recv got %d bytes, want %d", l.Len(), len(want))
+			}
+			l.Release()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+
+			// Pooled recv interleaves with plain Recv on one connection.
+			if err := SendVec(client, []byte("plain")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := server.Recv()
+			if err != nil || !bytes.Equal(got, []byte("plain")) {
+				t.Fatalf("plain recv after pooled = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// fallbackConn hides the pooled/vector fast paths to exercise the generic
+// RecvBuf/SendVec helpers.
+type fallbackConn struct{ c Conn }
+
+func (f fallbackConn) Send(msg []byte) error { return f.c.Send(msg) }
+func (f fallbackConn) Recv() ([]byte, error) { return f.c.Recv() }
+func (f fallbackConn) Close() error          { return f.c.Close() }
+func (f fallbackConn) RemoteAddr() string    { return f.c.RemoteAddr() }
+
+func TestPooledHelpersFallBack(t *testing.T) {
+	client, server, cleanup := pair(t, NewTCP(), "127.0.0.1:0")
+	defer cleanup()
+	done := make(chan error, 1)
+	go func() {
+		done <- SendVec(fallbackConn{client}, []byte("a"), []byte("bc"))
+	}()
+	l, err := RecvBuf(fallbackConn{server})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(l.Bytes()) != "abc" {
+		t.Fatalf("fallback round trip = %q", l.Bytes())
+	}
+	l.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendVecEmptyMessage(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			tr, addr := mk()
+			client, server, cleanup := pair(t, tr, addr)
+			defer cleanup()
+			done := make(chan error, 1)
+			go func() { done <- SendVec(client) }()
+			l, err := RecvBuf(server)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Len() != 0 {
+				t.Fatalf("empty frame arrived with %d bytes", l.Len())
+			}
+			l.Release()
+			if err := <-done; err != nil {
+				t.Fatal(err)
 			}
 		})
 	}
@@ -427,12 +521,13 @@ func TestConnCacheConcurrentGetSharesDial(t *testing.T) {
 }
 
 func TestBufferPool(t *testing.T) {
-	p := NewBufferPool(1024, 2)
+	src := bufpool.New()
+	p := NewBufferPoolOn(src, 1024, 2)
 	if p.BufferSize() != 1024 || p.Available() != 2 {
 		t.Fatal("pool construction wrong")
 	}
 	a, b := p.Get(), p.Get()
-	if len(a) != 1024 || len(b) != 1024 {
+	if a.Len() != 1024 || b.Len() != 1024 {
 		t.Fatal("buffer sizes wrong")
 	}
 	if p.TryGet() != nil {
@@ -442,15 +537,49 @@ func TestBufferPool(t *testing.T) {
 	if p.Available() != 1 {
 		t.Fatal("Put did not return buffer")
 	}
-	if c := p.TryGet(); c == nil {
+	c := p.TryGet()
+	if c == nil {
 		t.Fatal("TryGet should succeed after Put")
+	}
+	p.Put(c)
+	p.Put(b)
+	// Every population slot free again means every lease went back too.
+	if err := src.LeakCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolTryGetRace(t *testing.T) {
+	src := bufpool.New()
+	p := NewBufferPoolOn(src, 64, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l := p.TryGet()
+				if l == nil {
+					continue
+				}
+				l.Bytes()[0] = byte(i)
+				p.Put(l)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Available() != 4 {
+		t.Fatalf("available = %d, want 4", p.Available())
+	}
+	if err := src.LeakCheck(); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestBufferPoolBlocksWhenExhausted(t *testing.T) {
 	p := NewBufferPool(8, 1)
 	b := p.Get()
-	got := make(chan []byte)
+	got := make(chan *bufpool.Lease)
 	go func() { got <- p.Get() }()
 	select {
 	case <-got:
@@ -458,27 +587,29 @@ func TestBufferPoolBlocksWhenExhausted(t *testing.T) {
 	default:
 	}
 	p.Put(b)
-	<-got
+	p.Put(<-got)
 }
 
 func TestBufferPoolPanicsOnForeignBuffer(t *testing.T) {
-	p := NewBufferPool(1024, 1)
+	src := bufpool.New()
+	p := NewBufferPoolOn(src, 1024, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("foreign Put did not panic")
 		}
 	}()
-	p.Put(make([]byte, 8))
+	p.Put(src.Get(8))
 }
 
 func TestBufferPoolPanicsOnOverfill(t *testing.T) {
-	p := NewBufferPool(8, 1)
+	src := bufpool.New()
+	p := NewBufferPoolOn(src, 8, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("overfill did not panic")
 		}
 	}()
-	p.Put(make([]byte, 8))
+	p.Put(src.Get(8))
 }
 
 // Property: messages of arbitrary content and size below the frame limit
