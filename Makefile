@@ -17,7 +17,7 @@ test:
 
 # vet: the stock toolchain vet plus jbsvet, the repo-specific pass
 # (lock hygiene, goroutine lifecycle, unchecked Close/Write/Flush,
-# sim-clock purity).
+# sim-clock purity, package doc comments).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/jbsvet ./...

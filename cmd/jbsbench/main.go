@@ -7,6 +7,7 @@
 //	jbsbench all                   # run every table and figure
 //	jbsbench functional            # run the real-engine comparison
 //	jbsbench -csv out/ all         # also write per-experiment CSV files
+//	jbsbench -metrics functional   # also dump the metrics registry after the runs
 package main
 
 import (
@@ -16,12 +17,14 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	lines := flag.Int("lines", 2000, "input records for the functional run")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
+	dumpMetrics := flag.Bool("metrics", false, "dump the full metrics registry (Prometheus text format) after all runs")
 	flag.Parse()
 
 	emit := func(rep *bench.Report) {
@@ -74,6 +77,13 @@ func main() {
 				os.Exit(1)
 			}
 			emit(e.Run())
+		}
+	}
+	if *dumpMetrics {
+		fmt.Println("== metrics registry ==")
+		if err := metrics.Default().WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "jbsbench:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -5,16 +5,20 @@
 // Usage:
 //
 //	jbsrun -benchmark WordCount -shuffle jbs-rdma -lines 5000
+//	jbsrun -trace 10 -debug localhost:6060   # observability: see docs/OBSERVABILITY.md
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/debug"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/shuffle"
 	"repro/internal/workload"
 )
@@ -31,6 +35,8 @@ func main() {
 	sortMem := flag.Int64("sortmem", 0, "map-side sort buffer bytes; 0 = unbounded (io.sort.mb)")
 	hierarchical := flag.Int("hierarchical", 0, "hierarchical merge fan-in for JBS; 0 = flat network-levitated merge")
 	retries := flag.Int("retries", 0, "JBS fetch retries on connection failure")
+	debugAddr := flag.String("debug", "", "serve /debug/jbs endpoints on this address and stay up after the run (e.g. localhost:6060)")
+	traceN := flag.Int("trace", 0, "record per-segment fetch traces and print the N slowest")
 	flag.Parse()
 
 	if _, err := workload.ByName(*benchmark); err != nil {
@@ -57,6 +63,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	var debugLis net.Listener
+	if *debugAddr != "" {
+		debugLis, err = debug.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jbsrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug: serving http://%s/debug/jbs\n", debugLis.Addr())
+	}
+	if *traceN > 0 {
+		metrics.DefaultTracer().Enable()
+	}
+
 	res, err := bench.RunFunctional(bench.FunctionalConfig{
 		Benchmark:   *benchmark,
 		Lines:       *lines,
@@ -81,6 +100,16 @@ func main() {
 	fmt.Printf("  shuffle          %d segments, %d bytes\n", c.ShuffledSegments, c.ShuffledBytes)
 	fmt.Printf("  spills           %d events, %d bytes\n", c.SpillEvents, c.SpilledBytes)
 	fmt.Printf("  reduce           %d tasks, %d groups, %d output records\n", c.ReduceTasks, c.ReduceGroups, c.OutputRecords)
+	if !res.Phases.Zero() {
+		fmt.Printf("  phase breakdown (shuffle data path):\n%s", res.Phases.Format("    "))
+	}
+	if *traceN > 0 {
+		slowest := metrics.DefaultTracer().Slowest(*traceN)
+		fmt.Printf("  slowest %d fetch traces:\n", len(slowest))
+		for _, tr := range slowest {
+			fmt.Printf("    %s\n", tr)
+		}
+	}
 	if *showOutput > 0 {
 		outLines := strings.Split(strings.TrimSpace(res.Output), "\n")
 		n := *showOutput
@@ -91,5 +120,9 @@ func main() {
 		for _, l := range outLines[:n] {
 			fmt.Printf("    %s\n", l)
 		}
+	}
+	if debugLis != nil {
+		fmt.Printf("debug: run complete; still serving http://%s/debug/jbs (Ctrl-C to exit)\n", debugLis.Addr())
+		select {}
 	}
 }

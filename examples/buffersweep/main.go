@@ -1,6 +1,6 @@
-// Buffersweep: the Fig. 11 experiment at both scales — sweep the JBS
-// transport buffer size on the real engine (real sockets moving real
-// segments) and on the simulated 22-node testbed.
+// Command buffersweep runs the Fig. 11 experiment at both scales: it
+// sweeps the JBS transport buffer size on the real engine (real sockets
+// moving real segments) and on the simulated 22-node testbed.
 package main
 
 import (

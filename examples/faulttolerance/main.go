@@ -1,4 +1,4 @@
-// Faulttolerance: exercise the engine's failure machinery on a real job —
+// Command faulttolerance exercises the engine's failure machinery on a real job —
 // flaky map attempts retried, a straggler rescued by speculative
 // execution, a lost DFS replica served by failover, and a killed shuffle
 // connection resent by the NetMerger — all while the job's answer stays

@@ -1,4 +1,4 @@
-// Quickstart: run a WordCount job on the in-process MapReduce engine with
+// Command quickstart runs a WordCount job on the in-process MapReduce engine with
 // JVM-Bypass Shuffling over TCP — real input files, a real DFS, real
 // shuffle traffic — in under a second.
 package main

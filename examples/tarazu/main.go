@@ -1,4 +1,4 @@
-// Tarazu: run the paper's benchmark suite (Fig. 12) at laptop scale on the
+// Command tarazu runs the paper's benchmark suite (Fig. 12) at laptop scale on the
 // real engine, under the baseline HTTP shuffle and JBS, and report the
 // shuffle-volume classes that drive the paper's Section V-F analysis.
 package main

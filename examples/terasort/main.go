@@ -1,4 +1,4 @@
-// Terasort: the paper's headline workload, run back-to-back under the
+// Command terasort runs the paper's headline workload back-to-back under the
 // stock Hadoop-style HTTP shuffle and under JBS (TCP and emulated RDMA),
 // verifying identical globally-sorted output and contrasting the shuffle
 // counters — the laptop-scale analogue of Fig. 7.

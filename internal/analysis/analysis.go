@@ -15,6 +15,9 @@
 //     must be checked or explicitly discarded with `_ =`.
 //   - simclock: no direct wall-clock calls in simulation/model packages
 //     outside the clock abstraction.
+//   - doccomment: every package carries a godoc-convention package doc
+//     comment ("Package <name>" / "Command <name>") — the entry points
+//     the documentation pass (docs/ARCHITECTURE.md) builds on.
 //
 // The package uses only the standard library (go/ast, go/parser,
 // go/types); go.mod stays dependency-free.
@@ -57,6 +60,7 @@ func AllChecks() []Check {
 		&GoroutineCheck{},
 		&ErrCheck{},
 		&SimClockCheck{},
+		&DocCommentCheck{},
 	}
 }
 

@@ -101,6 +101,13 @@ func TestSimClockCheckGolden(t *testing.T) {
 	matchFindings(t, pkg, (&SimClockCheck{}).Run(pkg))
 }
 
+func TestDocCommentCheckGolden(t *testing.T) {
+	for _, name := range []string{"doccomment/missing", "doccomment/badprefix", "doccomment/cmdmain"} {
+		pkg := fixturePkg(t, name)
+		matchFindings(t, pkg, (&DocCommentCheck{}).Run(pkg))
+	}
+}
+
 // TestSuppressions runs simclock raw over the suppress fixture, then checks
 // that ApplySuppressions silences exactly the directive-covered findings
 // and reports the reason-less directive as malformed.

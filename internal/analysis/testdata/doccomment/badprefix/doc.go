@@ -1,0 +1,4 @@
+// docbad does things, but its doc comment skips the godoc convention.
+package docbad // want "should start"
+
+var A = 1

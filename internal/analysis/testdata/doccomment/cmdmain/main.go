@@ -1,0 +1,4 @@
+// Runs things; a main package's doc must start "Command <name>".
+package main // want "should start"
+
+func main() {}

@@ -1,0 +1,4 @@
+package docmissing // want "no package doc comment"
+
+// A file-level comment on a declaration is not a package doc.
+var A = 1

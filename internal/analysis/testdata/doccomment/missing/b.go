@@ -1,0 +1,5 @@
+package docmissing
+
+// B has a doc comment of its own; the package still has none. The finding
+// must anchor on the first file (a.go), not here.
+var B = 2

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mapred"
+	"repro/internal/metrics"
 	"repro/internal/shuffle"
 	"repro/internal/workload"
 )
@@ -40,6 +41,10 @@ type FunctionalResult struct {
 	Elapsed  time.Duration
 	Counters mapred.Counters
 	Output   string // concatenated part files (for cross-provider checks)
+	// Phases is what the run contributed to the process-wide shuffle
+	// metrics, folded into the segment-fetch phases. All zeros for the
+	// hadoop-http baseline, which bypasses the JBS data path.
+	Phases *PhaseBreakdown
 }
 
 // RunFunctional executes one benchmark on the real (non-simulated) engine
@@ -79,12 +84,14 @@ func RunFunctional(cfg FunctionalConfig, provider mapred.ShuffleProvider) (*Func
 	job := bm.Job("/input", "/output", cfg.Reducers)
 	job.CompressMOF = cfg.CompressMOF
 	job.SortMemory = cfg.SortMemory
+	before := metrics.Default().Snapshot()
 	start := time.Now()
 	res, err := eng.Run(job)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	phases := PhasesFromDiff(metrics.Diff(before, metrics.Default().Snapshot()))
 
 	var output []byte
 	for _, p := range res.OutputFiles {
@@ -109,6 +116,7 @@ func RunFunctional(cfg FunctionalConfig, provider mapred.ShuffleProvider) (*Func
 		Elapsed:  elapsed,
 		Counters: res.Counters,
 		Output:   string(output),
+		Phases:   phases,
 	}, nil
 }
 
@@ -160,6 +168,9 @@ func Functional(cfg FunctionalConfig) (*Report, error) {
 			fmt.Sprintf("%d", res.Counters.ShuffledBytes),
 			fmt.Sprintf("%d", res.Counters.SpillEvents),
 			fmt.Sprintf("%d", res.Counters.SpilledBytes))
+		if !res.Phases.Zero() {
+			rep.AddNote("%s phases: %s", name, res.Phases.Summary())
+		}
 	}
 	rep.AddNote("All providers produced byte-identical job output")
 	rep.AddNote("JBS providers show zero spill events (network-levitated merge)")

@@ -55,6 +55,58 @@ type Pool struct {
 	puts     atomic.Int64
 	misses   atomic.Int64
 	oversize atomic.Int64
+
+	// classGets/classPuts split the lease accounting per size class so a
+	// leak's size class is visible (index numClasses covers adopted and
+	// oversize leases, whose class is -1).
+	classGets [numClasses + 1]atomic.Int64
+	classPuts [numClasses + 1]atomic.Int64
+}
+
+// classIndex maps a Lease.class to its accounting slot.
+func classIndex(class int) int {
+	if class < 0 {
+		return numClasses
+	}
+	return class
+}
+
+// ClassStat is one size class's lease accounting.
+type ClassStat struct {
+	// Size is the class's buffer size in bytes, or -1 for the
+	// adopted/oversize bucket.
+	Size int
+	// Gets and Puts count leases handed out of / returned to this class.
+	Gets, Puts int64
+}
+
+// Outstanding is Gets - Puts: this class's leases currently held.
+func (s ClassStat) Outstanding() int64 { return s.Gets - s.Puts }
+
+// Label names the class for metrics and debug output ("64KiB",
+// "oversize").
+func (s ClassStat) Label() string {
+	if s.Size < 0 {
+		return "oversize"
+	}
+	if s.Size >= 1<<20 {
+		return fmt.Sprintf("%dMiB", s.Size>>20)
+	}
+	return fmt.Sprintf("%dKiB", s.Size>>10)
+}
+
+// ClassStats snapshots the per-size-class lease accounting; the last
+// entry is the adopted/oversize bucket.
+func (p *Pool) ClassStats() []ClassStat {
+	out := make([]ClassStat, numClasses+1)
+	for i := 0; i <= numClasses; i++ {
+		size := -1
+		if i < numClasses {
+			size = 1 << (i + minClassBits)
+		}
+		out[i] = ClassStat{Size: size, Gets: p.classGets[i].Load(), Puts: p.classPuts[i].Load()}
+	}
+	return out
 }
 
 // New creates an empty pool.
@@ -86,6 +138,7 @@ func classFor(n int) int {
 func (p *Pool) Get(n int) *Lease {
 	p.gets.Add(1)
 	c := classFor(n)
+	p.classGets[classIndex(c)].Add(1)
 	if c < 0 {
 		p.oversize.Add(1)
 		l := &Lease{pool: p, full: make([]byte, n), n: n, class: -1}
@@ -110,6 +163,7 @@ func (p *Pool) Get(n int) *Lease {
 // from outside — but the lease still participates in leak accounting.
 func (p *Pool) Adopt(buf []byte) *Lease {
 	p.gets.Add(1)
+	p.classGets[numClasses].Add(1)
 	l := &Lease{pool: p, full: buf, n: len(buf), class: -1}
 	l.refs.Store(1)
 	return l
@@ -209,6 +263,7 @@ func (l *Lease) Release() {
 	}
 	p := l.pool
 	p.puts.Add(1)
+	p.classPuts[classIndex(l.class)].Add(1)
 	if l.class >= 0 {
 		p.classes[l.class].Put(l)
 	}

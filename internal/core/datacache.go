@@ -85,9 +85,11 @@ func (c *DataCache) Pin(task string, partition int) ([]byte, bool) {
 	e, ok := c.entries[cacheKey{task, partition}]
 	if !ok {
 		c.misses++
+		dcMisses.Inc()
 		return nil, false
 	}
 	c.hits++
+	dcHits.Inc()
 	c.pin(e)
 	return e.lease.Bytes(), true
 }
@@ -128,6 +130,7 @@ func (c *DataCache) Put(task string, partition int, lease *bufpool.Lease) []byte
 	e.lease.Retain() // the staging pin, on top of the residency reference
 	c.entries[key] = e
 	c.used += need
+	dcResident.Add(need)
 	return lease.Bytes()
 }
 
@@ -142,6 +145,8 @@ func (c *DataCache) evictOne() bool {
 	delete(c.entries, e.key)
 	c.used -= int64(e.lease.Len())
 	c.evictions++
+	dcEvictions.Inc()
+	dcResident.Add(-int64(e.lease.Len()))
 	e.lease.Release()
 	return true
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Core-layer metrics, aggregated across every supplier/merger instance in
+// the process (an in-process cluster runs one per node). The per-instance
+// views remain available through Stats()/CacheStats(); these registry
+// handles are what /debug/jbs and the jbsbench per-phase breakdown read.
+var (
+	// DataCache: the staging memory between the disk prefetch server and
+	// the transmit workers (Section III-B).
+	dcHits = metrics.Default().Counter("jbs_datacache_hits_total", "lookups",
+		"DataCache pins served from resident segments")
+	dcMisses = metrics.Default().Counter("jbs_datacache_misses_total", "lookups",
+		"DataCache pins that required a disk read")
+	dcEvictions = metrics.Default().Counter("jbs_datacache_evictions_total", "segments",
+		"segments evicted by LRU capacity pressure")
+	dcResident = metrics.Default().Gauge("jbs_datacache_resident_bytes", "bytes",
+		"segment bytes currently resident across all DataCaches")
+
+	// MOFSupplier pipeline.
+	supRequests = metrics.Default().Counter("jbs_supplier_requests_total", "reqs",
+		"fetch requests decoded by suppliers")
+	supBytes = metrics.Default().Counter("jbs_supplier_bytes_served_total", "bytes",
+		"segment bytes transmitted to mergers")
+	supErrors = metrics.Default().Counter("jbs_supplier_errors_total", "errors",
+		"supplier-side failures (resolve, read, transmit)")
+	supQueueDepth = metrics.Default().Gauge("jbs_supplier_queue_depth", "reqs",
+		"resolved requests waiting for the disk prefetch server")
+	supXmitDepth = metrics.Default().Gauge("jbs_supplier_xmit_depth", "reqs",
+		"staged segments waiting for (or inside) a transmit worker — the prefetch pipeline's occupancy")
+	supGroupTurns = metrics.Default().Counter("jbs_supplier_group_turns_total", "turns",
+		"round-robin turns taken by the disk prefetch server")
+
+	// NetMerger fetch engine.
+	mrgFetches = metrics.Default().Counter("jbs_merger_fetches_total", "reqs",
+		"segment fetches issued by mergers")
+	mrgBytes = metrics.Default().Counter("jbs_merger_bytes_total", "bytes",
+		"segment bytes fetched and reassembled")
+	mrgErrors = metrics.Default().Counter("jbs_merger_errors_total", "errors",
+		"fetches that surfaced an error to the reduce side")
+	mrgRetries = metrics.Default().Counter("jbs_merger_retries_total", "reqs",
+		"fetches re-sent on a freshly dialed connection")
+	mrgRTT = metrics.Default().Histogram("jbs_merger_rtt_ns", "ns",
+		"fetch round trip: request on the wire to last chunk reassembled")
+)
+
+// inflightGauge returns the per-remote-node in-flight gauge, registered
+// on a node group's first fetch (registration is the slow path; the
+// returned handle is cached on the group and updated with plain atomic
+// adds).
+func inflightGauge(addr string) *metrics.Gauge {
+	return metrics.Default().Gauge(fmt.Sprintf("jbs_merger_inflight{node=%q}", addr), "reqs",
+		"fetch requests on the wire to one remote node")
+}
+
+// tracer is the shared per-segment fetch tracer; disabled it costs one
+// atomic load per mark (see metrics.Tracer).
+var tracer = metrics.DefaultTracer()

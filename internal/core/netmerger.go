@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -70,14 +72,19 @@ type pendingFetch struct {
 	buf      []byte
 	attempts int
 	result   chan<- fetchResult
+	// sentAt anchors the fetch RTT histogram; it is written under m.mu
+	// just before injection (so the read side, also under m.mu, races with
+	// nothing) and overwritten on each retry.
+	sentAt time.Time
 }
 
 // nodeGroup holds the per-remote-node request queue, ordered by arrival
 // (Section III-C), plus its in-flight window accounting.
 type nodeGroup struct {
-	addr     string
-	queue    []*pendingFetch
-	inflight int
+	addr      string
+	queue     []*pendingFetch
+	inflight  int
+	inflightG *metrics.Gauge // registry mirror of inflight, labeled by node
 }
 
 // NetMerger is JBS's client component (Section III-C): one per node,
@@ -187,7 +194,7 @@ func (m *NetMerger) Fetch(specs []FetchSpec, deliver func(FetchSpec, []byte) err
 		p := &pendingFetch{id: m.nextID, spec: spec, result: results}
 		g, ok := m.groups[spec.Addr]
 		if !ok {
-			g = &nodeGroup{addr: spec.Addr}
+			g = &nodeGroup{addr: spec.Addr, inflightG: inflightGauge(spec.Addr)}
 			m.groups[spec.Addr] = g
 			m.ring = append(m.ring, spec.Addr)
 			if n := int64(len(m.ring)); n > m.connsHigh {
@@ -196,6 +203,8 @@ func (m *NetMerger) Fetch(specs []FetchSpec, deliver func(FetchSpec, []byte) err
 		}
 		g.queue = append(g.queue, p) // arrival order within the group
 		m.requests++
+		mrgFetches.Inc()
+		tracer.Mark(spec.MapTask, spec.Partition, metrics.StageEnqueued)
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -243,8 +252,13 @@ func (m *NetMerger) injectLoop() {
 			p := g.queue[0]
 			g.queue = g.queue[1:]
 			g.inflight++
+			g.inflightG.Add(1)
 			m.pending[p.id] = p
 			m.ensureReader(addr)
+			// Stamp before the lock drops: once pending holds p, the read
+			// loop may touch it, so the stamp must happen-before that.
+			p.sentAt = time.Now()
+			tracer.Mark(p.spec.MapTask, p.spec.Partition, metrics.StageSent)
 			// Send outside the lock: the connection may block.
 			m.mu.Unlock()
 			err := m.send(addr, p)
@@ -252,6 +266,7 @@ func (m *NetMerger) injectLoop() {
 			if err != nil {
 				delete(m.pending, p.id)
 				g.inflight--
+				g.inflightG.Add(-1)
 				if m.closed {
 					return
 				}
@@ -334,18 +349,24 @@ func (m *NetMerger) readLoop(addr string) {
 		}
 		if chunk.Failed {
 			delete(m.pending, chunk.ID)
-			m.groups[addr].inflight--
+			g := m.groups[addr]
+			g.inflight--
+			g.inflightG.Add(-1)
 			m.errCount++
+			mrgErrors.Inc()
 			m.cond.Broadcast()
 			m.mu.Unlock()
 			p.result <- fetchResult{spec: p.spec, err: fmt.Errorf("%w: %s", ErrRemote, chunk.Payload)}
 			l.Release()
 			continue
 		}
-		if chunk.Sized && p.buf == nil && chunk.Total > 0 {
-			// The first chunk announces the segment's size: reassemble in
-			// one exact allocation instead of growing append-by-append.
-			p.buf = make([]byte, 0, chunk.Total)
+		if chunk.Sized {
+			tracer.Mark(p.spec.MapTask, p.spec.Partition, metrics.StageFirstChunk)
+			if p.buf == nil && chunk.Total > 0 {
+				// The first chunk announces the segment's size: reassemble in
+				// one exact allocation instead of growing append-by-append.
+				p.buf = make([]byte, 0, chunk.Total)
+			}
 		}
 		p.buf = append(p.buf, chunk.Payload...)
 		if !chunk.Last {
@@ -354,8 +375,13 @@ func (m *NetMerger) readLoop(addr string) {
 			continue
 		}
 		delete(m.pending, chunk.ID)
-		m.groups[addr].inflight--
+		g := m.groups[addr]
+		g.inflight--
+		g.inflightG.Add(-1)
 		m.bytes += int64(len(p.buf))
+		mrgBytes.Add(int64(len(p.buf)))
+		mrgRTT.Observe(time.Since(p.sentAt).Nanoseconds())
+		tracer.Mark(p.spec.MapTask, p.spec.Partition, metrics.StageDelivered)
 		m.cond.Broadcast()
 		m.mu.Unlock()
 		p.result <- fetchResult{spec: p.spec, data: p.buf}
@@ -372,11 +398,13 @@ func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) 
 	p.buf = nil // discard partial chunks from the dead connection
 	if g != nil && p.attempts <= m.cfg.MaxRetries {
 		m.retries++
+		mrgRetries.Inc()
 		g.queue = append([]*pendingFetch{p}, g.queue...)
 		m.cond.Broadcast()
 		return
 	}
 	m.errCount++
+	mrgErrors.Inc()
 	p.result <- fetchResult{spec: p.spec, err: err}
 }
 
@@ -398,6 +426,7 @@ func (m *NetMerger) failNode(addr string, err error) {
 	}
 	if g != nil {
 		g.inflight -= len(interrupted)
+		g.inflightG.Add(int64(-len(interrupted)))
 	}
 	m.cond.Broadcast()
 	if m.closed {

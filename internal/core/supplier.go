@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bufpool"
+	"repro/internal/metrics"
 	"repro/internal/mof"
 	"repro/internal/transport"
 )
@@ -308,12 +309,15 @@ func (s *MOFSupplier) connLoop(conn transport.Conn) {
 		l.Release() // the decoder copies (or interns) what it keeps
 		if err != nil {
 			s.errCount.Add(1)
+			supErrors.Inc()
 			return // protocol violation: drop the connection
 		}
 		s.requests.Add(1)
+		supRequests.Inc()
 		resolved, rerr := s.resolve(sc, req)
 		if rerr != nil {
 			s.errCount.Add(1)
+			supErrors.Inc()
 			if serr := sc.sendError(req.ID, rerr); serr != nil {
 				return
 			}
@@ -321,6 +325,7 @@ func (s *MOFSupplier) connLoop(conn transport.Conn) {
 		}
 		select {
 		case s.reqCh <- resolved:
+			supQueueDepth.Add(1)
 		case <-s.done:
 			putSupplierReq(resolved)
 			return
@@ -420,6 +425,7 @@ func (s *MOFSupplier) prefetchLoop() {
 				if !ok {
 					return
 				}
+				supQueueDepth.Add(-1)
 				add(r)
 			case <-s.done:
 				return
@@ -431,6 +437,7 @@ func (s *MOFSupplier) prefetchLoop() {
 		for {
 			select {
 			case r := <-s.reqCh:
+				supQueueDepth.Add(-1)
 				add(r)
 				continue
 			default:
@@ -457,6 +464,7 @@ func (s *MOFSupplier) prefetchLoop() {
 			next++
 		}
 		s.groupTurns.Add(1)
+		supGroupTurns.Inc()
 		for _, r := range taken {
 			s.stage(r)
 		}
@@ -476,6 +484,7 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 		lease, err := mof.ReadSegmentLease(s.fcache, s.pool, r.data, r.entry)
 		if err != nil {
 			s.errCount.Add(1)
+			supErrors.Inc()
 			r.conn.sendError(r.id, err)
 			putSupplierReq(r)
 			return
@@ -483,8 +492,10 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 		s.diskReads.Add(1)
 		s.dcache.Put(r.task, r.part, lease) // cache owns the lease now
 	}
+	tracer.Mark(r.task, r.part, metrics.StageStaged)
 	select {
 	case s.xmitCh <- r:
+		supXmitDepth.Add(1)
 	case <-s.done:
 		s.dcache.Unpin(r.task, r.part)
 		putSupplierReq(r)
@@ -502,18 +513,24 @@ func (s *MOFSupplier) xmitLoop() {
 				// The staging pin guarantees residency; a miss here is a
 				// logic error surfaced to the client.
 				s.errCount.Add(1)
+				supErrors.Inc()
 				r.conn.sendError(r.id, errors.New("segment evicted while staged"))
+				supXmitDepth.Add(-1)
 				putSupplierReq(r)
 				continue
 			}
+			tracer.Mark(r.task, r.part, metrics.StageXmit)
 			err := r.conn.sendChunks(r.id, data, s.cfg.BufferSize)
 			s.dcache.Unpin(r.task, r.part) // xmit pin
 			s.dcache.Unpin(r.task, r.part) // staging pin
 			if err == nil {
 				s.bytesServed.Add(int64(len(data)))
+				supBytes.Add(int64(len(data)))
 			} else {
 				s.errCount.Add(1)
+				supErrors.Inc()
 			}
+			supXmitDepth.Add(-1)
 			putSupplierReq(r)
 		case <-s.done:
 			return

@@ -1,0 +1,104 @@
+// Package debug serves the opt-in /debug/jbs observability endpoints:
+// the full metrics registry in Prometheus text format, the per-segment
+// fetch trace dump, and the buffer pool's size-class lease accounting.
+// Nothing here sits on the shuffle data path — handlers read the same
+// atomics the hot path writes — so serving costs a run nothing beyond the
+// HTTP traffic itself. Wired into jbsrun via the -debug flag; see
+// docs/OBSERVABILITY.md.
+package debug
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"repro/internal/bufpool"
+	"repro/internal/metrics"
+)
+
+// Mux returns a mux serving the /debug/jbs endpoint tree:
+//
+//	/debug/jbs          index of the endpoints below
+//	/debug/jbs/metrics  full registry, Prometheus text exposition format
+//	/debug/jbs/traces   slowest completed fetch traces
+//	                    (?n=N limit, ?enable=1 / ?enable=0, ?reset=1)
+//	/debug/jbs/bufpool  buffer pool size-class lease accounting
+func Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/jbs", handleIndex)
+	mux.HandleFunc("/debug/jbs/", handleIndex)
+	mux.HandleFunc("/debug/jbs/metrics", handleMetrics)
+	mux.HandleFunc("/debug/jbs/traces", handleTraces)
+	mux.HandleFunc("/debug/jbs/bufpool", handleBufpool)
+	return mux
+}
+
+// Serve starts an HTTP server for the /debug/jbs endpoints on addr and
+// returns the bound listener (addr may use port 0). The server runs until
+// the listener is closed.
+func Serve(addr string) (net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Mux()}
+	go func() {
+		// Serve returns once the listener closes; that shutdown error is
+		// the expected way down, not a condition to report.
+		_ = srv.Serve(lis)
+	}()
+	return lis, nil
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, "jbs debug endpoints:\n"+
+		"  /debug/jbs/metrics  full metrics registry (Prometheus text format)\n"+
+		"  /debug/jbs/traces   slowest fetch traces (?n=N, ?enable=1, ?reset=1)\n"+
+		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n")
+}
+
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = metrics.Default().WriteText(w)
+}
+
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	t := metrics.DefaultTracer()
+	q := r.URL.Query()
+	switch q.Get("enable") {
+	case "1":
+		t.Enable()
+	case "0":
+		t.Disable()
+	}
+	if q.Get("reset") == "1" {
+		t.Reset()
+	}
+	n := 20
+	if v, err := strconv.Atoi(q.Get("n")); err == nil && v > 0 {
+		n = v
+	}
+	fmt.Fprintf(w, "tracer enabled=%v, %d completed traces in ring\n", t.Enabled(), t.Len())
+	if !t.Enabled() && t.Len() == 0 {
+		fmt.Fprint(w, "tracer is off: enable with ?enable=1 (or jbsrun -trace) and re-run a shuffle\n")
+		return
+	}
+	for i, tr := range t.Slowest(n) {
+		fmt.Fprintf(w, "%3d. %s\n", i+1, tr)
+	}
+}
+
+func handleBufpool(w http.ResponseWriter, r *http.Request) {
+	stats := bufpool.Default().ClassStats()
+	var outstanding int64
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "class", "gets", "puts", "outstanding")
+	for _, st := range stats {
+		if st.Gets == 0 && st.Puts == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %12d %12d %12d\n", st.Label(), st.Gets, st.Puts, st.Outstanding())
+		outstanding += st.Outstanding()
+	}
+	fmt.Fprintf(w, "total outstanding leases: %d (nonzero at idle means a leak; see docs/PERF.md)\n", outstanding)
+}

@@ -1,0 +1,73 @@
+package debug
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bufpool"
+	"repro/internal/metrics"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Mux())
+	defer srv.Close()
+
+	// The index lists every endpoint.
+	index := get(t, srv, "/debug/jbs")
+	for _, want := range []string{"/debug/jbs/metrics", "/debug/jbs/traces", "/debug/jbs/bufpool"} {
+		if !strings.Contains(index, want) {
+			t.Errorf("index missing %s:\n%s", want, index)
+		}
+	}
+
+	// The metrics endpoint serves the full default registry; exercising the
+	// pool guarantees at least the bufpool metrics are present.
+	bufpool.Default().Get(1024).Release()
+	text := get(t, srv, "/debug/jbs/metrics")
+	for _, want := range []string{"# HELP jbs_bufpool_gets_total", "jbs_bufpool_outstanding"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+
+	// Bufpool accounting shows the class we just cycled.
+	bp := get(t, srv, "/debug/jbs/bufpool")
+	if !strings.Contains(bp, "1KiB") || !strings.Contains(bp, "total outstanding leases:") {
+		t.Errorf("unexpected bufpool output:\n%s", bp)
+	}
+
+	// Traces: enable over HTTP, record one complete trace, dump it.
+	tr := metrics.DefaultTracer()
+	defer tr.Disable()
+	defer tr.Reset()
+	get(t, srv, "/debug/jbs/traces?enable=1&reset=1")
+	if !tr.Enabled() {
+		t.Fatal("?enable=1 did not enable the tracer")
+	}
+	tr.Mark("m-1", 0, metrics.StageEnqueued)
+	tr.Mark("m-1", 0, metrics.StageDelivered)
+	dump := get(t, srv, "/debug/jbs/traces?n=5")
+	if !strings.Contains(dump, "m-1/0") {
+		t.Errorf("trace dump missing recorded trace:\n%s", dump)
+	}
+}

@@ -1,0 +1,114 @@
+// Package docscheck validates the repository's Markdown cross-links: every
+// relative link in every *.md file must point at a file or directory that
+// exists. The documentation pass (README → docs/ARCHITECTURE.md →
+// docs/OBSERVABILITY.md → ...) leans on those links, and a rename that
+// breaks one is invisible until a reader hits a 404 — so the check runs as
+// a test and in CI.
+package docscheck
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are rare in this repo and not
+// matched.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// fenceRE matches fenced code block delimiters.
+var fenceRE = regexp.MustCompile("^\\s*```")
+
+// A Problem is one broken link.
+type Problem struct {
+	File string // Markdown file, relative to the checked root
+	Line int    // 1-based line of the link
+	Link string // the link target as written
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s:%d: broken link %q", p.File, p.Line, p.Link)
+}
+
+// CheckLinks walks root for Markdown files and verifies every relative
+// link resolves to an existing file or directory. External links
+// (scheme-prefixed), pure anchors (#...), and links inside fenced code
+// blocks are ignored; a #fragment suffix on a relative link is stripped
+// before the existence check. Hidden directories and testdata are skipped.
+func CheckLinks(root string) ([]Problem, error) {
+	var problems []Problem
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "node_modules") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".md") {
+			return nil
+		}
+		ps, err := checkFile(root, path)
+		if err != nil {
+			return err
+		}
+		problems = append(problems, ps...)
+		return nil
+	})
+	return problems, err
+}
+
+// checkFile validates the relative links of one Markdown file.
+func checkFile(root, path string) ([]Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	var problems []Problem
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if fenceRE.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems, Problem{File: filepath.ToSlash(rel), Line: i + 1, Link: m[1]})
+			}
+		}
+	}
+	return problems, nil
+}
+
+// skipTarget reports whether a link target is outside the checker's remit:
+// external URLs, mail links, and in-page anchors.
+func skipTarget(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

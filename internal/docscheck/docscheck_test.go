@@ -1,0 +1,76 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates a file under dir, making parent directories as needed.
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "docs/GOOD.md", "target")
+	write(t, dir, "README.md", strings.Join([]string{
+		"[good](docs/GOOD.md)",
+		"[good with fragment](docs/GOOD.md#section)",
+		"[dir link](docs)",
+		"[external](https://example.com/missing.md)",
+		"[anchor](#local-section)",
+		"![image](docs/missing.png)",
+		"```",
+		"[inside a code fence](docs/NOPE.md)",
+		"```",
+		"[broken](docs/MISSING.md)",
+	}, "\n"))
+	write(t, dir, "docs/NESTED.md", "[up and over](../README.md)\n[broken up](../GONE.md)\n")
+
+	problems, err := CheckLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, p := range problems {
+		got = append(got, p.String())
+	}
+	want := []string{
+		`README.md:6: broken link "docs/missing.png"`,
+		`README.md:10: broken link "docs/MISSING.md"`,
+		`docs/NESTED.md:2: broken link "../GONE.md"`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("problems = %v, want %v", got, want)
+	}
+	seen := make(map[string]bool)
+	for _, g := range got {
+		seen[g] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Errorf("missing expected problem %q in %v", w, got)
+		}
+	}
+}
+
+// TestRepoLinks is the real gate: every relative Markdown link in this
+// repository must resolve.
+func TestRepoLinks(t *testing.T) {
+	problems, err := CheckLinks(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("%s", p)
+	}
+}

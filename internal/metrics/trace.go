@@ -1,0 +1,243 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage is one point in a segment fetch's life. Stages are recorded by
+// whichever component observes them: the NetMerger marks the client-side
+// stages, the MOFSupplier the server-side ones; in this in-process
+// reproduction both land in the same Tracer keyed by (map task,
+// partition).
+type Stage uint8
+
+// The fetch lifecycle stages, in causal order.
+const (
+	// StageEnqueued: the fetch request joined its NetMerger node group.
+	StageEnqueued Stage = iota
+	// StageSent: the round-robin injector put the request on the wire.
+	StageSent
+	// StageStaged: the supplier staged the segment in the DataCache (disk
+	// read done, or cache hit).
+	StageStaged
+	// StageXmit: a supplier transmit worker began sending chunks.
+	StageXmit
+	// StageFirstChunk: the NetMerger received the first response chunk.
+	StageFirstChunk
+	// StageDelivered: the last byte was reassembled and handed to the
+	// merge (the trace is complete).
+	StageDelivered
+
+	// NumStages is the stage count; Trace.Stamps is indexed by Stage.
+	NumStages = int(StageDelivered) + 1
+)
+
+// stageNames are the short labels used in trace dumps.
+var stageNames = [NumStages]string{"enqueued", "sent", "staged", "xmit", "firstchunk", "delivered"}
+
+// String returns the stage's dump label.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage%d", int(s))
+}
+
+// Trace is one segment fetch's recorded timeline. Stamps hold nanoseconds
+// since the tracer was enabled; zero means the stage was never reached.
+type Trace struct {
+	Task      string
+	Partition int
+	Stamps    [NumStages]int64
+	Done      bool // StageDelivered was recorded
+}
+
+// Duration is the enqueued-to-last-recorded-stage span.
+func (t Trace) Duration() time.Duration {
+	first, last := int64(0), int64(0)
+	for _, s := range t.Stamps {
+		if s == 0 {
+			continue
+		}
+		if first == 0 || s < first {
+			first = s
+		}
+		if s > last {
+			last = s
+		}
+	}
+	return time.Duration(last - first)
+}
+
+// String renders the trace as one line of stage offsets relative to
+// enqueue: "m-003/2 1.2ms [enqueued +0s sent +80µs ... delivered +1.2ms]".
+func (t Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%d %s [", t.Task, t.Partition, t.Duration().Round(time.Microsecond))
+	base := t.Stamps[StageEnqueued]
+	first := true
+	for i, s := range t.Stamps {
+		if s == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&sb, "%s +%s", Stage(i), time.Duration(s-base).Round(time.Microsecond))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// traceKey identifies an in-flight trace.
+type traceKey struct {
+	task string
+	part int
+}
+
+// Tracer records per-segment fetch timelines into a fixed ring buffer.
+// It is opt-in: while disabled (the default) Mark is a single atomic load,
+// so tracing costs the hot path nothing until someone turns it on (the
+// jbsrun -trace flag or the /debug/jbs/traces endpoint). When the ring
+// wraps, the oldest trace — complete or not — is overwritten; the ring is
+// a window, not a log.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu     sync.Mutex
+	ring   []Trace
+	next   int
+	active map[traceKey]int // key -> ring index of the in-flight trace
+	epoch  time.Time
+	now    func() int64 // ns since epoch; swappable for deterministic tests
+}
+
+// NewTracer creates a tracer whose ring holds capacity traces.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("metrics: tracer capacity must be positive")
+	}
+	t := &Tracer{
+		ring:   make([]Trace, capacity),
+		active: make(map[traceKey]int),
+	}
+	t.epoch = time.Now()
+	t.now = func() int64 { return time.Since(t.epoch).Nanoseconds() }
+	return t
+}
+
+// DefaultTracerCapacity sizes the process-wide tracer's ring.
+const DefaultTracerCapacity = 512
+
+// defaultTracer is shared by the supplier and merger instrumentation.
+var defaultTracer = NewTracer(DefaultTracerCapacity)
+
+// DefaultTracer returns the process-wide shared tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Enable turns recording on.
+func (t *Tracer) Enable() { t.enabled.Store(true) }
+
+// Disable stops recording; already-recorded traces stay dumpable.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// Mark records that the fetch of (task, partition) reached stage s.
+// StageEnqueued starts a new trace (claiming a ring slot, evicting the
+// oldest); other stages attach to the in-flight trace and are ignored if
+// it has already been evicted or completed — a late mark is noise, not an
+// error. Only a stage's first mark sticks, so duplicate fetches of one
+// hot segment do not smear an in-flight timeline.
+func (t *Tracer) Mark(task string, partition int, s Stage) {
+	if !t.enabled.Load() {
+		return
+	}
+	now := t.now()
+	k := traceKey{task, partition}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx, ok := t.active[k]
+	if !ok {
+		if s != StageEnqueued {
+			return
+		}
+		idx = t.claimLocked(k)
+	}
+	tr := &t.ring[idx]
+	if tr.Stamps[s] == 0 {
+		tr.Stamps[s] = now
+	}
+	if s == StageDelivered {
+		tr.Done = true
+		delete(t.active, k)
+	}
+}
+
+// claimLocked takes the next ring slot for key k, evicting whatever trace
+// occupied it. Callers hold t.mu.
+func (t *Tracer) claimLocked(k traceKey) int {
+	idx := t.next
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+	old := &t.ring[idx]
+	if !old.Done && old.Task != "" {
+		// Evicting an in-flight trace: forget its key so late marks for it
+		// don't write into the slot's new occupant.
+		delete(t.active, traceKey{old.Task, old.Partition})
+	}
+	*old = Trace{Task: k.task, Partition: k.part}
+	t.active[k] = idx
+	return idx
+}
+
+// Slowest returns up to n completed traces ordered slowest first.
+func (t *Tracer) Slowest(n int) []Trace {
+	t.mu.Lock()
+	done := make([]Trace, 0, len(t.ring))
+	for _, tr := range t.ring {
+		if tr.Done {
+			done = append(done, tr)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(done, func(i, j int) bool { return done[i].Duration() > done[j].Duration() })
+	if n < len(done) {
+		done = done[:n]
+	}
+	return done
+}
+
+// Len returns the number of completed traces currently in the ring.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, tr := range t.ring {
+		if tr.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears the ring and in-flight table (for tests and for the
+// /debug/jbs/traces?reset=1 handle).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ring {
+		t.ring[i] = Trace{}
+	}
+	t.next = 0
+	t.active = make(map[traceKey]int)
+}

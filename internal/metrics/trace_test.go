@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a tracer deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fakeClock) advance(d int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ns += d
+	return c.ns
+}
+
+func newFakeTracer(capacity int) (*Tracer, *fakeClock) {
+	t := NewTracer(capacity)
+	clk := &fakeClock{}
+	t.now = func() int64 { return clk.advance(1000) } // 1µs per mark
+	return t, clk
+}
+
+func markAll(tr *Tracer, task string, part int) {
+	for s := StageEnqueued; s <= StageDelivered; s++ {
+		tr.Mark(task, part, s)
+	}
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	tr, _ := newFakeTracer(4)
+	markAll(tr, "m-0", 0)
+	if tr.Len() != 0 {
+		t.Fatal("disabled tracer recorded a trace")
+	}
+	tr.Enable()
+	markAll(tr, "m-0", 0)
+	if tr.Len() != 1 {
+		t.Fatal("enabled tracer did not record")
+	}
+	tr.Disable()
+	markAll(tr, "m-1", 0)
+	if tr.Len() != 1 {
+		t.Fatal("disabled tracer kept recording")
+	}
+}
+
+func TestTracerStagesAndString(t *testing.T) {
+	tr, _ := newFakeTracer(4)
+	tr.Enable()
+	markAll(tr, "m-7", 3)
+	traces := tr.Slowest(10)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Task != "m-7" || got.Partition != 3 || !got.Done {
+		t.Fatalf("trace = %+v", got)
+	}
+	for s := 0; s < NumStages; s++ {
+		if got.Stamps[s] == 0 {
+			t.Errorf("stage %s unstamped", Stage(s))
+		}
+		if s > 0 && got.Stamps[s] <= got.Stamps[s-1] {
+			t.Errorf("stage %s not after %s", Stage(s), Stage(s-1))
+		}
+	}
+	// Five 1µs inter-stage gaps.
+	if got.Duration() != 5*time.Microsecond {
+		t.Errorf("duration = %v, want 5µs", got.Duration())
+	}
+	str := got.String()
+	for _, want := range []string{"m-7/3", "enqueued +0s", "delivered +5µs"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+// TestTracerWraparound fills a small ring past capacity and checks the
+// oldest traces are overwritten while the newest survive, including the
+// eviction of a still-in-flight trace.
+func TestTracerWraparound(t *testing.T) {
+	tr, _ := newFakeTracer(3)
+	tr.Enable()
+	for i := 0; i < 7; i++ {
+		markAll(tr, fmt.Sprintf("m-%d", i), 0)
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("ring holds %d completed traces, want 3", got)
+	}
+	seen := make(map[string]bool)
+	for _, trc := range tr.Slowest(10) {
+		seen[trc.Task] = true
+	}
+	for _, want := range []string{"m-4", "m-5", "m-6"} {
+		if !seen[want] {
+			t.Errorf("newest trace %s missing after wraparound; have %v", want, seen)
+		}
+	}
+
+	// An in-flight trace evicted by wraparound must not swallow late
+	// marks into the slot's new occupant.
+	tr.Reset()
+	tr.Mark("stale", 0, StageEnqueued) // in flight, never completed
+	for i := 0; i < 3; i++ {           // wrap the whole ring
+		markAll(tr, fmt.Sprintf("n-%d", i), 0)
+	}
+	tr.Mark("stale", 0, StageDelivered) // late mark for the evicted trace
+	for _, trc := range tr.Slowest(10) {
+		if trc.Task == "stale" {
+			t.Error("evicted in-flight trace resurfaced")
+		}
+	}
+	if got := tr.Len(); got != 3 {
+		t.Errorf("ring holds %d completed traces, want 3", got)
+	}
+}
+
+// TestTracerSlowestOrdering gives traces distinct durations and checks
+// Slowest returns them slowest-first, truncated to n.
+func TestTracerSlowestOrdering(t *testing.T) {
+	tr := NewTracer(8)
+	clk := &fakeClock{}
+	var step int64 = 1
+	tr.now = func() int64 { return clk.advance(step) }
+	tr.Enable()
+	// Trace i spans 5*(i+1) ns: the later the trace, the slower.
+	for i := 0; i < 5; i++ {
+		step = int64(i + 1)
+		markAll(tr, fmt.Sprintf("m-%d", i), i)
+	}
+	slowest := tr.Slowest(3)
+	if len(slowest) != 3 {
+		t.Fatalf("Slowest(3) returned %d traces", len(slowest))
+	}
+	for i, want := range []string{"m-4", "m-3", "m-2"} {
+		if slowest[i].Task != want {
+			t.Errorf("slowest[%d] = %s (%v), want %s", i, slowest[i].Task, slowest[i].Duration(), want)
+		}
+	}
+	for i := 1; i < len(slowest); i++ {
+		if slowest[i].Duration() > slowest[i-1].Duration() {
+			t.Errorf("Slowest not ordered: %v after %v", slowest[i].Duration(), slowest[i-1].Duration())
+		}
+	}
+}
+
+// TestTracerDuplicateMarks checks that only a stage's first mark sticks
+// and that a second Enqueued for a live key does not restart the trace.
+func TestTracerDuplicateMarks(t *testing.T) {
+	tr, _ := newFakeTracer(4)
+	tr.Enable()
+	tr.Mark("m", 0, StageEnqueued)
+	tr.Mark("m", 0, StageSent)
+	first := func() Trace {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		return tr.ring[0]
+	}
+	sent := first().Stamps[StageSent]
+	tr.Mark("m", 0, StageEnqueued) // duplicate begin: ignored
+	tr.Mark("m", 0, StageSent)     // duplicate stage: ignored
+	if got := first().Stamps[StageSent]; got != sent {
+		t.Errorf("duplicate mark overwrote stamp: %d -> %d", sent, got)
+	}
+	tr.Mark("m", 0, StageDelivered)
+	if tr.Len() != 1 {
+		t.Fatal("trace did not complete")
+	}
+	// Marks after completion for the same key are ignored (no active
+	// entry), not crashed on.
+	tr.Mark("m", 0, StageXmit)
+}
+
+func TestTracerConcurrentMarks(t *testing.T) {
+	tr := NewTracer(64)
+	tr.Enable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				markAll(tr, fmt.Sprintf("m-%d", w), i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got == 0 || got > 64 {
+		t.Errorf("completed traces = %d, want in (0, 64]", got)
+	}
+}

@@ -90,10 +90,12 @@ func (c *FileCache) Acquire(path string) (*FileHandle, error) {
 	if h, ok := c.entries[path]; ok {
 		c.ref(h)
 		c.hits++
+		fcHits.Inc()
 		c.mu.Unlock()
 		return h, nil
 	}
 	c.misses++
+	fcMisses.Inc()
 	c.mu.Unlock()
 
 	f, err := os.Open(path)
@@ -117,6 +119,7 @@ func (c *FileCache) Acquire(path string) (*FileHandle, error) {
 	}
 	h := &FileHandle{cache: c, path: path, f: f, refs: 1}
 	c.entries[path] = h
+	fcOpen.Add(1)
 	var evicted []*os.File
 	for len(c.entries) > c.max {
 		old := c.lru.prev
@@ -126,6 +129,8 @@ func (c *FileCache) Acquire(path string) (*FileHandle, error) {
 		c.lruRemove(old)
 		delete(c.entries, old.path)
 		c.evictions++
+		fcEvictions.Inc()
+		fcOpen.Add(-1)
 		evicted = append(evicted, old.f)
 	}
 	c.mu.Unlock()
@@ -195,6 +200,7 @@ func (c *FileCache) Close() error {
 		return nil
 	}
 	c.closed = true
+	fcOpen.Add(int64(-len(c.entries)))
 	var toClose []*os.File
 	for _, h := range c.entries {
 		if h.refs == 0 {

@@ -1,0 +1,24 @@
+package mof
+
+import "repro/internal/metrics"
+
+// Disk-layer metrics: the FileCache keeps hot MOF descriptors open so a
+// steady-state segment read is one pread; its hit rate and the segment
+// read latency are the two numbers that say whether the disk side of the
+// prefetch pipeline is keeping up. Aggregated across every FileCache in
+// the process; per-instance numbers stay available via FileCache.Stats.
+var (
+	fcHits = metrics.Default().Counter("jbs_filecache_hits_total", "lookups",
+		"FileCache acquires served by an already-open descriptor")
+	fcMisses = metrics.Default().Counter("jbs_filecache_misses_total", "lookups",
+		"FileCache acquires that paid an os.Open")
+	fcEvictions = metrics.Default().Counter("jbs_filecache_evictions_total", "files",
+		"descriptors closed by LRU capacity pressure")
+	fcOpen = metrics.Default().Gauge("jbs_filecache_open", "files",
+		"descriptors currently cached across all FileCaches")
+
+	segReadNS = metrics.Default().Histogram("jbs_segment_read_ns", "ns",
+		"one segment read from a MOF data file (pread + checksum)")
+	segReadBytes = metrics.Default().Counter("jbs_segment_read_bytes_total", "bytes",
+		"segment payload bytes read from disk")
+)

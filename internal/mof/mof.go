@@ -16,6 +16,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/bufpool"
 )
@@ -421,6 +422,7 @@ func ReadSegmentBytes(dataPath string, e IndexEntry) ([]byte, error) {
 // fresh os.Open, and the bytes land in a lease the caller must Release
 // exactly once (ownership typically moves to the DataCache).
 func ReadSegmentLease(fc *FileCache, pool *bufpool.Pool, dataPath string, e IndexEntry) (*bufpool.Lease, error) {
+	start := time.Now()
 	h, err := fc.Acquire(dataPath)
 	if err != nil {
 		return nil, err
@@ -440,6 +442,8 @@ func ReadSegmentLease(fc *FileCache, pool *bufpool.Pool, dataPath string, e Inde
 		l.Release()
 		return nil, ErrChecksum
 	}
+	segReadNS.Observe(time.Since(start).Nanoseconds())
+	segReadBytes.Add(e.Length)
 	return l, nil
 }
 

@@ -51,6 +51,7 @@ func (c *ConnCache) Get(addr string) (Conn, error) {
 		if el, ok := c.conns[addr]; ok {
 			c.lru.MoveToFront(el)
 			c.hits++
+			ccHits.Inc()
 			conn := el.Value.(*cacheEntry).conn
 			c.mu.Unlock()
 			return conn, nil
@@ -64,6 +65,7 @@ func (c *ConnCache) Get(addr string) (Conn, error) {
 		wg.Add(1)
 		c.dialing[addr] = wg
 		c.misses++
+		ccMisses.Inc()
 		c.mu.Unlock()
 
 		conn, err := c.tr.Dial(addr)
@@ -77,6 +79,7 @@ func (c *ConnCache) Get(addr string) (Conn, error) {
 		}
 		el := c.lru.PushFront(&cacheEntry{addr: addr, conn: conn})
 		c.conns[addr] = el
+		ccActive.Add(1)
 		var evicted []Conn
 		for c.lru.Len() > c.max {
 			back := c.lru.Back()
@@ -85,6 +88,8 @@ func (c *ConnCache) Get(addr string) (Conn, error) {
 			delete(c.conns, entry.addr)
 			evicted = append(evicted, entry.conn)
 			c.evictions++
+			ccEvictions.Inc()
+			ccActive.Add(-1)
 		}
 		c.mu.Unlock()
 		for _, ev := range evicted {
@@ -104,6 +109,7 @@ func (c *ConnCache) Invalidate(addr string) {
 	if ok {
 		c.lru.Remove(el)
 		delete(c.conns, addr)
+		ccActive.Add(-1)
 	}
 	c.mu.Unlock()
 	if ok {
@@ -136,6 +142,7 @@ func (c *ConnCache) Close() error {
 	}
 	c.lru.Init()
 	c.conns = make(map[string]*list.Element)
+	ccActive.Add(int64(-len(conns)))
 	c.mu.Unlock()
 	var first error
 	for _, conn := range conns {

@@ -1,0 +1,55 @@
+package transport
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// backendMetrics is one backend's wire accounting. Handles are resolved
+// once at package init; the per-frame cost is a few atomic adds and two
+// time.Now reads, far below the syscall they sit next to.
+type backendMetrics struct {
+	sentBytes  *metrics.Counter
+	sentFrames *metrics.Counter
+	recvBytes  *metrics.Counter
+	recvFrames *metrics.Counter
+	// sendNS times one framed send (writev / chunked registered-buffer
+	// copies). recvNS times payload receipt only — from the frame header
+	// (TCP) or first chunk (RDMA) to the last byte — so idle waiting for
+	// the next frame does not pollute the distribution.
+	sendNS *metrics.Histogram
+	recvNS *metrics.Histogram
+}
+
+func newBackendMetrics(backend string) *backendMetrics {
+	r := metrics.Default()
+	lbl := func(name string) string { return fmt.Sprintf("%s{backend=%q}", name, backend) }
+	return &backendMetrics{
+		sentBytes:  r.Counter(lbl("jbs_transport_sent_bytes_total"), "bytes", "payload bytes sent (framing headers excluded)"),
+		sentFrames: r.Counter(lbl("jbs_transport_sent_frames_total"), "frames", "framed messages sent"),
+		recvBytes:  r.Counter(lbl("jbs_transport_recv_bytes_total"), "bytes", "payload bytes received"),
+		recvFrames: r.Counter(lbl("jbs_transport_recv_frames_total"), "frames", "framed messages received"),
+		sendNS:     r.Histogram(lbl("jbs_transport_send_ns"), "ns", "one framed send, header to last byte"),
+		recvNS:     r.Histogram(lbl("jbs_transport_recv_ns"), "ns", "one framed receive, first byte to last"),
+	}
+}
+
+var (
+	tcpMetrics  = newBackendMetrics("tcp")
+	rdmaMetrics = newBackendMetrics("rdma")
+)
+
+// Connection-cache metrics aggregate over every ConnCache instance in the
+// process (one per NetMerger); per-instance numbers stay available via
+// ConnCache.Stats.
+var (
+	ccHits = metrics.Default().Counter("jbs_conncache_hits_total", "lookups",
+		"connection-cache lookups served by an established connection")
+	ccMisses = metrics.Default().Counter("jbs_conncache_misses_total", "lookups",
+		"connection-cache lookups that dialed")
+	ccEvictions = metrics.Default().Counter("jbs_conncache_evictions_total", "conns",
+		"connections torn down by LRU capacity pressure")
+	ccActive = metrics.Default().Gauge("jbs_conncache_active", "conns",
+		"established connections currently cached across all caches")
+)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bufpool"
 	"repro/internal/rdma"
@@ -204,6 +205,7 @@ func (c *rdmaConn) SendVec(bufs [][]byte) error {
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	start := time.Now()
 	rest := total
 	vec, off := 0, 0 // cursor into bufs
 	for {
@@ -245,6 +247,9 @@ func (c *rdmaConn) SendVec(bufs [][]byte) error {
 			return c.mapErr(comp.Err)
 		}
 		if rest == 0 {
+			rdmaMetrics.sendNS.Observe(time.Since(start).Nanoseconds())
+			rdmaMetrics.sentFrames.Inc()
+			rdmaMetrics.sentBytes.Add(int64(total))
 			return nil
 		}
 	}
@@ -254,11 +259,17 @@ func (c *rdmaConn) SendVec(bufs [][]byte) error {
 // it as chunks arrive. Callers hold recvMu.
 func (c *rdmaConn) recvInto(l *bufpool.Lease) (*bufpool.Lease, error) {
 	l.SetLen(0)
+	var start time.Time
 	for {
 		comp, ok := <-c.qp.RecvCQ()
 		if !ok {
 			l.Release()
 			return nil, ErrConnClosed
+		}
+		if start.IsZero() {
+			// Time from the first chunk's arrival, so blocking for the next
+			// frame does not pollute the receive-latency histogram.
+			start = time.Now()
 		}
 		if comp.Err != nil {
 			l.Release()
@@ -278,6 +289,9 @@ func (c *rdmaConn) recvInto(l *bufpool.Lease) (*bufpool.Lease, error) {
 			return nil, c.mapErr(err)
 		}
 		if comp.Imm&immLast != 0 {
+			rdmaMetrics.recvNS.Observe(time.Since(start).Nanoseconds())
+			rdmaMetrics.recvFrames.Inc()
+			rdmaMetrics.recvBytes.Add(int64(l.Len()))
 			return l, nil
 		}
 	}

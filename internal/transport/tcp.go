@@ -123,12 +123,16 @@ func (c *tcpConn) writeFrame(total int, bufs [][]byte) error {
 			c.vecsArr = append(c.vecsArr, b)
 		}
 	}
+	start := time.Now()
 	// WriteTo consumes its receiver in place, so give it a throwaway cursor
 	// over the scratch; vecsArr keeps the backing array for the next frame.
 	c.vecs = net.Buffers(c.vecsArr)
 	if _, err := c.vecs.WriteTo(c.nc); err != nil {
 		return c.mapErr(err)
 	}
+	tcpMetrics.sendNS.Observe(time.Since(start).Nanoseconds())
+	tcpMetrics.sentFrames.Inc()
+	tcpMetrics.sentBytes.Add(int64(total))
 	return nil
 }
 
@@ -152,10 +156,14 @@ func (c *tcpConn) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	msg := make([]byte, n)
 	if _, err := io.ReadFull(c.br, msg); err != nil {
 		return nil, c.mapErr(err)
 	}
+	tcpMetrics.recvNS.Observe(time.Since(start).Nanoseconds())
+	tcpMetrics.recvFrames.Inc()
+	tcpMetrics.recvBytes.Add(int64(n))
 	return msg, nil
 }
 
@@ -170,11 +178,15 @@ func (c *tcpConn) RecvBuf() (*bufpool.Lease, error) {
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	l := bufpool.Default().Get(n)
 	if _, err := io.ReadFull(c.br, l.Bytes()); err != nil {
 		l.Release()
 		return nil, c.mapErr(err)
 	}
+	tcpMetrics.recvNS.Observe(time.Since(start).Nanoseconds())
+	tcpMetrics.recvFrames.Inc()
+	tcpMetrics.recvBytes.Add(int64(n))
 	return l, nil
 }
 
