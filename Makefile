@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench
+.PHONY: all build test vet race bench overload
 
 all: build vet test
 
@@ -29,3 +29,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# overload: the multi-tenant flow-control scenario — two concurrent jobs
+# (one 10x-skewed) against one supplier, with and without internal/flow,
+# including shed injection. Prints the light job's p50/p99 per scenario.
+overload:
+	$(GO) run ./cmd/jbsbench overload

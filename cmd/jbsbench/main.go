@@ -6,6 +6,7 @@
 //	jbsbench fig7a fig11           # run selected experiments
 //	jbsbench all                   # run every table and figure
 //	jbsbench functional            # run the real-engine comparison
+//	jbsbench overload              # run the multi-tenant flow-control scenario
 //	jbsbench -csv out/ all         # also write per-experiment CSV files
 //	jbsbench -metrics functional   # also dump the metrics registry after the runs
 package main
@@ -48,6 +49,7 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		fmt.Printf("%-10s %s\n", "functional", "real-engine comparison on real sockets and files")
+		fmt.Printf("%-10s %s\n", "overload", "multi-tenant overload: flow control vs unmanaged pipeline")
 		return
 	}
 	args := flag.Args()
@@ -65,6 +67,13 @@ func main() {
 			cfg := bench.DefaultFunctionalConfig()
 			cfg.Lines = *lines
 			rep, err := bench.Functional(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+		case "overload":
+			rep, err := bench.Overload(bench.DefaultOverloadConfig())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "jbsbench:", err)
 				os.Exit(1)

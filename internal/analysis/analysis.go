@@ -18,6 +18,9 @@
 //   - doccomment: every package carries a godoc-convention package doc
 //     comment ("Package <name>" / "Command <name>") — the entry points
 //     the documentation pass (docs/ARCHITECTURE.md) builds on.
+//   - gaugepair: a plain int field and its mirror *metrics.Gauge field
+//     (x / xG, e.g. nodeGroup.inflight / inflightG) must move together
+//     in the same function — the inflight-drift class of bug.
 //
 // The package uses only the standard library (go/ast, go/parser,
 // go/types); go.mod stays dependency-free.
@@ -61,6 +64,7 @@ func AllChecks() []Check {
 		&ErrCheck{},
 		&SimClockCheck{},
 		&DocCommentCheck{},
+		&GaugePairCheck{},
 	}
 }
 
@@ -74,6 +78,7 @@ func DefaultScopes() map[string][]string {
 		"goroutines": {"internal/core", "internal/transport", "internal/mapred"},
 		"errcheck":   {"internal/transport", "internal/mof"},
 		"simclock":   {"internal/sim*", "internal/shuffle"},
+		"gaugepair":  {"internal/core", "internal/flow"},
 	}
 }
 

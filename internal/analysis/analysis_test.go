@@ -101,6 +101,11 @@ func TestSimClockCheckGolden(t *testing.T) {
 	matchFindings(t, pkg, (&SimClockCheck{}).Run(pkg))
 }
 
+func TestGaugePairCheckGolden(t *testing.T) {
+	pkg := fixturePkg(t, "gaugepair")
+	matchFindings(t, pkg, (&GaugePairCheck{}).Run(pkg))
+}
+
 func TestDocCommentCheckGolden(t *testing.T) {
 	for _, name := range []string{"doccomment/missing", "doccomment/badprefix", "doccomment/cmdmain"} {
 		pkg := fixturePkg(t, name)

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GaugePairCheck enforces the mirror-gauge convention: a struct that
+// pairs a plain integer field `x` with a *metrics.Gauge field `xG`
+// (NetMerger's nodeGroup.inflight/inflightG, flow.Window's size/sizeG,
+// flow's drrTenant.queued/queuedG) keeps the two in lockstep. Any
+// function that moves one half of the pair without moving the other —
+// a counter bump without the gauge mirror, or a gauge update with no
+// counter change — is flagged; the fix is routing both through the
+// pair's single helper (acquire/release, setSize). This catches the
+// inflight-drift class of bug, where a new code path decrements the
+// plain counter and silently leaves the registry gauge stale.
+//
+// A plain assignment counts as an update on either side; installing the
+// gauge pointer itself (`g.inflightG = gauge`) is initialization, not
+// an update, and is exempt. Matching is per base expression within one
+// function, so `a.inflight++` is not excused by `b.inflightG.Add(1)`.
+type GaugePairCheck struct{}
+
+// Name implements Check.
+func (*GaugePairCheck) Name() string { return "gaugepair" }
+
+// Doc implements Check.
+func (*GaugePairCheck) Doc() string {
+	return "a plain int field and its paired *metrics.Gauge field (xG) must move together"
+}
+
+// Run implements Check.
+func (c *GaugePairCheck) Run(pkg *Package) []Finding {
+	pairs := collectGaugePairs(pkg)
+	if len(pairs.gaugeFor) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, scanGaugePairFunc(pkg, pairs, fn.Name.Name, fn.Body)...)
+				}
+			case *ast.FuncLit:
+				out = append(out, scanGaugePairFunc(pkg, pairs, "func literal", fn.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// gaugePairs maps each side of every x/xG pair to its partner field.
+type gaugePairs struct {
+	gaugeFor map[*types.Var]*types.Var // int field -> gauge field
+	intFor   map[*types.Var]*types.Var // gauge field -> int field
+}
+
+// collectGaugePairs finds every package-level struct field pair (x of
+// integer kind, xG of type *metrics.Gauge).
+func collectGaugePairs(pkg *Package) gaugePairs {
+	pairs := gaugePairs{
+		gaugeFor: make(map[*types.Var]*types.Var),
+		intFor:   make(map[*types.Var]*types.Var),
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		byName := make(map[string]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			byName[st.Field(i).Name()] = st.Field(i)
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !isPlainInteger(f.Type()) {
+				continue
+			}
+			g, ok := byName[f.Name()+"G"]
+			if !ok || !isMetricsGaugePtr(g.Type()) {
+				continue
+			}
+			pairs.gaugeFor[f] = g
+			pairs.intFor[g] = f
+		}
+	}
+	return pairs
+}
+
+func isPlainInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isMetricsGaugePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Gauge" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}
+
+// gaugeUpdateMethods are the *metrics.Gauge methods that move the gauge
+// (Load is a read).
+var gaugeUpdateMethods = map[string]bool{"Set": true, "Add": true}
+
+// pairSite is one half-update of a pair: the paired int field plus the
+// base expression it was selected from ("g" in g.inflight++).
+type pairSite struct {
+	base  string
+	field *types.Var // always the pair's int field
+}
+
+// scanGaugePairFunc checks one function body: for every x/xG pair and
+// base expression, a mutation of x demands a gauge update of xG in the
+// same function, and vice versa. Nested function literals are separate
+// functions and are skipped (the outer walk visits them on their own).
+func scanGaugePairFunc(pkg *Package, pairs gaugePairs, funcName string, body *ast.BlockStmt) []Finding {
+	intMuts := make(map[pairSite][]token.Pos)
+	gaugeUpds := make(map[pairSite][]token.Pos)
+
+	// pairedField resolves expr as a selection of a paired field (either
+	// side), returning the site keyed by the pair's int field.
+	pairedField := func(expr ast.Expr) (pairSite, bool, bool) {
+		sel, ok := expr.(*ast.SelectorExpr)
+		if !ok {
+			return pairSite{}, false, false
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return pairSite{}, false, false
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return pairSite{}, false, false
+		}
+		if _, isInt := pairs.gaugeFor[field]; isInt {
+			return pairSite{base: types.ExprString(sel.X), field: field}, true, false
+		}
+		if partner, isGauge := pairs.intFor[field]; isGauge {
+			return pairSite{base: types.ExprString(sel.X), field: partner}, false, true
+		}
+		return pairSite{}, false, false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				// Only counter writes count; assigning the gauge pointer
+				// itself is initialization, not a gauge movement.
+				if site, isInt, _ := pairedField(lhs); isInt {
+					intMuts[site] = append(intMuts[site], st.Pos())
+				}
+			}
+		case *ast.IncDecStmt:
+			if site, isInt, _ := pairedField(st.X); isInt {
+				intMuts[site] = append(intMuts[site], st.Pos())
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok || !gaugeUpdateMethods[sel.Sel.Name] {
+				return true
+			}
+			if site, _, isGauge := pairedField(sel.X); isGauge {
+				gaugeUpds[site] = append(gaugeUpds[site], st.Pos())
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	addf := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:     position(pkg, pos),
+			Check:   "gaugepair",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for site, poss := range intMuts {
+		if len(gaugeUpds[site]) > 0 {
+			continue
+		}
+		for _, pos := range poss {
+			addf(pos, "%s.%s changes without its mirror gauge %s.%sG in %s (move both through the pair's helper)",
+				site.base, site.field.Name(), site.base, site.field.Name(), funcName)
+		}
+	}
+	for site, poss := range gaugeUpds {
+		if len(intMuts[site]) > 0 {
+			continue
+		}
+		for _, pos := range poss {
+			addf(pos, "%s.%sG moves without its paired counter %s.%s in %s (move both through the pair's helper)",
+				site.base, site.field.Name(), site.base, site.field.Name(), funcName)
+		}
+	}
+	SortFindings(out)
+	return out
+}

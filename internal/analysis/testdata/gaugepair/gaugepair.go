@@ -1,0 +1,118 @@
+// Package gaugepair is the golden fixture for the gaugepair check: a
+// plain int field and its *metrics.Gauge partner (x / xG) must move
+// together within one function.
+package gaugepair
+
+import "repro/internal/metrics"
+
+var demoGauge = metrics.Default().Gauge("fixture_gauge", "reqs", "fixture")
+
+// group pairs inflight with inflightG, mirroring NetMerger's nodeGroup.
+type group struct {
+	addr      string
+	inflight  int
+	inflightG *metrics.Gauge
+}
+
+// acquire co-updates: the blessed single-helper shape.
+func (g *group) acquire() {
+	g.inflight++
+	g.inflightG.Add(1)
+}
+
+// release co-updates with a plain arithmetic assignment.
+func (g *group) release(n int) {
+	g.inflight -= n
+	g.inflightG.Add(int64(-n))
+}
+
+// reset co-updates via plain assignment and Set.
+func (g *group) reset() {
+	g.inflight = 0
+	g.inflightG.Set(0)
+}
+
+// guarded still counts: the mirror moves in the same function even
+// though the gauge is nil-checked.
+func (g *group) guarded() {
+	g.inflight++
+	if g.inflightG != nil {
+		g.inflightG.Add(1)
+	}
+}
+
+// peek only reads; reads need no mirror.
+func (g *group) peek(limit int) bool {
+	return g.inflight >= limit && g.inflightG.Load() >= 0
+}
+
+// install assigns the gauge pointer itself — initialization, exempt.
+func (g *group) install(gauge *metrics.Gauge) {
+	g.inflightG = gauge
+}
+
+// leak bumps the counter and forgets the gauge.
+func (g *group) leak() {
+	g.inflight++ // want "g.inflight changes without its mirror gauge"
+}
+
+// drift decrements through a new code path without the mirror.
+func (g *group) drift(n int) {
+	g.inflight -= n // want "g.inflight changes without its mirror gauge"
+}
+
+// mirrorOnly moves the gauge and forgets the counter.
+func (g *group) mirrorOnly() {
+	g.inflightG.Add(1) // want "g.inflightG moves without its paired counter"
+}
+
+// crossed updates different instances: base expressions must match.
+func crossed(a, b *group) {
+	a.inflight++       // want "a.inflight changes without its mirror gauge"
+	b.inflightG.Add(1) // want "b.inflightG moves without its paired counter"
+}
+
+// closureLeak: a nested function literal is its own scope — the
+// literal's counter bump is not excused by the outer gauge update.
+func (g *group) closureLeak() func() {
+	g.inflight++
+	g.inflightG.Add(1)
+	return func() {
+		g.inflight-- // want "g.inflight changes without its mirror gauge"
+	}
+}
+
+// window mirrors flow.Window: size/sizeG with a clamping helper.
+type window struct {
+	size  int
+	acc   int // unpaired: no accG partner
+	sizeG *metrics.Gauge
+}
+
+// setSize is the pair's single helper.
+func (w *window) setSize(n int) {
+	w.size = n
+	if w.sizeG != nil {
+		w.sizeG.Set(int64(n))
+	}
+}
+
+// grow goes through the helper and touches only unpaired fields
+// directly.
+func (w *window) grow() {
+	w.acc++
+	w.setSize(w.size + 1)
+}
+
+// unpaired has no xG partner for count, and its gauge has no plain
+// partner named "depth"; neither side is checked.
+type unpaired struct {
+	count  int
+	depthG *metrics.Gauge
+}
+
+func (u *unpaired) bump() {
+	u.count++
+	u.depthG.Add(1)
+	demoGauge.Add(1)
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadSmoke runs a shrunken overload scenario end to end on real
+// sockets and files and checks the report's shape and invariants. The
+// full-size latency comparison (p99 ratios) is jbsbench's job — timing
+// assertions do not belong in unit tests.
+func TestOverloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real sockets and disk I/O")
+	}
+	cfg := OverloadConfig{
+		LightTasks:    2,
+		LightParts:    2,
+		LightSegBytes: 8 << 10,
+		HeavyTasks:    2,
+		HeavyParts:    2,
+		Skew:          10,
+		Rounds:        3,
+		AdmitBytes:    64 << 10, // below one 80 KB skewed segment
+	}
+	rep, err := Overload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "overload" {
+		t.Errorf("report ID = %q", rep.ID)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("report has %d rows, want 3 scenarios", len(rep.Rows))
+	}
+	// The flow-enabled scenario must actually shed (the smoke target's
+	// "shed injection"), and every run must deliver without errors —
+	// Overload fails otherwise.
+	if rep.Rows[2][4] == "0" {
+		t.Errorf("flow-enabled scenario recorded no sheds: %v", rep.Rows[2])
+	}
+	if rep.Rows[0][4] != "0" || rep.Rows[1][4] != "0" {
+		t.Errorf("flow-disabled scenarios recorded sheds: %v", rep.Rows[:2])
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i))
+	}
+	if got := percentile(samples, 0.50); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := percentile(samples, 0.99); got != 99 {
+		t.Errorf("p99 = %d, want 99", got)
+	}
+	if got := percentile(samples, 1.0); got != 100 {
+		t.Errorf("p100 = %d, want 100", got)
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty percentile = %d, want 0", got)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/transport"
+)
+
+// flowSupplierFixture stands up a supplier with flow control: a ledger so
+// small that one resident segment sheds every concurrent arrival.
+func flowSupplierFixture(t *testing.T, tr transport.Transport, tasks, parts int, fc *flow.Config, tenant flow.TenantFunc) *supplierFixture {
+	t.Helper()
+	dir := t.TempDir()
+	paths := map[string][2]string{}
+	segs := map[string][][]byte{}
+	for i := 0; i < tasks; i++ {
+		task := fmt.Sprintf("m-%05d", i)
+		_, data, index, raw := buildMOF(t, dir, task, parts)
+		paths[task] = [2]string{data, index}
+		segs[task] = raw
+	}
+	lookup := func(task string) (string, string, error) {
+		p, ok := paths[task]
+		if !ok {
+			return "", "", fmt.Errorf("no MOF %s", task)
+		}
+		return p[0], p[1], nil
+	}
+	s, err := NewMOFSupplier(SupplierConfig{
+		Transport:      tr,
+		Addr:           "127.0.0.1:0",
+		BufferSize:     4 << 10,
+		DataCacheBytes: 1 << 20,
+		Flow:           fc,
+		Tenant:         tenant,
+	}, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return &supplierFixture{supplier: s, addr: s.Addr(), segments: segs}
+}
+
+// TestFlowShedBackoffRetryEndToEnd drives a real supplier+merger pair into
+// admission shedding and checks the loop converges: every segment arrives
+// intact, no fetch surfaces an error, and the sheds actually happened.
+func TestFlowShedBackoffRetryEndToEnd(t *testing.T) {
+	tr := transport.NewTCP()
+	// AdmitBytes 1: the oversized-alone rule serializes the pipeline to
+	// one resident segment, so concurrent arrivals shed deterministically.
+	fc := &flow.Config{AdmitBytes: 1, RetryAfter: 200 * time.Microsecond}
+	fx := flowSupplierFixture(t, tr, 8, 4, fc, nil)
+
+	m, err := NewNetMerger(MergerConfig{
+		Transport:     tr,
+		WindowPerNode: 8, // open wide so the first burst overwhelms admission
+		Flow:          &flow.Config{RetryAfter: 200 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var specs []FetchSpec
+	for task := range fx.segments {
+		for p := 0; p < 4; p++ {
+			specs = append(specs, FetchSpec{Addr: fx.addr, MapTask: task, Partition: p})
+		}
+	}
+	// Several rounds: re-fetching cached segments arrives even faster,
+	// making shedding overwhelmingly likely across the set of rounds.
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		got := map[string][]byte{}
+		err := m.Fetch(specs, func(s FetchSpec, data []byte) error {
+			got[fmt.Sprintf("%s/%d", s.MapTask, s.Partition)] = data
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != len(specs) {
+			t.Fatalf("round %d: delivered %d segments, want %d", round, len(got), len(specs))
+		}
+		for task, parts := range fx.segments {
+			for p, want := range parts {
+				if !bytes.Equal(got[fmt.Sprintf("%s/%d", task, p)], want) {
+					t.Fatalf("round %d: segment %s/%d corrupted", round, task, p)
+				}
+			}
+		}
+	}
+	st := m.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("merger surfaced %d errors under shedding", st.Errors)
+	}
+	if st.Sheds == 0 {
+		t.Fatal("no sheds: the scenario did not exercise admission control")
+	}
+	if st.ShedRetries != st.Sheds {
+		t.Errorf("sheds %d vs shed retries %d: parked fetches lost", st.Sheds, st.ShedRetries)
+	}
+	ls := fx.supplier.FlowState().Ledger
+	if ls == nil || ls.Sheds == 0 {
+		t.Fatalf("supplier ledger state %+v, want sheds recorded", ls)
+	}
+	if ls.Used != 0 {
+		t.Errorf("ledger balance %d after drain, want 0", ls.Used)
+	}
+	mws := m.FlowState().Windows
+	if len(mws) != 1 || mws[0].Node != fx.addr {
+		t.Fatalf("merger window state = %+v, want one window for %s", mws, fx.addr)
+	}
+}
+
+// TestFlowTenantsScheduledFairly runs two jobs through a flow-enabled
+// supplier with 1:3 weights and checks both finish with the DRR tracking
+// their queues.
+func TestFlowTenantsScheduledFairly(t *testing.T) {
+	tr := transport.NewTCP()
+	tenant := func(task string) string {
+		// Tasks m-00000..m-00003 are jobA; the rest jobB.
+		if task < "m-00004" {
+			return "jobA"
+		}
+		return "jobB"
+	}
+	fc := &flow.Config{Weights: map[string]int64{"jobA": 1, "jobB": 3}}
+	fx := flowSupplierFixture(t, tr, 8, 4, fc, tenant)
+
+	m, err := NewNetMerger(MergerConfig{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var specs []FetchSpec
+	for task := range fx.segments {
+		for p := 0; p < 4; p++ {
+			specs = append(specs, FetchSpec{Addr: fx.addr, MapTask: task, Partition: p})
+		}
+	}
+	delivered := 0
+	if err := m.Fetch(specs, func(FetchSpec, []byte) error { delivered++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != len(specs) {
+		t.Fatalf("delivered %d, want %d", delivered, len(specs))
+	}
+	tenants := fx.supplier.FlowState().Tenants
+	seen := map[string]flow.TenantState{}
+	for _, ts := range tenants {
+		seen[ts.Tenant] = ts
+	}
+	for _, name := range []string{"jobA", "jobB"} {
+		ts, ok := seen[name]
+		if !ok {
+			t.Fatalf("tenant %s never scheduled: %+v", name, tenants)
+		}
+		if ts.QueuedBytes != 0 || ts.Active {
+			t.Errorf("tenant %s not drained: %+v", name, ts)
+		}
+	}
+	if seen["jobB"].Weight != 3 || seen["jobA"].Weight != 1 {
+		t.Errorf("weights lost: %+v", seen)
+	}
+}
+
+// TestFlowConfigRejectedByName checks invalid flow configs surface through
+// the core constructors with the offending field named.
+func TestFlowConfigRejectedByName(t *testing.T) {
+	tr := transport.NewTCP()
+	_, err := NewMOFSupplier(SupplierConfig{
+		Transport: tr,
+		Addr:      "127.0.0.1:0",
+		Flow:      &flow.Config{AdmitBytes: -5},
+	}, func(string) (string, string, error) { return "", "", nil })
+	if err == nil || !strings.Contains(err.Error(), "AdmitBytes") {
+		t.Errorf("supplier error %v does not name AdmitBytes", err)
+	}
+	_, err = NewNetMerger(MergerConfig{
+		Transport: tr,
+		Flow:      &flow.Config{Decrease: 1.5},
+	})
+	if err == nil || !strings.Contains(err.Error(), "Decrease") {
+		t.Errorf("merger error %v does not name Decrease", err)
+	}
+	// The named-field rule also covers the merger's own knobs.
+	_, err = NewNetMerger(MergerConfig{Transport: tr, WindowPerNode: -1})
+	if err == nil || !strings.Contains(err.Error(), "WindowPerNode") {
+		t.Errorf("merger error %v does not name WindowPerNode", err)
+	}
+	_, err = NewNetMerger(MergerConfig{Transport: tr, MaxConnections: -1})
+	if err == nil || !strings.Contains(err.Error(), "MaxConnections") {
+		t.Errorf("merger error %v does not name MaxConnections", err)
+	}
+}
+
+// TestFlowDisabledIsDefault guards the control plane's opt-in nature: a
+// nil Flow config keeps ledger, DRR, and windows off.
+func TestFlowDisabledIsDefault(t *testing.T) {
+	tr := transport.NewTCP()
+	fx := newSupplierFixture(t, tr, "127.0.0.1:0", 1, 1)
+	st := fx.supplier.FlowState()
+	if st.Ledger != nil || st.Tenants != nil {
+		t.Errorf("flow state %+v on a flow-disabled supplier", st)
+	}
+	m, err := NewNetMerger(MergerConfig{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if ws := m.FlowState().Windows; ws != nil {
+		t.Errorf("windows %+v on a flow-disabled merger", ws)
+	}
+}

@@ -47,6 +47,10 @@ var (
 		"fetches re-sent on a freshly dialed connection")
 	mrgRTT = metrics.Default().Histogram("jbs_merger_rtt_ns", "ns",
 		"fetch round trip: request on the wire to last chunk reassembled")
+	mrgSheds = metrics.Default().Counter("jbs_merger_sheds_total", "reqs",
+		"shed responses received from overloaded suppliers")
+	mrgShedRetries = metrics.Default().Counter("jbs_merger_shed_retries_total", "reqs",
+		"parked fetches re-queued after their retry-after backoff")
 )
 
 // inflightGauge returns the per-remote-node in-flight gauge, registered

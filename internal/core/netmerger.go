@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 	"repro/internal/transport"
 )
@@ -19,10 +21,16 @@ type MergerConfig struct {
 	MaxConnections int
 	// WindowPerNode bounds in-flight requests per remote node; across
 	// nodes the injector is round-robin, so no node monopolizes the wire.
+	// With Flow set it is only the AIMD starting point (flow.Config
+	// WindowStart defaults to it); the live limit adapts per node.
 	WindowPerNode int
 	// MaxRetries is how many times a fetch is re-sent (on a freshly dialed
 	// connection) after a transport failure before the error surfaces.
 	MaxRetries int
+	// Flow enables credit-based flow control: per-node AIMD windows
+	// replacing the fixed WindowPerNode, plus shed handling with
+	// jittered retry-after backoff. Nil keeps the paper's fixed window.
+	Flow *flow.Config
 }
 
 func (c *MergerConfig) applyDefaults() error {
@@ -46,6 +54,26 @@ func (c *MergerConfig) applyDefaults() error {
 	if c.WindowPerNode == 0 {
 		c.WindowPerNode = 4
 	}
+	// Post-default guards: a non-positive effective value would wedge the
+	// injector (no window slot, no connection, ever), so reject by name
+	// rather than spin silently — even if a future default regresses.
+	if c.MaxConnections <= 0 {
+		return fmt.Errorf("core: merger MaxConnections %d must be positive", c.MaxConnections)
+	}
+	if c.WindowPerNode <= 0 {
+		return fmt.Errorf("core: merger WindowPerNode %d must be positive", c.WindowPerNode)
+	}
+	if c.Flow != nil {
+		// Copy before defaulting so a shared Config literal isn't mutated.
+		fc := *c.Flow
+		if fc.WindowStart == 0 {
+			fc.WindowStart = c.WindowPerNode
+		}
+		if err := fc.ApplyDefaults(); err != nil {
+			return err
+		}
+		c.Flow = &fc
+	}
 	return nil
 }
 
@@ -56,6 +84,8 @@ type MergerStats struct {
 	Errors        int64
 	Retries       int64
 	ConnectionsHi int64 // peak distinct remote nodes connected
+	Sheds         int64 // shed responses received from suppliers
+	ShedRetries   int64 // parked fetches re-queued after their backoff
 }
 
 // fetchResult is one completed fetch.
@@ -76,6 +106,9 @@ type pendingFetch struct {
 	// just before injection (so the read side, also under m.mu, races with
 	// nothing) and overwritten on each retry.
 	sentAt time.Time
+	// backoff is the pending retry timer while the fetch is parked after
+	// a shed response; Close stops it. Guarded by m.mu.
+	backoff *time.Timer
 }
 
 // nodeGroup holds the per-remote-node request queue, ordered by arrival
@@ -85,6 +118,32 @@ type nodeGroup struct {
 	queue     []*pendingFetch
 	inflight  int
 	inflightG *metrics.Gauge // registry mirror of inflight, labeled by node
+	// win is the node pair's AIMD congestion window; nil when flow
+	// control is disabled (fixed WindowPerNode). Guarded by m.mu.
+	win *flow.Window
+}
+
+// acquire charges one request to the group's in-flight window. Together
+// with release it is the only place inflight and its gauge move, so the
+// two can never drift (the audit point jbsvet's gaugepair check pins).
+func (g *nodeGroup) acquire() {
+	g.inflight++
+	g.inflightG.Add(1)
+}
+
+// release returns n in-flight slots to the group's window.
+func (g *nodeGroup) release(n int) {
+	g.inflight -= n
+	g.inflightG.Add(int64(-n))
+}
+
+// limit returns the group's current in-flight limit: the AIMD window
+// when flow control is on, the fixed configured window otherwise.
+func (g *nodeGroup) limit(fixed int) int {
+	if g.win != nil {
+		return g.win.Limit()
+	}
+	return fixed
 }
 
 // NetMerger is JBS's client component (Section III-C): one per node,
@@ -103,18 +162,25 @@ type NetMerger struct {
 	ring    []string
 	next    int
 	pending map[uint64]*pendingFetch
-	nextID  uint64
-	closed  bool
+	// parked holds fetches shed by a supplier, waiting out their
+	// retry-after backoff before re-queueing. Guarded by m.mu.
+	parked map[uint64]*pendingFetch
+	nextID uint64
+	closed bool
 
 	readers map[string]bool // addr -> reader goroutine running
 
 	wg sync.WaitGroup
 
-	requests  int64
-	bytes     int64
-	errCount  int64
-	retries   int64
-	connsHigh int64
+	unregister func() // flow registry removal; nil when flow is off
+
+	requests    int64
+	bytes       int64
+	errCount    int64
+	retries     int64
+	connsHigh   int64
+	sheds       int64
+	shedRetries int64
 }
 
 // NewNetMerger creates the node's consolidated fetch engine.
@@ -127,12 +193,32 @@ func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
 		cache:   transport.NewConnCache(cfg.Transport, cfg.MaxConnections),
 		groups:  make(map[string]*nodeGroup),
 		pending: make(map[uint64]*pendingFetch),
+		parked:  make(map[uint64]*pendingFetch),
 		readers: make(map[string]bool),
 	}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.Flow != nil {
+		m.unregister = flow.Register(m)
+	}
 	m.wg.Add(1)
 	go m.injectLoop()
 	return m, nil
+}
+
+// FlowState snapshots the merger's control-plane state (per-node AIMD
+// windows and shed counters) for the /debug/jbs/flow endpoint.
+func (m *NetMerger) FlowState() flow.State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := flow.State{Name: "merger", Sheds: m.sheds, ShedRetries: m.shedRetries}
+	for _, addr := range m.ring {
+		if g := m.groups[addr]; g.win != nil {
+			ws := g.win.State()
+			ws.Node = addr
+			st.Windows = append(st.Windows, ws)
+		}
+	}
+	return st
 }
 
 // Stats snapshots the merger's counters.
@@ -145,6 +231,8 @@ func (m *NetMerger) Stats() MergerStats {
 		Errors:        m.errCount,
 		Retries:       m.retries,
 		ConnectionsHi: m.connsHigh,
+		Sheds:         m.sheds,
+		ShedRetries:   m.shedRetries,
 	}
 }
 
@@ -168,8 +256,19 @@ func (m *NetMerger) Close() error {
 		}
 		g.queue = nil
 	}
+	for id, p := range m.parked {
+		delete(m.parked, id)
+		if p.backoff != nil {
+			p.backoff.Stop()
+		}
+		//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
+		p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	if m.unregister != nil {
+		m.unregister()
+	}
 	err := m.cache.Close()
 	m.wg.Wait()
 	return err
@@ -195,6 +294,9 @@ func (m *NetMerger) Fetch(specs []FetchSpec, deliver func(FetchSpec, []byte) err
 		g, ok := m.groups[spec.Addr]
 		if !ok {
 			g = &nodeGroup{addr: spec.Addr, inflightG: inflightGauge(spec.Addr)}
+			if m.cfg.Flow != nil {
+				g.win = flow.NewWindow(*m.cfg.Flow, flow.WindowGauge(spec.Addr))
+			}
 			m.groups[spec.Addr] = g
 			m.ring = append(m.ring, spec.Addr)
 			if n := int64(len(m.ring)); n > m.connsHigh {
@@ -246,13 +348,12 @@ func (m *NetMerger) injectLoop() {
 			addr := m.ring[m.next]
 			m.next++
 			g := m.groups[addr]
-			if len(g.queue) == 0 || g.inflight >= m.cfg.WindowPerNode {
+			if len(g.queue) == 0 || g.inflight >= g.limit(m.cfg.WindowPerNode) {
 				continue
 			}
 			p := g.queue[0]
 			g.queue = g.queue[1:]
-			g.inflight++
-			g.inflightG.Add(1)
+			g.acquire()
 			m.pending[p.id] = p
 			m.ensureReader(addr)
 			// Stamp before the lock drops: once pending holds p, the read
@@ -265,8 +366,7 @@ func (m *NetMerger) injectLoop() {
 			m.mu.Lock()
 			if err != nil {
 				delete(m.pending, p.id)
-				g.inflight--
-				g.inflightG.Add(-1)
+				g.release(1)
 				if m.closed {
 					return
 				}
@@ -301,7 +401,7 @@ func (m *NetMerger) send(addr string, p *pendingFetch) error {
 	err = conn.Send(appendFetchRequest(l.Bytes()[:0], req))
 	l.Release()
 	if err != nil {
-		m.cache.Invalidate(addr)
+		m.cache.InvalidateOnError(addr, err)
 		return err
 	}
 	return nil
@@ -333,6 +433,15 @@ func (m *NetMerger) readLoop(addr string) {
 			m.failNode(addr, err)
 			return
 		}
+		if b := l.Bytes(); len(b) > 0 && (b[0] == msgShed || b[0] == msgCredit) {
+			err = m.handleFlowFrame(addr, b)
+			l.Release()
+			if err != nil {
+				m.failNode(addr, err)
+				return
+			}
+			continue
+		}
 		chunk, err := decodeDataChunk(l.Bytes())
 		if err != nil {
 			l.Release()
@@ -350,8 +459,7 @@ func (m *NetMerger) readLoop(addr string) {
 		if chunk.Failed {
 			delete(m.pending, chunk.ID)
 			g := m.groups[addr]
-			g.inflight--
-			g.inflightG.Add(-1)
+			g.release(1)
 			m.errCount++
 			mrgErrors.Inc()
 			m.cond.Broadcast()
@@ -376,8 +484,10 @@ func (m *NetMerger) readLoop(addr string) {
 		}
 		delete(m.pending, chunk.ID)
 		g := m.groups[addr]
-		g.inflight--
-		g.inflightG.Add(-1)
+		g.release(1)
+		if g.win != nil {
+			g.win.OnClean()
+		}
 		m.bytes += int64(len(p.buf))
 		mrgBytes.Add(int64(len(p.buf)))
 		mrgRTT.Observe(time.Since(p.sentAt).Nanoseconds())
@@ -387,6 +497,73 @@ func (m *NetMerger) readLoop(addr string) {
 		p.result <- fetchResult{spec: p.spec, data: p.buf}
 		l.Release()
 	}
+}
+
+// handleFlowFrame processes a SHED or CREDIT control frame from addr.
+// A shed parks the named fetch for its jittered retry-after backoff and
+// collapses the node's AIMD window; a credit widens it. A malformed
+// frame is returned as an error (the caller tears the connection down
+// like any other protocol violation).
+func (m *NetMerger) handleFlowFrame(addr string, b []byte) error {
+	if b[0] == msgCredit {
+		n, err := decodeCredit(b)
+		if err != nil {
+			return err
+		}
+		m.mu.Lock()
+		if g := m.groups[addr]; g != nil && g.win != nil {
+			for i := uint32(0); i < n; i++ {
+				g.win.OnCredit()
+			}
+			m.cond.Broadcast() // the wider window may admit queued fetches
+		}
+		m.mu.Unlock()
+		return nil
+	}
+	id, retryAfter, err := decodeShed(b)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pending[id]
+	if !ok {
+		return nil // the fetch already failed over to another attempt
+	}
+	delete(m.pending, id)
+	g := m.groups[addr]
+	g.release(1)
+	if g.win != nil {
+		g.win.OnShed()
+	}
+	m.sheds++
+	mrgSheds.Inc()
+	// Park the fetch for the supplier's hint plus up to 50% jitter, so a
+	// burst of sheds does not re-converge into a synchronized retry storm.
+	// A shed consumes no retry budget: the request was never serviced,
+	// and the AIMD collapse plus backoff bounds the re-send rate.
+	delay := retryAfter + rand.N(retryAfter/2+1)
+	m.parked[id] = p
+	p.backoff = time.AfterFunc(delay, func() { m.unpark(id) })
+	return nil
+}
+
+// unpark re-queues a shed fetch at the head of its node group after its
+// backoff elapses. Runs on the backoff timer's goroutine.
+func (m *NetMerger) unpark(id uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parked[id]
+	if !ok || m.closed {
+		return // Close already failed it
+	}
+	delete(m.parked, id)
+	p.backoff = nil
+	g := m.groups[p.spec.Addr]
+	g.queue = append([]*pendingFetch{p}, g.queue...)
+	m.shedRetries++
+	mrgShedRetries.Inc()
+	m.cond.Broadcast()
 }
 
 // failOrRetryLocked either re-queues a failed request at the head of its
@@ -412,7 +589,10 @@ func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) 
 // that node is re-queued for a fresh connection (up to its retry budget)
 // or failed.
 func (m *NetMerger) failNode(addr string, err error) {
-	m.cache.Invalidate(addr)
+	// Transient (backpressure) conditions never reach failNode — sheds
+	// are handled as frames — but the guard keeps the invariant in one
+	// place: only real connection failures cost a cached connection.
+	m.cache.InvalidateOnError(addr, err)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.readers[addr] = false
@@ -425,8 +605,10 @@ func (m *NetMerger) failNode(addr string, err error) {
 		}
 	}
 	if g != nil {
-		g.inflight -= len(interrupted)
-		g.inflightG.Add(int64(-len(interrupted)))
+		g.release(len(interrupted))
+		if g.win != nil && len(interrupted) > 0 {
+			g.win.OnTimeout()
+		}
 	}
 	m.cond.Broadcast()
 	if m.closed {

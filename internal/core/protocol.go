@@ -8,6 +8,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Protocol errors.
@@ -20,6 +21,14 @@ var (
 const (
 	msgFetchRequest byte = 1
 	msgDataChunk    byte = 2
+	// msgShed is a supplier's admission-control rejection of one fetch
+	// request: the request was not queued, and the frame carries a
+	// retry-after hint the merger honors with jittered backoff.
+	msgShed byte = 3
+	// msgCredit is a supplier's flow-control grant after its admission
+	// ledger recovers from a shedding episode: each credit widens the
+	// receiving merger's AIMD window toward this node by one slot.
+	msgCredit byte = 4
 )
 
 // Chunk flags.
@@ -158,6 +167,56 @@ func encodeDataChunk(c dataChunk) []byte {
 	}
 	buf := appendChunkHeader(make([]byte, 0, sizedChunkHeaderLen+len(c.Payload)), c.ID, flags, c.Total)
 	return append(buf, c.Payload...)
+}
+
+// Flow-control frame sizes (type + fields).
+const (
+	shedFrameLen   = 1 + 8 + 8 // id + retry-after nanoseconds
+	creditFrameLen = 1 + 4     // credit count
+)
+
+// appendShed marshals a shed frame onto dst and returns the extended
+// slice. The supplier appends into per-connection scratch, so shedding
+// under overload performs no allocation.
+func appendShed(dst []byte, id uint64, retryAfter time.Duration) []byte {
+	var frame [shedFrameLen]byte
+	frame[0] = msgShed
+	binary.BigEndian.PutUint64(frame[1:], id)
+	binary.BigEndian.PutUint64(frame[9:], uint64(retryAfter.Nanoseconds()))
+	return append(dst, frame[:]...)
+}
+
+// decodeShed unmarshals a shed frame.
+func decodeShed(buf []byte) (id uint64, retryAfter time.Duration, err error) {
+	if len(buf) != shedFrameLen || buf[0] != msgShed {
+		return 0, 0, fmt.Errorf("%w: short or mistyped shed frame (%d bytes)", ErrBadMessage, len(buf))
+	}
+	ns := binary.BigEndian.Uint64(buf[9:])
+	if ns > uint64(maxRetryAfter) {
+		return 0, 0, fmt.Errorf("%w: shed retry-after %dns exceeds cap", ErrBadMessage, ns)
+	}
+	return binary.BigEndian.Uint64(buf[1:]), time.Duration(ns), nil
+}
+
+// maxRetryAfter caps the retry-after hint a merger will accept, so a
+// corrupt or malicious frame cannot park a fetch for hours.
+const maxRetryAfter = time.Minute
+
+// appendCredit marshals a credit frame onto dst and returns the
+// extended slice.
+func appendCredit(dst []byte, credits uint32) []byte {
+	var frame [creditFrameLen]byte
+	frame[0] = msgCredit
+	binary.BigEndian.PutUint32(frame[1:], credits)
+	return append(dst, frame[:]...)
+}
+
+// decodeCredit unmarshals a credit frame.
+func decodeCredit(buf []byte) (uint32, error) {
+	if len(buf) != creditFrameLen || buf[0] != msgCredit {
+		return 0, fmt.Errorf("%w: short or mistyped credit frame (%d bytes)", ErrBadMessage, len(buf))
+	}
+	return binary.BigEndian.Uint32(buf[1:]), nil
 }
 
 // decodeDataChunk unmarshals a chunk. The payload aliases buf.

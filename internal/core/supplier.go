@@ -6,8 +6,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bufpool"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 	"repro/internal/mof"
 	"repro/internal/transport"
@@ -35,6 +37,15 @@ type SupplierConfig struct {
 	IndexCacheEntries int
 	// FileCacheEntries caps the open-file-handle cache over MOF data files.
 	FileCacheEntries int
+	// Flow enables admission control and weighted fair scheduling: fetch
+	// requests are charged to a byte-budgeted ledger (over budget they
+	// queue, over the hard limit they are shed with a retry-after hint)
+	// and the prefetch server schedules tenants by weighted deficit
+	// round-robin. Nil keeps the paper's unmanaged pipeline.
+	Flow *flow.Config
+	// Tenant maps a map-task id to its tenant (job) for fair scheduling;
+	// nil places all traffic in one tenant. Ignored when Flow is nil.
+	Tenant flow.TenantFunc
 }
 
 func (c *SupplierConfig) applyDefaults() error {
@@ -82,6 +93,14 @@ func (c *SupplierConfig) applyDefaults() error {
 	if c.FileCacheEntries == 0 {
 		c.FileCacheEntries = 128
 	}
+	if c.Flow != nil {
+		// Copy before defaulting so a shared Config literal isn't mutated.
+		fc := *c.Flow
+		if err := fc.ApplyDefaults(); err != nil {
+			return err
+		}
+		c.Flow = &fc
+	}
 	return nil
 }
 
@@ -103,6 +122,10 @@ type supplierReq struct {
 	part  int
 	data  string // MOF data path
 	entry mof.IndexEntry
+	// charge is the byte charge held against the admission ledger for
+	// this request's resident life; zero when flow control is off (or
+	// the request was shed before admission).
+	charge int64
 }
 
 // supplierReqPool recycles request records between fetches; without it
@@ -166,6 +189,22 @@ func (sc *supplierConn) sendError(id uint64, ferr error) error {
 	return sc.conn.Send(msg)
 }
 
+// sendShed rejects one request with a retry-after hint. The frame is
+// built in the connection's header scratch: shedding under overload —
+// exactly when memory is scarce — performs no allocation.
+func (sc *supplierConn) sendShed(id uint64, retryAfter time.Duration) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	return sc.conn.Send(appendShed(sc.hdr[:0], id, retryAfter))
+}
+
+// sendCredit grants flow-control credits to the connection's merger.
+func (sc *supplierConn) sendCredit(credits uint32) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
+	return sc.conn.Send(appendCredit(sc.hdr[:0], credits))
+}
+
 // MOFSupplier is JBS's server component (Section III-B): it replaces the
 // HttpServlets with a native pipeline — requests are grouped by target MOF
 // and ordered by segment offset, groups are served round-robin by the disk
@@ -189,7 +228,12 @@ type MOFSupplier struct {
 	wg   sync.WaitGroup
 
 	connMu sync.Mutex
-	conns  map[transport.Conn]struct{}
+	conns  map[transport.Conn]*supplierConn
+
+	// Flow control plane; all nil/zero when cfg.Flow is nil.
+	ledger     *flow.Ledger
+	drr        *flow.DRR
+	unregister func()
 
 	requests    atomic.Int64
 	bytesServed atomic.Int64
@@ -224,7 +268,12 @@ func NewMOFSupplier(cfg SupplierConfig, lookup LookupFunc) (*MOFSupplier, error)
 		reqCh:  make(chan *supplierReq, 1024),
 		xmitCh: make(chan *supplierReq, 256),
 		done:   make(chan struct{}),
-		conns:  make(map[transport.Conn]struct{}),
+		conns:  make(map[transport.Conn]*supplierConn),
+	}
+	if cfg.Flow != nil {
+		s.ledger = flow.NewLedger(*cfg.Flow)
+		s.drr = flow.NewDRR(cfg.Flow.Quantum, cfg.Flow.Weights)
+		s.unregister = flow.Register(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -257,6 +306,58 @@ func (s *MOFSupplier) CacheStats() (hits, misses, evictions int64) {
 	return s.dcache.Stats()
 }
 
+// FlowState snapshots the supplier's control-plane state (admission
+// ledger and per-tenant queues) for the /debug/jbs/flow endpoint.
+func (s *MOFSupplier) FlowState() flow.State {
+	st := flow.State{Name: "supplier " + s.Addr()}
+	if s.ledger != nil {
+		ls := s.ledger.State()
+		st.Ledger = &ls
+	}
+	if s.drr != nil {
+		st.Tenants = s.drr.Occupancy()
+	}
+	return st
+}
+
+// tenantOf maps a map task to its scheduling tenant.
+func (s *MOFSupplier) tenantOf(task string) string {
+	if s.cfg.Tenant == nil {
+		return ""
+	}
+	return s.cfg.Tenant(task)
+}
+
+// releaseCharge returns a request's admitted bytes to the ledger at
+// whichever point ends its resident life. When the release recovers the
+// ledger from a shedding episode, the supplier broadcasts one credit to
+// every connected merger — the cue that capacity is back.
+func (s *MOFSupplier) releaseCharge(r *supplierReq) {
+	if s.ledger == nil || r.charge == 0 {
+		return
+	}
+	if s.ledger.Release(r.charge) {
+		s.grantCredits()
+	}
+}
+
+// grantCredits sends one flow-control credit to every connected client.
+// The connection list is snapshotted under connMu and the sends happen
+// outside it, so a slow client never stalls the supplier's lock.
+func (s *MOFSupplier) grantCredits() {
+	s.connMu.Lock()
+	scs := make([]*supplierConn, 0, len(s.conns))
+	for _, sc := range s.conns {
+		scs = append(scs, sc)
+	}
+	s.connMu.Unlock()
+	for _, sc := range scs {
+		// A failed credit send is not an error: the connection is dying
+		// anyway, and its connLoop will reap it.
+		_ = sc.sendCredit(1)
+	}
+}
+
 // Close stops the supplier and its connections, drains the DataCache back
 // to the buffer pool, and closes the cached file handles.
 func (s *MOFSupplier) Close() error {
@@ -268,6 +369,9 @@ func (s *MOFSupplier) Close() error {
 			c.Close()
 		}
 		s.connMu.Unlock()
+		if s.unregister != nil {
+			s.unregister()
+		}
 	})
 	s.wg.Wait()
 	s.dcache.Drain()
@@ -281,18 +385,19 @@ func (s *MOFSupplier) acceptLoop() {
 		if err != nil {
 			return
 		}
+		sc := &supplierConn{conn: conn}
 		s.connMu.Lock()
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = sc
 		s.connMu.Unlock()
 		s.wg.Add(1)
-		go s.connLoop(conn)
+		go s.connLoop(sc)
 	}
 }
 
 // connLoop reads and resolves fetch requests from one client.
-func (s *MOFSupplier) connLoop(conn transport.Conn) {
+func (s *MOFSupplier) connLoop(sc *supplierConn) {
 	defer s.wg.Done()
-	sc := &supplierConn{conn: conn}
+	conn := sc.conn
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -323,10 +428,24 @@ func (s *MOFSupplier) connLoop(conn transport.Conn) {
 			}
 			continue
 		}
+		if s.ledger != nil {
+			// Admission: charge the segment's resident bytes before the
+			// request enters the pipeline. A shed charges nothing — the
+			// client backs off and retries; the connection stays up.
+			if s.ledger.Admit(resolved.entry.Length) == flow.Shed {
+				putSupplierReq(resolved)
+				if serr := sc.sendShed(req.ID, s.cfg.Flow.RetryAfter); serr != nil {
+					return
+				}
+				continue
+			}
+			resolved.charge = resolved.entry.Length
+		}
 		select {
 		case s.reqCh <- resolved:
 			supQueueDepth.Add(1)
 		case <-s.done:
+			s.releaseCharge(resolved)
 			putSupplierReq(resolved)
 			return
 		}
@@ -364,9 +483,10 @@ func (s *MOFSupplier) resolve(sc *supplierConn, req fetchRequest) (*supplierReq,
 // advanced past with head (instead of re-slicing) so a drained group can
 // be recycled with its backing array intact.
 type mofGroup struct {
-	task string
-	reqs []*supplierReq
-	head int // reqs[:head] have been served
+	task   string
+	tenant string // scheduling tenant, fixed at group creation
+	reqs   []*supplierReq
+	head   int // reqs[:head] have been served
 }
 
 func (g *mofGroup) pending() int { return len(g.reqs) - g.head }
@@ -390,17 +510,32 @@ func (g *mofGroup) reset() {
 	g.reqs = g.reqs[:0]
 	g.head = 0
 	g.task = ""
+	g.tenant = ""
+}
+
+// tenantRing is one tenant's round-robin ring of MOF group keys inside
+// the prefetch scheduler.
+type tenantRing struct {
+	keys []string
+	next int
 }
 
 // prefetchLoop is the disk prefetch server: it maintains the per-MOF
-// groups and serves them round-robin, staging each batch in the DataCache
-// and handing staged requests to the transmit workers.
+// groups and serves them in batches, staging each batch in the DataCache
+// and handing staged requests to the transmit workers. Without flow
+// control every group lives in one ring served strictly round-robin
+// (the paper's policy); with flow control groups are ringed per tenant
+// and the weighted deficit round-robin scheduler picks which tenant's
+// ring advances, so one heavy job cannot starve the others.
 func (s *MOFSupplier) prefetchLoop() {
 	defer s.wg.Done()
-	groups := make(map[string]*mofGroup)
-	var ring []string    // round-robin order of group keys
-	var free []*mofGroup // drained groups, recycled with their capacity
-	next := 0
+	groups := make(map[string]*mofGroup)  // task -> group
+	rings := make(map[string]*tenantRing) // tenant -> its group ring
+	var free []*mofGroup                  // drained groups, recycled
+	singleRing := &tenantRing{}           // the one ring when flow is off
+	if s.drr == nil {
+		rings[""] = singleRing
+	}
 
 	add := func(r *supplierReq) {
 		g, ok := groups[r.task]
@@ -411,10 +546,19 @@ func (s *MOFSupplier) prefetchLoop() {
 				g = &mofGroup{}
 			}
 			g.task = r.task
+			g.tenant = s.tenantOf(r.task)
 			groups[r.task] = g
-			ring = append(ring, r.task)
+			tr := rings[g.tenant]
+			if tr == nil {
+				tr = &tenantRing{}
+				rings[g.tenant] = tr
+			}
+			tr.keys = append(tr.keys, r.task)
 		}
 		g.insert(r)
+		if s.drr != nil {
+			s.drr.Add(g.tenant, r.entry.Length)
+		}
 	}
 
 	for {
@@ -444,11 +588,24 @@ func (s *MOFSupplier) prefetchLoop() {
 			}
 			break
 		}
-		// Serve one batch from the next group in round-robin order.
-		if next >= len(ring) {
-			next = 0
+		// Pick the tenant whose ring advances this turn.
+		tenant := ""
+		if s.drr != nil {
+			tn, ok := s.drr.Next()
+			if !ok {
+				continue // raced: groups appeared but DRR not yet charged
+			}
+			tenant = tn
 		}
-		key := ring[next]
+		tr := rings[tenant]
+		if tr == nil || len(tr.keys) == 0 {
+			continue // defensive: scheduler/ring drift should not happen
+		}
+		// Serve one batch from the tenant's next group in ring order.
+		if tr.next >= len(tr.keys) {
+			tr.next = 0
+		}
+		key := tr.keys[tr.next]
 		g := groups[key]
 		batch := s.cfg.PrefetchBatch
 		if batch > g.pending() {
@@ -459,14 +616,24 @@ func (s *MOFSupplier) prefetchLoop() {
 		drained := g.pending() == 0
 		if drained {
 			delete(groups, key)
-			ring = append(ring[:next], ring[next+1:]...)
+			tr.keys = append(tr.keys[:tr.next], tr.keys[tr.next+1:]...)
+			if len(tr.keys) == 0 && s.drr != nil {
+				delete(rings, tenant)
+			}
 		} else {
-			next++
+			tr.next++
+		}
+		var batchBytes int64
+		for _, r := range taken {
+			batchBytes += r.entry.Length
 		}
 		s.groupTurns.Add(1)
 		supGroupTurns.Inc()
 		for _, r := range taken {
 			s.stage(r)
+		}
+		if s.drr != nil {
+			s.drr.Serve(tenant, batchBytes)
 		}
 		if drained {
 			// taken aliased g.reqs, so recycle only after staging.
@@ -486,6 +653,7 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 			s.errCount.Add(1)
 			supErrors.Inc()
 			r.conn.sendError(r.id, err)
+			s.releaseCharge(r)
 			putSupplierReq(r)
 			return
 		}
@@ -498,6 +666,7 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 		supXmitDepth.Add(1)
 	case <-s.done:
 		s.dcache.Unpin(r.task, r.part)
+		s.releaseCharge(r)
 		putSupplierReq(r)
 	}
 }
@@ -516,6 +685,7 @@ func (s *MOFSupplier) xmitLoop() {
 				supErrors.Inc()
 				r.conn.sendError(r.id, errors.New("segment evicted while staged"))
 				supXmitDepth.Add(-1)
+				s.releaseCharge(r)
 				putSupplierReq(r)
 				continue
 			}
@@ -531,6 +701,7 @@ func (s *MOFSupplier) xmitLoop() {
 				supErrors.Inc()
 			}
 			supXmitDepth.Add(-1)
+			s.releaseCharge(r)
 			putSupplierReq(r)
 		case <-s.done:
 			return

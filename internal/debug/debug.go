@@ -8,12 +8,14 @@
 package debug
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 
 	"repro/internal/bufpool"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 )
 
@@ -24,6 +26,7 @@ import (
 //	/debug/jbs/traces   slowest completed fetch traces
 //	                    (?n=N limit, ?enable=1 / ?enable=0, ?reset=1)
 //	/debug/jbs/bufpool  buffer pool size-class lease accounting
+//	/debug/jbs/flow     flow control plane: ledgers, windows, tenants
 func Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/jbs", handleIndex)
@@ -31,6 +34,7 @@ func Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/jbs/metrics", handleMetrics)
 	mux.HandleFunc("/debug/jbs/traces", handleTraces)
 	mux.HandleFunc("/debug/jbs/bufpool", handleBufpool)
+	mux.HandleFunc("/debug/jbs/flow", handleFlow)
 	return mux
 }
 
@@ -55,7 +59,8 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, "jbs debug endpoints:\n"+
 		"  /debug/jbs/metrics  full metrics registry (Prometheus text format)\n"+
 		"  /debug/jbs/traces   slowest fetch traces (?n=N, ?enable=1, ?reset=1)\n"+
-		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n")
+		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n"+
+		"  /debug/jbs/flow     flow control plane: admission ledgers, AIMD windows, tenant queues\n")
 }
 
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -101,4 +106,19 @@ func handleBufpool(w http.ResponseWriter, r *http.Request) {
 		outstanding += st.Outstanding()
 	}
 	fmt.Fprintf(w, "total outstanding leases: %d (nonzero at idle means a leak; see docs/PERF.md)\n", outstanding)
+}
+
+// handleFlow dumps the control-plane state of every registered flow
+// participant (suppliers: admission ledger and tenant queues; mergers:
+// per-node AIMD windows and shed counters) as indented JSON.
+func handleFlow(w http.ResponseWriter, r *http.Request) {
+	states := flow.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if len(states) == 0 {
+		fmt.Fprint(w, "[]\n")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(states)
 }

@@ -1,6 +1,7 @@
 package debug
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/bufpool"
+	"repro/internal/flow"
 	"repro/internal/metrics"
 )
 
@@ -69,5 +71,48 @@ func TestEndpoints(t *testing.T) {
 	dump := get(t, srv, "/debug/jbs/traces?n=5")
 	if !strings.Contains(dump, "m-1/0") {
 		t.Errorf("trace dump missing recorded trace:\n%s", dump)
+	}
+}
+
+// fakeFlowSource is a minimal flow participant for endpoint tests.
+type fakeFlowSource struct{ st flow.State }
+
+func (f fakeFlowSource) FlowState() flow.State { return f.st }
+
+func TestFlowEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Mux())
+	defer srv.Close()
+
+	// With no registered participants the endpoint serves an empty list.
+	if body := get(t, srv, "/debug/jbs/flow"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty flow snapshot = %q, want []", body)
+	}
+
+	src := fakeFlowSource{st: flow.State{
+		Name:    "supplier test:1",
+		Ledger:  &flow.LedgerState{Budget: 100, Limit: 150, Used: 42, Shedding: true},
+		Tenants: []flow.TenantState{{Tenant: "jobA", Weight: 3, QueuedBytes: 7, Active: true}},
+	}}
+	unregister := flow.Register(src)
+	defer unregister()
+
+	body := get(t, srv, "/debug/jbs/flow")
+	var states []flow.State
+	if err := json.Unmarshal([]byte(body), &states); err != nil {
+		t.Fatalf("flow endpoint is not JSON: %v\n%s", err, body)
+	}
+	if len(states) != 1 || states[0].Name != "supplier test:1" {
+		t.Fatalf("unexpected snapshot: %+v", states)
+	}
+	if states[0].Ledger == nil || states[0].Ledger.Used != 42 || !states[0].Ledger.Shedding {
+		t.Errorf("ledger state lost in transit: %+v", states[0].Ledger)
+	}
+	if len(states[0].Tenants) != 1 || states[0].Tenants[0].Tenant != "jobA" {
+		t.Errorf("tenant state lost in transit: %+v", states[0].Tenants)
+	}
+
+	// The index mentions the endpoint.
+	if index := get(t, srv, "/debug/jbs"); !strings.Contains(index, "/debug/jbs/flow") {
+		t.Errorf("index missing /debug/jbs/flow:\n%s", index)
 	}
 }

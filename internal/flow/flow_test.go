@@ -1,0 +1,80 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestApplyDefaultsFillsZeroes(t *testing.T) {
+	var cfg Config
+	if err := cfg.ApplyDefaults(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if cfg.AdmitBytes != DefaultAdmitBytes {
+		t.Errorf("AdmitBytes = %d, want %d", cfg.AdmitBytes, DefaultAdmitBytes)
+	}
+	if cfg.QueueBytes != DefaultAdmitBytes/2 {
+		t.Errorf("QueueBytes = %d, want %d", cfg.QueueBytes, DefaultAdmitBytes/2)
+	}
+	if cfg.RetryAfter != DefaultRetryAfter {
+		t.Errorf("RetryAfter = %v, want %v", cfg.RetryAfter, DefaultRetryAfter)
+	}
+	if cfg.WindowStart != DefaultWindowStart || cfg.WindowMin != DefaultWindowMin ||
+		cfg.WindowMax != DefaultWindowMax || cfg.Increase != DefaultIncrease {
+		t.Errorf("window defaults = start %d min %d max %d inc %d",
+			cfg.WindowStart, cfg.WindowMin, cfg.WindowMax, cfg.Increase)
+	}
+	if cfg.Decrease != 0.5 {
+		t.Errorf("Decrease = %g, want 0.5", cfg.Decrease)
+	}
+	if cfg.Quantum != DefaultQuantum {
+		t.Errorf("Quantum = %d, want %d", cfg.Quantum, DefaultQuantum)
+	}
+}
+
+// TestApplyDefaultsRejectsByName checks every invalid field is rejected
+// with an error naming the field — the config convention shared with
+// internal/core.
+func TestApplyDefaultsRejectsByName(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring the error must contain
+	}{
+		{"negative AdmitBytes", Config{AdmitBytes: -1}, "AdmitBytes"},
+		{"negative QueueBytes", Config{QueueBytes: -1}, "QueueBytes"},
+		{"negative RetryAfter", Config{RetryAfter: -time.Millisecond}, "RetryAfter"},
+		{"negative WindowStart", Config{WindowStart: -1}, "WindowStart"},
+		{"negative WindowMin", Config{WindowMin: -2}, "WindowMin"},
+		{"negative WindowMax", Config{WindowMax: -3}, "WindowMax"},
+		{"negative Increase", Config{Increase: -1}, "Increase"},
+		{"negative Decrease", Config{Decrease: -0.5}, "Decrease"},
+		{"Decrease of 1 never shrinks", Config{Decrease: 1}, "Decrease"},
+		{"negative Quantum", Config{Quantum: -1}, "Quantum"},
+		{"zero tenant weight", Config{Weights: map[string]int64{"j": 0}}, `tenant "j"`},
+		{"negative tenant weight", Config{Weights: map[string]int64{"k": -2}}, `tenant "k"`},
+		{"min above max", Config{WindowMin: 8, WindowMax: 4}, "WindowMin"},
+		{"start below min", Config{WindowStart: 1, WindowMin: 2}, "WindowStart"},
+		{"start above max", Config{WindowStart: 9, WindowMax: 8}, "WindowStart"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.cfg.ApplyDefaults()
+			if err == nil {
+				t.Fatalf("config %+v accepted, want error naming %s", c.cfg, c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{Accept: "accept", Queue: "queue", Shed: "shed", Decision(99): "unknown"} {
+		if got := d.String(); got != want {
+			t.Errorf("Decision(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package flow
+
+import "testing"
+
+// windowCfg builds a defaulted config with the given AIMD knobs.
+func windowCfg(t *testing.T, start, min, max, inc int, dec float64) Config {
+	t.Helper()
+	cfg := Config{WindowStart: start, WindowMin: min, WindowMax: max, Increase: inc, Decrease: dec}
+	if err := cfg.ApplyDefaults(); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+	return cfg
+}
+
+// TestWindowAIMD drives the window through scripted event sequences and
+// checks the resulting size: additive growth per window-of-deliveries,
+// multiplicative collapse, and the floor/ceiling clamps.
+func TestWindowAIMD(t *testing.T) {
+	type ev byte
+	const (
+		clean   ev = 'c'
+		shed    ev = 's'
+		timeout ev = 't'
+		credit  ev = '+'
+	)
+	cases := []struct {
+		name   string
+		start  int
+		min    int
+		max    int
+		inc    int
+		dec    float64
+		events []ev
+		want   int
+	}{
+		{
+			name:  "no events keeps start",
+			start: 4, min: 1, max: 64, inc: 1, dec: 0.5,
+			events: nil, want: 4,
+		},
+		{
+			name:  "one window of cleans grows one slot",
+			start: 4, min: 1, max: 64, inc: 1, dec: 0.5,
+			// 4 cleans bank 4 units: one full window buys size 5.
+			events: []ev{clean, clean, clean, clean}, want: 5,
+		},
+		{
+			name:  "partial window does not grow",
+			start: 4, min: 1, max: 64, inc: 1, dec: 0.5,
+			events: []ev{clean, clean, clean}, want: 4,
+		},
+		{
+			name:  "growth is additive across rounds",
+			start: 2, min: 1, max: 64, inc: 1, dec: 0.5,
+			// 2 cleans -> 3, then 3 cleans -> 4.
+			events: []ev{clean, clean, clean, clean, clean}, want: 4,
+		},
+		{
+			name:  "shed halves",
+			start: 8, min: 1, max: 64, inc: 1, dec: 0.5,
+			events: []ev{shed}, want: 4,
+		},
+		{
+			name:  "timeout collapses like shed",
+			start: 8, min: 1, max: 64, inc: 1, dec: 0.5,
+			events: []ev{timeout}, want: 4,
+		},
+		{
+			name:  "repeated sheds clamp at floor",
+			start: 8, min: 2, max: 64, inc: 1, dec: 0.5,
+			events: []ev{shed, shed, shed, shed, shed}, want: 2,
+		},
+		{
+			name:  "growth clamps at ceiling",
+			start: 3, min: 1, max: 4, inc: 1, dec: 0.5,
+			events: []ev{clean, clean, clean, clean, clean, clean, clean, clean, clean}, want: 4,
+		},
+		{
+			name:  "credit grows immediately",
+			start: 4, min: 1, max: 64, inc: 1, dec: 0.5,
+			events: []ev{credit}, want: 5,
+		},
+		{
+			name:  "credit clamps at ceiling",
+			start: 4, min: 1, max: 4, inc: 1, dec: 0.5,
+			events: []ev{credit, credit}, want: 4,
+		},
+		{
+			name:  "shed forfeits banked growth",
+			start: 4, min: 1, max: 64, inc: 1, dec: 0.5,
+			// 3 banked cleans are wiped by the shed (4 -> 2); the next 2
+			// cleans then buy exactly one slot back.
+			events: []ev{clean, clean, clean, shed, clean, clean}, want: 3,
+		},
+		{
+			name:  "aggressive increase unit",
+			start: 4, min: 1, max: 64, inc: 4, dec: 0.5,
+			// One clean banks a full window: immediate growth.
+			events: []ev{clean}, want: 5,
+		},
+		{
+			name:  "gentle decrease factor",
+			start: 10, min: 1, max: 64, inc: 1, dec: 0.9,
+			events: []ev{shed}, want: 9,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := NewWindow(windowCfg(t, c.start, c.min, c.max, c.inc, c.dec), nil)
+			for _, e := range c.events {
+				switch e {
+				case clean:
+					w.OnClean()
+				case shed:
+					w.OnShed()
+				case timeout:
+					w.OnTimeout()
+				case credit:
+					w.OnCredit()
+				}
+			}
+			if got := w.Limit(); got != c.want {
+				t.Errorf("after %q: Limit() = %d, want %d", c.events, got, c.want)
+			}
+			st := w.State()
+			if st.Size != w.Limit() || st.Min != c.min || st.Max != c.max {
+				t.Errorf("State() = %+v inconsistent with window", st)
+			}
+		})
+	}
+}
+
+// TestWindowGaugeMirror checks the registry gauge tracks every size move.
+func TestWindowGaugeMirror(t *testing.T) {
+	g := WindowGauge("test-node:1")
+	w := NewWindow(windowCfg(t, 4, 1, 64, 1, 0.5), g)
+	if g.Load() != 4 {
+		t.Fatalf("gauge = %d after creation, want 4", g.Load())
+	}
+	w.OnShed()
+	if g.Load() != 2 {
+		t.Errorf("gauge = %d after shed, want 2", g.Load())
+	}
+	w.OnCredit()
+	if g.Load() != 3 {
+		t.Errorf("gauge = %d after credit, want 3", g.Load())
+	}
+}

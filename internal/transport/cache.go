@@ -118,6 +118,19 @@ func (c *ConnCache) Invalidate(addr string) {
 	}
 }
 
+// InvalidateOnError invalidates the connection to addr unless err is a
+// transient backpressure condition (see Transient): a shed peer is
+// healthy, and re-dialing it would only add connection churn to an
+// already overloaded node. It reports whether the connection was
+// invalidated.
+func (c *ConnCache) InvalidateOnError(addr string, err error) bool {
+	if Transient(err) {
+		return false
+	}
+	c.Invalidate(addr)
+	return true
+}
+
 // Len returns the number of cached connections.
 func (c *ConnCache) Len() int {
 	c.mu.Lock()

@@ -19,7 +19,19 @@ import (
 var (
 	ErrConnClosed    = errors.New("transport: connection closed")
 	ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
+	// ErrBackpressure marks a transient, flow-control-induced refusal:
+	// the peer is overloaded but the connection itself is healthy. It is
+	// raised by protocol layers (a shed response in internal/core), never
+	// by the transports themselves.
+	ErrBackpressure = errors.New("transport: peer backpressure")
 )
+
+// Transient reports whether err is a flow-control condition the caller
+// should retry after backoff without tearing anything down, rather than
+// a connection failure.
+func Transient(err error) bool {
+	return errors.Is(err, ErrBackpressure)
+}
 
 // MaxFrameSize bounds a single framed message. Fetch requests and transport
 // buffers are far below this; it exists to fail fast on stream corruption.

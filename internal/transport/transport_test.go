@@ -685,3 +685,55 @@ func TestCacheGetAfterClose(t *testing.T) {
 	}
 	cache.Close()
 }
+
+func TestTransientClassifiesBackpressure(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrBackpressure, true},
+		{fmt.Errorf("fetch x: %w", ErrBackpressure), true},
+		{ErrConnClosed, false},
+		{ErrFrameTooLarge, false},
+		{errors.New("io: broken pipe"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("Transient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestInvalidateOnErrorKeepsBackpressuredConn(t *testing.T) {
+	tr := NewTCP()
+	addr, stop := echoServer(t, tr, "127.0.0.1:0")
+	defer stop()
+
+	cache := NewConnCache(tr, 4)
+	defer cache.Close()
+
+	c1, err := cache.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A backpressure condition must not cost the cached connection: the
+	// peer is healthy, only refusing new work.
+	if cache.InvalidateOnError(addr, fmt.Errorf("shed: %w", ErrBackpressure)) {
+		t.Fatal("InvalidateOnError dropped the connection on backpressure")
+	}
+	c2, err := cache.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("backpressure tore down the cached connection")
+	}
+	// A real failure still invalidates.
+	if !cache.InvalidateOnError(addr, ErrConnClosed) {
+		t.Fatal("InvalidateOnError kept the connection on a real error")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache.Len() = %d after invalidation, want 0", cache.Len())
+	}
+}
