@@ -3,11 +3,13 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/mof"
 	"repro/internal/transport"
 )
 
@@ -168,6 +170,147 @@ func TestFlowTenantsScheduledFairly(t *testing.T) {
 	}
 	if seen["jobB"].Weight != 3 || seen["jobA"].Weight != 1 {
 		t.Errorf("weights lost: %+v", seen)
+	}
+}
+
+// TestFlowZeroLengthSegmentsDrain fetches a MOF whose tail partitions are
+// empty through a flow-enabled supplier. Empty segments charge the DRR one
+// unit each (flow.Cost); if they charged zero, serving the lone non-empty
+// segment could deactivate the tenant with fetches still queued, stranding
+// them forever — this test would hang instead of draining.
+func TestFlowZeroLengthSegmentsDrain(t *testing.T) {
+	tr := transport.NewTCP()
+	dir := t.TempDir()
+	const parts = 6
+	dataPath := filepath.Join(dir, "m-0.data")
+	indexPath := filepath.Join(dir, "m-0.index")
+	w, err := mof.NewWriter(dataPath, indexPath, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginSegment(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("key"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	// Partitions 1..5 are never begun: the writer emits empty entries.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewMOFSupplier(SupplierConfig{
+		Transport: tr,
+		Addr:      "127.0.0.1:0",
+		// One request per scheduler turn, so the non-empty segment is
+		// served on its own and the tenant's queue must stay non-zero on
+		// the strength of the empty segments alone.
+		PrefetchBatch: 1,
+		Flow:          &flow.Config{},
+	}, func(string) (string, string, error) { return dataPath, indexPath, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	m, err := NewNetMerger(MergerConfig{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var specs []FetchSpec
+	for p := 0; p < parts; p++ {
+		specs = append(specs, FetchSpec{Addr: s.Addr(), MapTask: "m-0", Partition: p})
+	}
+	sizes := make([]int, parts)
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Fetch(specs, func(sp FetchSpec, b []byte) error {
+			sizes[sp.Partition] = len(b)
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("fetch hung: zero-length segments stranded in the tenant scheduler")
+	}
+	if sizes[0] == 0 {
+		t.Error("non-empty partition delivered no bytes")
+	}
+	for p := 1; p < parts; p++ {
+		if sizes[p] != 0 {
+			t.Errorf("empty partition %d delivered %d bytes", p, sizes[p])
+		}
+	}
+}
+
+// TestShedFrameIgnoredForForeignFetch sends a shed frame from a node that
+// does not own the named fetch. Honoring it would decrement the wrong
+// group's inflight (permanent window drift) and leak the owner's slot, so
+// the merger must drop the frame without moving any accounting.
+func TestShedFrameIgnoredForForeignFetch(t *testing.T) {
+	m, err := NewNetMerger(MergerConfig{Transport: transport.NewTCP(), Flow: &flow.Config{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	owner, foreign := "10.0.0.1:7000", "10.0.0.2:7000"
+	results := make(chan fetchResult, 1) // Close drains pending into this
+	m.mu.Lock()
+	for _, addr := range []string{owner, foreign} {
+		g := &nodeGroup{addr: addr, inflightG: inflightGauge(addr)}
+		g.win = flow.NewWindow(*m.cfg.Flow, flow.WindowGauge(addr))
+		m.groups[addr] = g
+		m.ring = append(m.ring, addr)
+	}
+	p := &pendingFetch{id: 7, spec: FetchSpec{Addr: owner, MapTask: "m-0"}, result: results}
+	m.pending[7] = p
+	m.groups[owner].acquire()
+	m.mu.Unlock()
+
+	frame := appendShed(nil, 7, maxRetryAfter)
+	if err := m.handleFlowFrame(foreign, frame); err != nil {
+		t.Fatalf("foreign shed returned error: %v", err)
+	}
+	m.mu.Lock()
+	if _, ok := m.pending[7]; !ok {
+		t.Fatal("foreign shed removed the owner's pending fetch")
+	}
+	if got := m.groups[owner].inflight; got != 1 {
+		t.Errorf("owner inflight = %d, want 1", got)
+	}
+	if got := m.groups[foreign].inflight; got != 0 {
+		t.Errorf("foreign inflight = %d, want 0", got)
+	}
+	if m.sheds != 0 {
+		t.Errorf("sheds = %d after a dropped foreign shed, want 0", m.sheds)
+	}
+	m.mu.Unlock()
+
+	// The same frame from the true owner sheds normally: pending moves to
+	// parked and the slot is released. (The minute-long retry-after keeps
+	// the unpark timer from firing before Close stops it.)
+	if err := m.handleFlowFrame(owner, frame); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.pending[7]; ok {
+		t.Error("owner shed left the fetch pending")
+	}
+	if _, ok := m.parked[7]; !ok {
+		t.Error("owner shed did not park the fetch")
+	}
+	if got := m.groups[owner].inflight; got != 0 {
+		t.Errorf("owner inflight = %d after its shed, want 0", got)
+	}
+	if m.sheds != 1 {
+		t.Errorf("sheds = %d, want 1", m.sheds)
 	}
 }
 

@@ -530,6 +530,14 @@ func (m *NetMerger) handleFlowFrame(addr string, b []byte) error {
 	if !ok {
 		return nil // the fetch already failed over to another attempt
 	}
+	if p.spec.Addr != addr {
+		// A supplier may only shed fetches it owns. Honoring a
+		// cross-node shed would decrement this node's inflight for a
+		// slot it never held (permanent window drift) while leaking the
+		// real owner's slot. Drop the frame; the owner's fetch runs its
+		// course.
+		return nil
+	}
 	delete(m.pending, id)
 	g := m.groups[addr]
 	g.release(1)
@@ -538,6 +546,7 @@ func (m *NetMerger) handleFlowFrame(addr string, b []byte) error {
 	}
 	m.sheds++
 	mrgSheds.Inc()
+	m.cond.Broadcast() // the freed slot may admit a queued fetch now
 	// Park the fetch for the supplier's hint plus up to 50% jitter, so a
 	// burst of sheds does not re-converge into a synchronized retry storm.
 	// A shed consumes no retry budget: the request was never serviced,

@@ -593,7 +593,23 @@ func (s *MOFSupplier) prefetchLoop() {
 		if s.drr != nil {
 			tn, ok := s.drr.Next()
 			if !ok {
-				continue // raced: groups appeared but DRR not yet charged
+				// Groups exist but no tenant is active in the DRR. This
+				// should be unreachable (Add charges at least one unit per
+				// request, so a tenant stays active while requests pend),
+				// but if accounting ever drifts, block for the next
+				// arrival — which re-activates its tenant — instead of
+				// busy-spinning a core on the non-blocking drain above.
+				select {
+				case r, ok := <-s.reqCh:
+					if !ok {
+						return
+					}
+					supQueueDepth.Add(-1)
+					add(r)
+				case <-s.done:
+					return
+				}
+				continue
 			}
 			tenant = tn
 		}
@@ -623,9 +639,12 @@ func (s *MOFSupplier) prefetchLoop() {
 		} else {
 			tr.next++
 		}
-		var batchBytes int64
+		// Charge the DRR what Add charged on arrival: flow.Cost floors
+		// zero-length segments at one unit, keeping the tenant active
+		// exactly while it has pending requests.
+		var batchCost int64
 		for _, r := range taken {
-			batchBytes += r.entry.Length
+			batchCost += flow.Cost(r.entry.Length)
 		}
 		s.groupTurns.Add(1)
 		supGroupTurns.Inc()
@@ -633,7 +652,7 @@ func (s *MOFSupplier) prefetchLoop() {
 			s.stage(r)
 		}
 		if s.drr != nil {
-			s.drr.Serve(tenant, batchBytes)
+			s.drr.Serve(tenant, batchCost)
 		}
 		if drained {
 			// taken aliased g.reqs, so recycle only after staging.

@@ -74,13 +74,28 @@ func (d *DRR) tenant(name string) *drrTenant {
 	return t
 }
 
-// Add accounts the arrival of bytes of work for tenant, activating it
-// in the service ring if idle.
+// Cost is the scheduler charge for one request carrying bytes of
+// payload: the byte count, floored at one unit. Zero-length segments
+// (empty MOF partitions are valid) must not charge zero — a tenant
+// whose remaining queue were all empty segments would otherwise hit
+// queued == 0 and deactivate with requests still pending, and those
+// fetches would never be served. Serve callers must charge the same
+// Cost per completed request so queued reaches zero exactly when the
+// tenant has no pending requests.
+func Cost(bytes int64) int64 {
+	if bytes < 1 {
+		return 1
+	}
+	return bytes
+}
+
+// Add accounts the arrival of one request of bytes payload for tenant
+// (charged at Cost(bytes)), activating it in the service ring if idle.
 func (d *DRR) Add(tenant string, bytes int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	t := d.tenant(tenant)
-	t.queued += bytes
+	t.queued += Cost(bytes)
 	t.queuedG.Set(t.queued)
 	if !t.active {
 		t.active = true
@@ -120,11 +135,13 @@ func (d *DRR) Next() (tenant string, ok bool) {
 	}
 }
 
-// Serve charges bytes of completed service to tenant. The deficit may
-// go negative — the debt of a batch larger than the remaining deficit
-// — and is repaid by future top-ups. A tenant whose queue drains
-// leaves the ring and forfeits any banked deficit, the standard DRR
-// rule that stops an idle tenant from bursting later.
+// Serve charges bytes of completed service to tenant — the sum of
+// Cost(request bytes) over the served batch, mirroring what Add
+// charged on arrival. The deficit may go negative — the debt of a
+// batch larger than the remaining deficit — and is repaid by future
+// top-ups. A tenant whose queue drains leaves the ring and forfeits
+// any banked deficit, the standard DRR rule that stops an idle tenant
+// from bursting later.
 func (d *DRR) Serve(tenant string, bytes int64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -120,6 +120,40 @@ func TestDRRDrainForfeitsDeficit(t *testing.T) {
 	}
 }
 
+func TestDRRZeroLengthRequestsKeepTenantActive(t *testing.T) {
+	d := NewDRR(1000, nil)
+	// One real segment plus two empty MOF partitions. Cost floors the
+	// empty ones at one unit each; if they charged zero, serving the
+	// real segment alone would drain the tenant's byte account and
+	// deactivate it with two requests still pending — fetches that
+	// would then never be served.
+	d.Add("a", 4096)
+	d.Add("a", 0)
+	d.Add("a", 0)
+	d.Serve("a", Cost(4096))
+	if tn, ok := d.Next(); !ok || tn != "a" {
+		t.Fatalf("Next() = %q, %v after serving the non-empty segment; zero-length requests stranded", tn, ok)
+	}
+	d.Serve("a", Cost(0))
+	if tn, ok := d.Next(); !ok || tn != "a" {
+		t.Fatalf("Next() = %q, %v with one zero-length request pending", tn, ok)
+	}
+	d.Serve("a", Cost(0))
+	if _, ok := d.Next(); ok {
+		t.Fatal("tenant still active after every request was served")
+	}
+}
+
+func TestCostFloorsAtOne(t *testing.T) {
+	for _, tc := range []struct{ bytes, want int64 }{
+		{-1, 1}, {0, 1}, {1, 1}, {4096, 4096},
+	} {
+		if got := Cost(tc.bytes); got != tc.want {
+			t.Errorf("Cost(%d) = %d, want %d", tc.bytes, got, tc.want)
+		}
+	}
+}
+
 func TestDRROccupancySorted(t *testing.T) {
 	d := NewDRR(1000, map[string]int64{"b": 2})
 	d.Add("c", 10)
