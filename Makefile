@@ -5,15 +5,19 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench overload
+.PHONY: all build test vet race bench fuzz-smoke overload
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
+# test: -shuffle=on randomizes test and subtest execution order so
+# hidden inter-test state dependencies fail loudly instead of silently
+# passing in source order. The seed is printed on failure; re-run with
+# `go test -shuffle=<seed>` to reproduce.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # vet: the stock toolchain vet plus jbsvet, the repo-specific pass
 # (lock hygiene, goroutine lifecycle, unchecked Close/Write/Flush,
@@ -25,7 +29,15 @@ vet:
 # race: the full suite under the race detector, with the leakcheck
 # TestMain hooks active in the concurrent packages.
 race:
-	$(GO) test -race -timeout 10m ./...
+	$(GO) test -race -shuffle=on -timeout 10m ./...
+
+# fuzz-smoke: 30 seconds of coverage-guided fuzzing per wire-format
+# decoder. Not exhaustive — a CI tripwire for decode panics, unbounded
+# allocations, and encode/decode round-trip drift. Targets must be
+# fuzzed one at a time (a Go toolchain restriction).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameUnmarshal$$' -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzShedCreditFrame$$' -fuzztime 30s ./internal/core
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -21,6 +21,10 @@
 //   - gaugepair: a plain int field and its mirror *metrics.Gauge field
 //     (x / xG, e.g. nodeGroup.inflight / inflightG) must move together
 //     in the same function — the inflight-drift class of bug.
+//   - testgoroutine: testing.T/B Fatal/Fatalf/FailNow/Skip/Skipf/SkipNow
+//     must not be called from goroutines spawned by a test — they stop
+//     only the calling goroutine, silently corrupting the test's control
+//     flow. The one check that runs over _test.go files.
 //
 // The package uses only the standard library (go/ast, go/parser,
 // go/types); go.mod stays dependency-free.
@@ -65,7 +69,17 @@ func AllChecks() []Check {
 		&SimClockCheck{},
 		&DocCommentCheck{},
 		&GaugePairCheck{},
+		&TestGoroutineCheck{},
 	}
+}
+
+// TestFileCheck is implemented by checks that analyze _test.go files.
+// For these the Runner loads each directory's test units — the package
+// merged with its in-package tests, and the external _test package —
+// via Loader.LoadTests and runs the check over those as well.
+type TestFileCheck interface {
+	Check
+	WantsTestFiles() bool
 }
 
 // DefaultScopes maps a check name to the module-relative directory
@@ -79,6 +93,9 @@ func DefaultScopes() map[string][]string {
 		"errcheck":   {"internal/transport", "internal/mof"},
 		"simclock":   {"internal/sim*", "internal/shuffle"},
 		"gaugepair":  {"internal/core", "internal/flow"},
+		// testgoroutine runs everywhere tests run; the explicit entry is
+		// documentation that the breadth is deliberate.
+		"testgoroutine": {"internal", "cmd"},
 	}
 }
 
@@ -130,15 +147,39 @@ func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 			r.Verbose("jbsvet: checking %s", pkg.Rel)
 		}
 		var raw []Finding
+		var testChecks []Check
 		for _, c := range r.Checks {
 			if !inScope(pkg.Rel, r.Scopes[c.Name()]) {
 				continue
 			}
 			raw = append(raw, c.Run(pkg)...)
+			if tc, ok := c.(TestFileCheck); ok && tc.WantsTestFiles() {
+				testChecks = append(testChecks, c)
+			}
 		}
 		kept, malformed := ApplySuppressions(pkg, raw)
 		all = append(all, kept...)
 		all = append(all, malformed...)
+		if len(testChecks) == 0 {
+			continue
+		}
+		testPkgs, err := r.Loader.LoadTests(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: load tests %s: %w", dir, err)
+		}
+		for _, tp := range testPkgs {
+			if len(tp.TypeErrors) > 0 {
+				return nil, fmt.Errorf("analysis: type-check %s tests: %v (and %d more)",
+					dir, tp.TypeErrors[0], len(tp.TypeErrors)-1)
+			}
+			var raw []Finding
+			for _, c := range testChecks {
+				raw = append(raw, c.Run(tp)...)
+			}
+			kept, malformed := ApplySuppressions(tp, raw)
+			all = append(all, kept...)
+			all = append(all, malformed...)
+		}
 	}
 	SortFindings(all)
 	return all, nil

@@ -106,6 +106,44 @@ func TestGaugePairCheckGolden(t *testing.T) {
 	matchFindings(t, pkg, (&GaugePairCheck{}).Run(pkg))
 }
 
+func TestTestGoroutineCheckGolden(t *testing.T) {
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	pkgs, err := loader.LoadTests(filepath.Join("testdata", "testgoroutine"))
+	if err != nil {
+		t.Fatalf("LoadTests: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("LoadTests returned %d units, want 2 (in-package merged + external _test)", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			t.Fatalf("test unit %s has type errors: %v", pkg.Name, pkg.TypeErrors)
+		}
+		matchFindings(t, pkg, (&TestGoroutineCheck{}).Run(pkg))
+	}
+}
+
+func TestLoadTestsNoTestFiles(t *testing.T) {
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	pkgs, err := loader.LoadTests(filepath.Join("testdata", "lock"))
+	if err != nil {
+		t.Fatalf("LoadTests: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("LoadTests on a test-less dir returned %d units, want 0", len(pkgs))
+	}
+}
+
 func TestDocCommentCheckGolden(t *testing.T) {
 	for _, name := range []string{"doccomment/missing", "doccomment/badprefix", "doccomment/cmdmain"} {
 		pkg := fixturePkg(t, name)

@@ -45,8 +45,9 @@ type Loader struct {
 	Root   string // module root (directory containing go.mod)
 	Module string // module path from go.mod
 
-	std  types.Importer
-	pkgs map[string]*Package // keyed by cleaned absolute dir
+	std      types.Importer
+	pkgs     map[string]*Package   // keyed by cleaned absolute dir
+	testPkgs map[string][]*Package // LoadTests results, same key
 }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
@@ -73,11 +74,12 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:   fset,
-		Root:   root,
-		Module: mod,
-		std:    importer.ForCompiler(fset, "source", nil),
-		pkgs:   make(map[string]*Package),
+		Fset:     fset,
+		Root:     root,
+		Module:   mod,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     make(map[string]*Package),
+		testPkgs: make(map[string][]*Package),
 	}, nil
 }
 
@@ -165,6 +167,125 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	tpkg, _ := conf.Check(l.importPathFor(rel), l.Fset, files, pkg.Info)
 	pkg.Types = tpkg
 	return pkg, nil
+}
+
+// LoadTests parses and type-checks the test code of the package in dir
+// (memoized) and returns up to two additional units: the package merged
+// with its in-package _test.go files, and the external `<name>_test`
+// package as its own unit. Directories with no test files return nil.
+// These units are never registered as import targets — importing a
+// package always resolves to its non-test half via Load — so test-only
+// declarations cannot leak into dependents' type-checking.
+func (l *Loader) LoadTests(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	abs = filepath.Clean(abs)
+	if pkgs, ok := l.testPkgs[abs]; ok {
+		return pkgs, nil
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var baseNames, testNames []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") {
+			continue
+		}
+		if strings.HasSuffix(n, "_test.go") {
+			testNames = append(testNames, n)
+		} else {
+			baseNames = append(baseNames, n)
+		}
+	}
+	if len(testNames) == 0 {
+		l.testPkgs[abs] = nil
+		return nil, nil
+	}
+	sort.Strings(baseNames)
+	sort.Strings(testNames)
+
+	parse := func(names []string) ([]*ast.File, error) {
+		var files []*ast.File
+		for _, n := range names {
+			f, err := parser.ParseFile(l.Fset, filepath.Join(abs, n), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		return files, nil
+	}
+	testFiles, err := parse(testNames)
+	if err != nil {
+		return nil, err
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			external = append(external, f)
+		} else {
+			inPkg = append(inPkg, f)
+		}
+	}
+
+	rel := abs
+	if r, err := filepath.Rel(l.Root, abs); err == nil && !strings.HasPrefix(r, "..") {
+		rel = filepath.ToSlash(r)
+	}
+	check := func(name string, files []*ast.File) *Package {
+		path := l.importPathFor(rel)
+		if strings.HasSuffix(name, "_test") {
+			// The external test package imports the base package; giving it
+			// the base's own path would read as a self-import.
+			path += "_test"
+		}
+		pkg := &Package{
+			Name:  name,
+			Dir:   abs,
+			Rel:   rel,
+			Fset:  l.Fset,
+			Files: files,
+			Info: &types.Info{
+				Types:      make(map[ast.Expr]types.TypeAndValue),
+				Defs:       make(map[*ast.Ident]types.Object),
+				Uses:       make(map[*ast.Ident]types.Object),
+				Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			},
+		}
+		conf := types.Config{
+			Importer: importerFunc(func(path string) (*types.Package, error) {
+				return l.importPath(path)
+			}),
+			Error: func(err error) {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			},
+		}
+		tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+		pkg.Types = tpkg
+		return pkg
+	}
+
+	var pkgs []*Package
+	if len(inPkg) > 0 {
+		// The in-package unit re-parses the base files rather than reusing
+		// Load's ASTs: the merged unit type-checks with its own Info tables,
+		// and sharing ASTs across two type-checks would interleave them.
+		baseFiles, err := parse(baseNames)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, check(inPkg[0].Name.Name, append(baseFiles, inPkg...)))
+	}
+	if len(external) > 0 {
+		pkgs = append(pkgs, check(external[0].Name.Name, external))
+	}
+	l.testPkgs[abs] = pkgs
+	return pkgs, nil
 }
 
 // importPathFor derives the import path recorded for a checked package.

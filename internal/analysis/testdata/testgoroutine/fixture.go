@@ -1,0 +1,5 @@
+// Package testgoroutine is a jbsvet fixture for the testgoroutine check.
+package testgoroutine
+
+// Work is trivial exported surface so the base package is non-empty.
+func Work() int { return 42 }

@@ -1,0 +1,124 @@
+package testgoroutine
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFatalInGoroutineLit(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if Work() != 42 {
+			t.Fatal("bad answer") // want "testing.Fatal called from a goroutine"
+		}
+	}()
+	wg.Wait()
+}
+
+func TestFatalfAndSkipInGoroutine(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.Fatalf("bad: %d", Work()) // want "testing.Fatalf called from a goroutine"
+		t.Skip("never reached")     // want "testing.Skip called from a goroutine"
+	}()
+	<-done
+}
+
+func TestFailNowViaNestedLit(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		retry := func() {
+			t.FailNow() // want "testing.FailNow called from a goroutine"
+		}
+		retry()
+	}()
+	<-done
+}
+
+// checker is a helper whose method is launched as a goroutine; the call
+// resolves to this declaration and its body is scanned.
+type checker struct {
+	t  *testing.T
+	wg sync.WaitGroup
+}
+
+func (c *checker) run() {
+	defer c.wg.Done()
+	c.t.Fatalf("from helper method: %d", Work()) // want "testing.Fatalf called from a goroutine"
+}
+
+func helperFunc(t *testing.T, done chan struct{}) {
+	defer close(done)
+	t.SkipNow() // want "testing.SkipNow called from a goroutine"
+}
+
+func TestHelperLaunches(t *testing.T) {
+	c := &checker{t: t}
+	c.wg.Add(1)
+	go c.run()
+	c.wg.Wait()
+
+	done := make(chan struct{})
+	go helperFunc(t, done)
+	<-done
+
+	// A second launch of the same helper must not duplicate findings.
+	done2 := make(chan struct{})
+	go helperFunc(t, done2)
+	<-done2
+}
+
+func TestBenchmarkStyle(t *testing.T) {
+	var b *testing.B
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if b != nil {
+			b.Skipf("b too: %d", Work()) // want "testing.Skipf called from a goroutine"
+		}
+	}()
+	<-done
+}
+
+func tbHelper(tb testing.TB, done chan struct{}) {
+	defer close(done)
+	tb.Fatal("via the TB interface") // want "testing.Fatal called from a goroutine"
+}
+
+func TestTBInterface(t *testing.T) {
+	done := make(chan struct{})
+	go tbHelper(t, done)
+	<-done
+}
+
+// Clean patterns: nothing below may be flagged.
+
+func TestChannelReporting(t *testing.T) {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- nil // the right pattern: ship the failure back
+	}()
+	if err := <-errs; err != nil {
+		t.Fatal(err) // test goroutine: fine
+	}
+}
+
+func TestErrorIsGoroutineSafe(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.Errorf("goroutine-safe: %d", Work()) // Error/Errorf are allowed
+		t.Log("so is Log")
+	}()
+	<-done
+}
+
+func TestSubtestsAreNotGoroutines(t *testing.T) {
+	t.Run("sub", func(t *testing.T) {
+		t.Fatalf("subtest body runs on its own test goroutine: %d", Work())
+	})
+}

@@ -1,0 +1,26 @@
+package testgoroutine_test
+
+import (
+	"testing"
+
+	tg "repro/internal/analysis/testdata/testgoroutine"
+)
+
+func TestExternalPackageViolation(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if tg.Work() != 42 {
+			t.Fatal("external test packages are scanned too") // want "testing.Fatal called from a goroutine"
+		}
+	}()
+	<-done
+}
+
+func TestExternalClean(t *testing.T) {
+	results := make(chan int, 1)
+	go func() { results <- tg.Work() }()
+	if got := <-results; got != 42 {
+		t.Fatalf("Work() = %d", got)
+	}
+}

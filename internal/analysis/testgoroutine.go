@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// TestGoroutineCheck flags testing.T/B/TB failure methods called from
+// goroutines spawned inside test code. The testing package documents
+// that FailNow, Fatal, Fatalf, SkipNow, Skip, and Skipf must be called
+// from the goroutine running the Test function: they stop that
+// goroutine with runtime.Goexit, so from any other goroutine the test
+// keeps running as if nothing happened — the failure is recorded but
+// teardown ordering, leak snapshots, and the test's own control flow
+// are all silently corrupted. The fix is to report through a channel
+// (or t.Error, which is goroutine-safe) and let the test goroutine
+// decide.
+//
+// Like GoroutineCheck, `go x.method()` and `go fn()` resolve to
+// declarations in the same unit and their bodies are scanned; a
+// goroutine launching an out-of-unit function is not flagged (that is
+// GoroutineCheck's territory).
+//
+// This is the one check that wants test files: the Runner feeds it the
+// package merged with its in-package _test.go files plus the external
+// _test package (Loader.LoadTests).
+type TestGoroutineCheck struct{}
+
+// Name implements Check.
+func (*TestGoroutineCheck) Name() string { return "testgoroutine" }
+
+// Doc implements Check.
+func (*TestGoroutineCheck) Doc() string {
+	return "testing.T Fatal/Skip/FailNow must not be called from goroutines spawned by a test"
+}
+
+// WantsTestFiles opts this check into the Runner's test-package pass.
+func (*TestGoroutineCheck) WantsTestFiles() bool { return true }
+
+// forbiddenFromGoroutine is the set the testing package documents as
+// test-goroutine-only. Error/Errorf/Log/Fail are goroutine-safe and
+// deliberately absent.
+var forbiddenFromGoroutine = map[string]bool{
+	"FailNow": true,
+	"Fatal":   true,
+	"Fatalf":  true,
+	"SkipNow": true,
+	"Skip":    true,
+	"Skipf":   true,
+}
+
+// Run implements Check.
+func (c *TestGoroutineCheck) Run(pkg *Package) []Finding {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	var out []Finding
+	seen := make(map[ast.Node]bool) // two `go helper()` sites share one body
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body = fun.Body
+			case *ast.Ident:
+				if fd := decls[pkg.Info.Uses[fun]]; fd != nil {
+					body = fd.Body
+				}
+			case *ast.SelectorExpr:
+				if fd := decls[pkg.Info.Uses[fun.Sel]]; fd != nil {
+					body = fd.Body
+				}
+			}
+			if body == nil || seen[body] {
+				return true
+			}
+			seen[body] = true
+			out = append(out, c.scanBody(pkg, body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// scanBody reports every forbidden testing call under a goroutine body,
+// nested function literals included (they run on the same spawned
+// goroutine unless re-launched, and a re-launch is just as broken).
+func (c *TestGoroutineCheck) scanBody(pkg *Package, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "testing" ||
+			!forbiddenFromGoroutine[fn.Name()] {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:   position(pkg, call.Pos()),
+			Check: "testgoroutine",
+			Message: fmt.Sprintf(
+				"testing.%s called from a goroutine spawned by the test: it stops only that goroutine (runtime.Goexit), not the test — send the failure over a channel or use Error/Errorf",
+				fn.Name()),
+		})
+		return true
+	})
+	return out
+}

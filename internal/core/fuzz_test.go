@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzFrameUnmarshal drives the fetch-request and data-chunk decoders
+// with arbitrary bytes. The decoders sit directly on network input — a
+// malformed or hostile frame must come back as ErrBadMessage or
+// ErrCorruptFrame, never a panic, a huge allocation (the sized-chunk
+// Total field is attacker-controlled), or an out-of-bounds read. Valid
+// frames that decode must re-encode to the identical wire image.
+func FuzzFrameUnmarshal(f *testing.F) {
+	f.Add(encodeFetchRequest(fetchRequest{ID: 1, Partition: 3, MapTask: "m-00001"}))
+	f.Add(encodeFetchRequest(fetchRequest{}))
+	f.Add(encodeDataChunk(dataChunk{ID: 7, Last: true, Payload: []byte("tail chunk")}))
+	f.Add(encodeDataChunk(dataChunk{ID: 9, Sized: true, Total: 1 << 20, Payload: bytes.Repeat([]byte("x"), 64)}))
+	f.Add(encodeDataChunk(dataChunk{ID: 2, Last: true, Failed: true, Payload: []byte("remote error")}))
+	f.Add([]byte{msgDataChunk})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if req, err := decodeFetchRequest(raw); err == nil {
+			re := encodeFetchRequest(req)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("fetch request re-encode mismatch:\n in %x\nout %x", raw, re)
+			}
+		} else if !errors.Is(err, ErrBadMessage) && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("fetch request decode returned unexpected error class: %v", err)
+		}
+		if c, err := decodeDataChunk(raw); err == nil {
+			if c.Total < 0 || c.Total > maxSegmentTotal {
+				t.Fatalf("decoded chunk Total %d escaped its cap", c.Total)
+			}
+			re := encodeDataChunk(c)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("data chunk re-encode mismatch:\n in %x\nout %x", raw, re)
+			}
+		} else if !errors.Is(err, ErrBadMessage) && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("data chunk decode returned unexpected error class: %v", err)
+		}
+	})
+}
+
+// FuzzShedCreditFrame drives the flow-control frame decoders. Same
+// contract: structured errors only, and decoded values must stay inside
+// their documented bounds (retry-after capped at maxRetryAfter).
+func FuzzShedCreditFrame(f *testing.F) {
+	f.Add(appendShed(nil, 42, 2*time.Millisecond))
+	f.Add(appendShed(nil, 0, 0))
+	f.Add(appendShed(nil, ^uint64(0), maxRetryAfter))
+	f.Add(appendCredit(nil, 1))
+	f.Add(appendCredit(nil, ^uint32(0)))
+	f.Add([]byte{msgShed})
+	f.Add([]byte{msgCredit, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if id, retryAfter, err := decodeShed(raw); err == nil {
+			if retryAfter < 0 || retryAfter > maxRetryAfter {
+				t.Fatalf("shed retry-after %v escaped its cap", retryAfter)
+			}
+			re := appendShed(nil, id, retryAfter)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("shed re-encode mismatch:\n in %x\nout %x", raw, re)
+			}
+		} else if !errors.Is(err, ErrBadMessage) && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("shed decode returned unexpected error class: %v", err)
+		}
+		if n, err := decodeCredit(raw); err == nil {
+			re := appendCredit(nil, n)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("credit re-encode mismatch:\n in %x\nout %x", raw, re)
+			}
+		} else if !errors.Is(err, ErrBadMessage) && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("credit decode returned unexpected error class: %v", err)
+		}
+	})
+}

@@ -35,6 +35,8 @@ var (
 		"staged segments waiting for (or inside) a transmit worker — the prefetch pipeline's occupancy")
 	supGroupTurns = metrics.Default().Counter("jbs_supplier_group_turns_total", "turns",
 		"round-robin turns taken by the disk prefetch server")
+	supCorruptFrames = metrics.Default().Counter("jbs_supplier_corrupt_frames_total", "frames",
+		"fetch requests rejected by the CRC32C frame checksum")
 
 	// NetMerger fetch engine.
 	mrgFetches = metrics.Default().Counter("jbs_merger_fetches_total", "reqs",
@@ -51,6 +53,10 @@ var (
 		"shed responses received from overloaded suppliers")
 	mrgShedRetries = metrics.Default().Counter("jbs_merger_shed_retries_total", "reqs",
 		"parked fetches re-queued after their retry-after backoff")
+	mrgCorruptFrames = metrics.Default().Counter("jbs_merger_corrupt_frames_total", "frames",
+		"response frames rejected by the CRC32C checksum; the connection is torn down and the segments re-fetched")
+	mrgDeadlineTrips = metrics.Default().Counter("jbs_merger_deadline_trips_total", "conns",
+		"connections failed by the per-fetch deadline watchdog (stalled reads)")
 )
 
 // inflightGauge returns the per-remote-node in-flight gauge, registered

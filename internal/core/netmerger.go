@@ -27,6 +27,17 @@ type MergerConfig struct {
 	// MaxRetries is how many times a fetch is re-sent (on a freshly dialed
 	// connection) after a transport failure before the error surfaces.
 	MaxRetries int
+	// FetchTimeout bounds how long a sent fetch may sit without a response
+	// before its connection is declared stalled and failed over: a peer
+	// that accepts the request and then never writes would otherwise hang
+	// the fetch forever, since a healthy-looking TCP connection surfaces
+	// no error. Zero means the 30s default.
+	FetchTimeout time.Duration
+	// RetryBackoff is the base delay before a failed fetch is re-sent; it
+	// doubles per attempt (capped, jittered). Without it a refused or
+	// flapping node burns the whole MaxRetries budget in microseconds.
+	// Zero means the 2ms default.
+	RetryBackoff time.Duration
 	// Flow enables credit-based flow control: per-node AIMD windows
 	// replacing the fixed WindowPerNode, plus shed handling with
 	// jittered retry-after backoff. Nil keeps the paper's fixed window.
@@ -47,6 +58,18 @@ func (c *MergerConfig) applyDefaults() error {
 	}
 	if c.MaxRetries < 0 {
 		return fmt.Errorf("core: merger MaxRetries %d must not be negative", c.MaxRetries)
+	}
+	if c.FetchTimeout < 0 {
+		return fmt.Errorf("core: merger FetchTimeout %v must not be negative", c.FetchTimeout)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("core: merger RetryBackoff %v must not be negative", c.RetryBackoff)
+	}
+	if c.FetchTimeout == 0 {
+		c.FetchTimeout = 30 * time.Second
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
 	}
 	if c.MaxConnections == 0 {
 		c.MaxConnections = transport.DefaultMaxConnections
@@ -86,6 +109,8 @@ type MergerStats struct {
 	ConnectionsHi int64 // peak distinct remote nodes connected
 	Sheds         int64 // shed responses received from suppliers
 	ShedRetries   int64 // parked fetches re-queued after their backoff
+	CorruptFrames int64 // frames rejected by the CRC32C checksum
+	DeadlineTrips int64 // connections failed by the fetch deadline watchdog
 }
 
 // fetchResult is one completed fetch.
@@ -106,9 +131,14 @@ type pendingFetch struct {
 	// just before injection (so the read side, also under m.mu, races with
 	// nothing) and overwritten on each retry.
 	sentAt time.Time
-	// backoff is the pending retry timer while the fetch is parked after
-	// a shed response; Close stops it. Guarded by m.mu.
+	// backoff is the pending retry timer while the fetch is parked (after
+	// a shed response or between retry attempts); Close stops it. Guarded
+	// by m.mu.
 	backoff *time.Timer
+	// shedPark distinguishes a shed park (counted as a shed retry on
+	// unpark) from a failure-backoff park (already counted as a retry
+	// when parked). Guarded by m.mu.
+	shedPark bool
 }
 
 // nodeGroup holds the per-remote-node request queue, ordered by arrival
@@ -121,6 +151,14 @@ type nodeGroup struct {
 	// win is the node pair's AIMD congestion window; nil when flow
 	// control is disabled (fixed WindowPerNode). Guarded by m.mu.
 	win *flow.Window
+	// epoch counts connection generations for this node: it increments
+	// each time the node's connection is declared dead, and every failure
+	// report carries the epoch it observed. A report whose epoch no
+	// longer matches is stale — a concurrent observer (read loop, send
+	// path, deadline watchdog) already recycled that connection — and is
+	// dropped, so one dead connection can never release in-flight slots
+	// twice or tear down its freshly dialed replacement. Guarded by m.mu.
+	epoch uint64
 }
 
 // acquire charges one request to the group's in-flight window. Together
@@ -170,17 +208,20 @@ type NetMerger struct {
 
 	readers map[string]bool // addr -> reader goroutine running
 
-	wg sync.WaitGroup
+	wg        sync.WaitGroup
+	watchStop chan struct{} // closed by Close; stops the deadline watchdog
 
 	unregister func() // flow registry removal; nil when flow is off
 
-	requests    int64
-	bytes       int64
-	errCount    int64
-	retries     int64
-	connsHigh   int64
-	sheds       int64
-	shedRetries int64
+	requests      int64
+	bytes         int64
+	errCount      int64
+	retries       int64
+	connsHigh     int64
+	sheds         int64
+	shedRetries   int64
+	corruptFrames int64
+	deadlineTrips int64
 }
 
 // NewNetMerger creates the node's consolidated fetch engine.
@@ -189,12 +230,13 @@ func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
 		return nil, err
 	}
 	m := &NetMerger{
-		cfg:     cfg,
-		cache:   transport.NewConnCache(cfg.Transport, cfg.MaxConnections),
-		groups:  make(map[string]*nodeGroup),
-		pending: make(map[uint64]*pendingFetch),
-		parked:  make(map[uint64]*pendingFetch),
-		readers: make(map[string]bool),
+		cfg:       cfg,
+		cache:     transport.NewConnCache(cfg.Transport, cfg.MaxConnections),
+		groups:    make(map[string]*nodeGroup),
+		pending:   make(map[uint64]*pendingFetch),
+		parked:    make(map[uint64]*pendingFetch),
+		readers:   make(map[string]bool),
+		watchStop: make(chan struct{}),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	if cfg.Flow != nil {
@@ -202,6 +244,8 @@ func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
 	}
 	m.wg.Add(1)
 	go m.injectLoop()
+	m.wg.Add(1)
+	go m.watchdog()
 	return m, nil
 }
 
@@ -233,6 +277,8 @@ func (m *NetMerger) Stats() MergerStats {
 		ConnectionsHi: m.connsHigh,
 		Sheds:         m.sheds,
 		ShedRetries:   m.shedRetries,
+		CorruptFrames: m.corruptFrames,
+		DeadlineTrips: m.deadlineTrips,
 	}
 }
 
@@ -266,6 +312,7 @@ func (m *NetMerger) Close() error {
 	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	close(m.watchStop)
 	if m.unregister != nil {
 		m.unregister()
 	}
@@ -355,7 +402,7 @@ func (m *NetMerger) injectLoop() {
 			g.queue = g.queue[1:]
 			g.acquire()
 			m.pending[p.id] = p
-			m.ensureReader(addr)
+			m.ensureReader(g)
 			// Stamp before the lock drops: once pending holds p, the read
 			// loop may touch it, so the stamp must happen-before that.
 			p.sentAt = time.Now()
@@ -365,12 +412,19 @@ func (m *NetMerger) injectLoop() {
 			err := m.send(addr, p)
 			m.mu.Lock()
 			if err != nil {
-				delete(m.pending, p.id)
-				g.release(1)
-				if m.closed {
-					return
+				// Only unwind if p is still ours: a concurrent failConn
+				// (read-loop error, deadline trip) may have already removed
+				// p from pending, released its slot, and re-queued it —
+				// unwinding again would release the slot twice and schedule
+				// the fetch twice.
+				if _, still := m.pending[p.id]; still {
+					delete(m.pending, p.id)
+					g.release(1)
+					if m.closed {
+						return
+					}
+					m.failOrRetryLocked(g, p, err)
 				}
-				m.failOrRetryLocked(g, p, err)
 			}
 			sent = true
 			break // restart the scan after releasing the lock
@@ -401,43 +455,66 @@ func (m *NetMerger) send(addr string, p *pendingFetch) error {
 	err = conn.Send(appendFetchRequest(l.Bytes()[:0], req))
 	l.Release()
 	if err != nil {
-		m.cache.InvalidateOnError(addr, err)
+		// Conn-identity invalidation: if a reader already failed this
+		// connection and a fresh one was dialed, don't tear the fresh
+		// one down for the old one's error.
+		m.cache.InvalidateConn(addr, conn, err)
 		return err
 	}
 	return nil
 }
 
-// ensureReader starts the response reader for addr once. Must be called
-// with m.mu held.
-func (m *NetMerger) ensureReader(addr string) {
-	if m.readers[addr] {
+// ensureReader starts the response reader for the group's node once,
+// bound to the group's current connection epoch. Must be called with
+// m.mu held.
+func (m *NetMerger) ensureReader(g *nodeGroup) {
+	if m.readers[g.addr] {
 		return
 	}
-	m.readers[addr] = true
+	m.readers[g.addr] = true
 	m.wg.Add(1)
-	go m.readLoop(addr)
+	go m.readLoop(g.addr, g.epoch)
+}
+
+// noteCorrupt counts a frame rejected by the CRC32C checksum. Corruption
+// is counted at the point of detection, before the recovery race is
+// resolved: the damaged frame is a fact regardless of which observer wins
+// the failover.
+func (m *NetMerger) noteCorrupt(err error) {
+	if !errors.Is(err, ErrCorruptFrame) {
+		return
+	}
+	mrgCorruptFrames.Inc()
+	m.mu.Lock()
+	m.corruptFrames++
+	m.mu.Unlock()
 }
 
 // readLoop drains response chunks from one node's connection and completes
-// pending fetches.
-func (m *NetMerger) readLoop(addr string) {
+// pending fetches. It reads the connection belonging to the given group
+// epoch; any failure it reports is dropped as stale once that epoch has
+// passed.
+func (m *NetMerger) readLoop(addr string, epoch uint64) {
 	defer m.wg.Done()
 	conn, err := m.cache.Get(addr)
 	if err != nil {
-		m.failNode(addr, err)
+		// Dial failure: nothing was cached, so there is no connection to
+		// invalidate — only slots to unwind and fetches to retry.
+		m.failConn(addr, epoch, nil, err)
 		return
 	}
 	for {
 		l, err := transport.RecvBuf(conn)
 		if err != nil {
-			m.failNode(addr, err)
+			m.failConn(addr, epoch, conn, err)
 			return
 		}
 		if b := l.Bytes(); len(b) > 0 && (b[0] == msgShed || b[0] == msgCredit) {
 			err = m.handleFlowFrame(addr, b)
 			l.Release()
 			if err != nil {
-				m.failNode(addr, err)
+				m.noteCorrupt(err)
+				m.failConn(addr, epoch, conn, err)
 				return
 			}
 			continue
@@ -445,7 +522,12 @@ func (m *NetMerger) readLoop(addr string) {
 		chunk, err := decodeDataChunk(l.Bytes())
 		if err != nil {
 			l.Release()
-			m.failNode(addr, err)
+			// A corrupt or malformed frame poisons the stream — framing
+			// after it cannot be trusted — so the connection is torn down
+			// and every in-flight fetch to this node re-sent on a fresh
+			// one: detection at the merger, transparent re-fetch.
+			m.noteCorrupt(err)
+			m.failConn(addr, epoch, conn, err)
 			return
 		}
 		m.mu.Lock()
@@ -551,13 +633,21 @@ func (m *NetMerger) handleFlowFrame(addr string, b []byte) error {
 	// burst of sheds does not re-converge into a synchronized retry storm.
 	// A shed consumes no retry budget: the request was never serviced,
 	// and the AIMD collapse plus backoff bounds the re-send rate.
-	delay := retryAfter + rand.N(retryAfter/2+1)
-	m.parked[id] = p
-	p.backoff = time.AfterFunc(delay, func() { m.unpark(id) })
+	m.parkLocked(p, retryAfter+rand.N(retryAfter/2+1), true)
 	return nil
 }
 
-// unpark re-queues a shed fetch at the head of its node group after its
+// parkLocked holds a fetch out of its queue for delay before re-queueing
+// it. shed marks a supplier-shed park (counted as a shed retry on unpark)
+// versus a failure-backoff park. Must be called with m.mu held.
+func (m *NetMerger) parkLocked(p *pendingFetch, delay time.Duration, shed bool) {
+	p.shedPark = shed
+	m.parked[p.id] = p
+	id := p.id
+	p.backoff = time.AfterFunc(delay, func() { m.unpark(id) })
+}
+
+// unpark re-queues a parked fetch at the head of its node group after its
 // backoff elapses. Runs on the backoff timer's goroutine.
 func (m *NetMerger) unpark(id uint64) {
 	m.mu.Lock()
@@ -570,23 +660,36 @@ func (m *NetMerger) unpark(id uint64) {
 	p.backoff = nil
 	g := m.groups[p.spec.Addr]
 	g.queue = append([]*pendingFetch{p}, g.queue...)
-	m.shedRetries++
-	mrgShedRetries.Inc()
+	if p.shedPark {
+		m.shedRetries++
+		mrgShedRetries.Inc()
+	}
 	m.cond.Broadcast()
 }
 
-// failOrRetryLocked either re-queues a failed request at the head of its
-// node group — it will be re-sent on a freshly dialed connection — or,
-// once its retry budget is spent, surfaces the error. Must be called with
-// m.mu held.
+// maxRetryBackoff caps the exponential retry delay.
+const maxRetryBackoff = 500 * time.Millisecond
+
+// failOrRetryLocked either parks a failed request for a jittered
+// exponential backoff — after which it re-queues at the head of its node
+// group and is re-sent on a freshly dialed connection — or, once its
+// retry budget is spent, surfaces the error. Must be called with m.mu
+// held.
 func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) {
 	p.attempts++
 	p.buf = nil // discard partial chunks from the dead connection
 	if g != nil && p.attempts <= m.cfg.MaxRetries {
 		m.retries++
 		mrgRetries.Inc()
-		g.queue = append([]*pendingFetch{p}, g.queue...)
-		m.cond.Broadcast()
+		// Exponential, capped, jittered: a refused node is probed at a
+		// gentle rate instead of burning the retry budget in a tight
+		// dial-fail loop, and concurrent failures fan out rather than
+		// re-converging into a synchronized storm.
+		delay := m.cfg.RetryBackoff << min(p.attempts-1, 8)
+		if delay > maxRetryBackoff {
+			delay = maxRetryBackoff
+		}
+		m.parkLocked(p, delay+rand.N(delay/2+1), false)
 		return
 	}
 	m.errCount++
@@ -594,18 +697,33 @@ func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) 
 	p.result <- fetchResult{spec: p.spec, err: err}
 }
 
-// failNode handles a dead connection to addr: every in-flight request to
-// that node is re-queued for a fresh connection (up to its retry budget)
-// or failed.
-func (m *NetMerger) failNode(addr string, err error) {
-	// Transient (backpressure) conditions never reach failNode — sheds
-	// are handled as frames — but the guard keeps the invariant in one
-	// place: only real connection failures cost a cached connection.
-	m.cache.InvalidateOnError(addr, err)
+// errFetchStalled is the failure the deadline watchdog assigns to a
+// connection whose oldest in-flight fetch exceeded FetchTimeout.
+var errFetchStalled = errors.New("core: fetch deadline exceeded (stalled connection)")
+
+// failConn handles a dead (or stalled) connection to addr, observed under
+// the given group epoch: every in-flight request to that node is re-queued
+// for a fresh connection (up to its retry budget) or failed. If the
+// epoch has already passed — another observer recycled the connection
+// first — the report is stale and dropped, so slots are never released
+// twice. conn, when non-nil, is the connection the caller observed
+// failing; invalidation is conn-identity-guarded so a stale report cannot
+// tear down a fresh replacement.
+func (m *NetMerger) failConn(addr string, epoch uint64, conn transport.Conn, err error) {
+	// Invalidate before unwinding so the retried fetches dial fresh.
+	// Transient (backpressure) conditions never invalidate — a shed peer
+	// is healthy (see ConnCache).
+	if conn != nil {
+		m.cache.InvalidateConn(addr, conn, err)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.readers[addr] = false
 	g := m.groups[addr]
+	if g == nil || g.epoch != epoch {
+		return // stale: this connection generation was already recycled
+	}
+	g.epoch++
+	m.readers[addr] = false
 	var interrupted []*pendingFetch
 	for id, p := range m.pending {
 		if p.spec.Addr == addr {
@@ -613,11 +731,9 @@ func (m *NetMerger) failNode(addr string, err error) {
 			interrupted = append(interrupted, p)
 		}
 	}
-	if g != nil {
-		g.release(len(interrupted))
-		if g.win != nil && len(interrupted) > 0 {
-			g.win.OnTimeout()
-		}
+	g.release(len(interrupted))
+	if g.win != nil && len(interrupted) > 0 {
+		g.win.OnTimeout()
 	}
 	m.cond.Broadcast()
 	if m.closed {
@@ -625,5 +741,63 @@ func (m *NetMerger) failNode(addr string, err error) {
 	}
 	for _, p := range interrupted {
 		m.failOrRetryLocked(g, p, err)
+	}
+}
+
+// watchdog is the per-fetch deadline enforcer: a stalled connection — the
+// peer accepted requests but never responds — surfaces no transport error,
+// so without it a fetch would hang forever. The watchdog periodically
+// scans in-flight fetches and fails over any connection whose oldest
+// fetch has been waiting longer than FetchTimeout; the interrupted
+// fetches re-enter the retry path like any other connection failure.
+func (m *NetMerger) watchdog() {
+	defer m.wg.Done()
+	period := m.cfg.FetchTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.watchStop:
+			return
+		case <-ticker.C:
+		}
+		type stalledConn struct {
+			addr  string
+			epoch uint64
+		}
+		var stalled []stalledConn
+		now := time.Now()
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		seen := make(map[string]bool)
+		for _, p := range m.pending {
+			if now.Sub(p.sentAt) < m.cfg.FetchTimeout || seen[p.spec.Addr] {
+				continue
+			}
+			seen[p.spec.Addr] = true
+			if g := m.groups[p.spec.Addr]; g != nil {
+				stalled = append(stalled, stalledConn{p.spec.Addr, g.epoch})
+				// Count the trip at detection, like corrupt frames: tearing
+				// the conn down below wakes its blocked reader, whose own
+				// failConn may win the epoch race — the deadline violation
+				// is a fact regardless of which observer runs the failover.
+				m.deadlineTrips++
+				mrgDeadlineTrips.Inc()
+			}
+		}
+		m.mu.Unlock()
+		for _, s := range stalled {
+			// Peek, don't Get: a missing cache entry means the connection
+			// is already closed (invalidation and eviction both close), so
+			// there is nothing to tear down — only slots to unwind.
+			conn, _ := m.cache.Peek(s.addr)
+			m.failConn(s.addr, s.epoch, conn, errFetchStalled)
+		}
 	}
 }

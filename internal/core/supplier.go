@@ -171,7 +171,7 @@ func (sc *supplierConn) sendChunks(id uint64, data []byte, bufSize int) error {
 			flags |= flagSized
 			first = false
 		}
-		hdr := appendChunkHeader(sc.hdr[:0], id, flags, int64(len(data)))
+		hdr := appendChunkHeader(sc.hdr[:0], id, flags, int64(len(data)), chunk)
 		sc.vecs = append(sc.vecs[:0], hdr, chunk)
 		if err := transport.SendVec(sc.conn, sc.vecs...); err != nil {
 			return err
@@ -413,6 +413,9 @@ func (s *MOFSupplier) connLoop(sc *supplierConn) {
 		req, err := decodeFetchRequestInterned(l.Bytes(), intern)
 		l.Release() // the decoder copies (or interns) what it keeps
 		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				supCorruptFrames.Inc()
+			}
 			s.errCount.Add(1)
 			supErrors.Inc()
 			return // protocol violation: drop the connection

@@ -1,0 +1,526 @@
+// Package faultnet wraps a transport.Transport with deterministic,
+// seed-driven fault injection: connection resets after a byte budget,
+// truncated (partial) writes, bit-flip corruption, delayed and stalled
+// reads, dial refusals, and per-node blackout windows. It exists to prove
+// the shuffle's recovery paths — CRC re-fetch, mid-stream reset failover,
+// the fetch deadline watchdog, retry backoff — under network failure
+// rather than assuming them (the paper's evaluation never kills a
+// connection mid-segment; see docs/TESTING.md).
+//
+// Faults are injected only on dial-side (client) connections: every fault
+// on a node pair's single connection is observed by both ends anyway, and
+// keeping the accept side clean means a scenario reads as "the merger's
+// view of a failing fabric". A Schedule is built once per scenario from a
+// seed, shared by every connection the wrapped transport creates, and all
+// randomness — which connections a fault afflicts, where a bit flips —
+// derives from that seed, so a failing chaos run is reproduced by its
+// seed alone.
+//
+// Usage:
+//
+//	sched := faultnet.NewSchedule(seed)
+//	sched.ResetAfter(64 << 10).Times(2) // first two conns die after 64 KiB
+//	sched.CorruptFrame(3).Times(1)      // one conn flips a bit in its 3rd frame
+//	tr := faultnet.Wrap(transport.NewTCP(cfg), sched)
+package faultnet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bufpool"
+	"repro/internal/transport"
+)
+
+// faultKind enumerates the injectable faults.
+type faultKind int
+
+const (
+	// kindResetAfter closes the connection once its total byte count
+	// (sent + received) exceeds the rule's threshold.
+	kindResetAfter faultKind = iota
+	// kindTruncateFrame delivers only the first half of the rule's nth
+	// received frame and then closes the connection — the receive-side
+	// image of a partial write.
+	kindTruncateFrame
+	// kindCorruptFrame flips one bit in the rule's nth received frame
+	// (and every nth after it), leaving the connection up.
+	kindCorruptFrame
+	// kindDelayFrame sleeps before delivering every nth received frame.
+	kindDelayFrame
+	// kindStallFrame blocks the rule's nth receive until the connection
+	// is closed — a peer that is alive but never responds.
+	kindStallFrame
+	// kindRefuseDial fails Dial outright.
+	kindRefuseDial
+	// kindBlackout fails every dial and in-flight operation for a node
+	// during a time window relative to the schedule's first use.
+	kindBlackout
+)
+
+// Rule is one fault in a Schedule. Rules are built by the Schedule's
+// adder methods and refined by the chainable modifiers below; they must
+// be fully configured before the wrapped transport dials.
+type Rule struct {
+	kind faultKind
+	n    int64         // bytes (reset) or frame ordinal (truncate/corrupt/delay/stall)
+	d    time.Duration // delay duration / blackout start
+	d2   time.Duration // blackout end
+	addr string        // restrict to one node; "" matches every node
+	// times caps how many connections (or dials, for refusals) the rule
+	// afflicts across the schedule's lifetime; 0 means every one.
+	times  int64
+	prob   float64 // per-conn application probability; 0 means always
+	claims atomic.Int64
+}
+
+// Times caps how many connections (dial attempts, for RefuseDials) this
+// rule afflicts. Returns the rule for chaining.
+func (r *Rule) Times(n int) *Rule { r.times = int64(n); return r }
+
+// Prob makes the rule apply to each new connection independently with
+// probability p (seed-deterministically). Returns the rule for chaining.
+func (r *Rule) Prob(p float64) *Rule { r.prob = p; return r }
+
+// Node restricts the rule to connections dialed to addr. Returns the
+// rule for chaining.
+func (r *Rule) Node(addr string) *Rule { r.addr = addr; return r }
+
+// claim consumes one of the rule's firing slots, returning false once
+// the Times budget is spent.
+func (r *Rule) claim() bool {
+	if r.times <= 0 {
+		r.claims.Add(1)
+		return true
+	}
+	for {
+		c := r.claims.Load()
+		if c >= r.times {
+			return false
+		}
+		if r.claims.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// matches reports whether the rule applies to a connection to addr,
+// consulting rng for its probability gate.
+func (r *Rule) matches(addr string, rng *rand.Rand) bool {
+	if r.addr != "" && r.addr != addr {
+		return false
+	}
+	// The probability draw happens for every candidate connection even
+	// when prob is zero-valued ("always"), so adding or removing a Prob
+	// modifier shifts no other rule's draws: scenarios stay comparable
+	// across edits to one rule.
+	draw := rng.Float64()
+	return r.prob == 0 || draw < r.prob
+}
+
+// Stats counts the faults a schedule actually injected, for scenario
+// assertions ("this run really did corrupt a frame").
+type Stats struct {
+	Resets          int64
+	Truncations     int64
+	Corruptions     int64
+	Delays          int64
+	Stalls          int64
+	RefusedDials    int64
+	BlackoutDenials int64
+}
+
+// Schedule is a seed-driven fault plan shared by every connection of a
+// wrapped transport. Build it with NewSchedule, add faults with the
+// adder methods, then pass it to Wrap. Adders are not safe to call
+// after the transport starts dialing.
+type Schedule struct {
+	seed  uint64
+	rules []*Rule
+
+	mu      sync.Mutex
+	connSeq uint64
+	started time.Time // blackout epoch: set at first Dial/Listen
+
+	resets          atomic.Int64
+	truncations     atomic.Int64
+	corruptions     atomic.Int64
+	delays          atomic.Int64
+	stalls          atomic.Int64
+	refusedDials    atomic.Int64
+	blackoutDenials atomic.Int64
+}
+
+// NewSchedule creates an empty fault schedule. Every random decision the
+// schedule makes derives from seed, so two runs with equal seeds and
+// equal rule sets inject the same faults at the same positions.
+func NewSchedule(seed uint64) *Schedule {
+	return &Schedule{seed: seed}
+}
+
+// Seed returns the schedule's seed (printed by the chaos harness for
+// one-command reproduction).
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+// ResetAfter adds a rule closing afflicted connections once sent+received
+// bytes exceed n: the mid-segment connection reset the merger must
+// recover from without double-counting window slots.
+func (s *Schedule) ResetAfter(n int64) *Rule {
+	return s.add(&Rule{kind: kindResetAfter, n: n})
+}
+
+// TruncateFrame adds a rule delivering only half of an afflicted
+// connection's nth received frame before closing it — a partial write.
+// The CRC32C frame checksum must reject the half frame.
+func (s *Schedule) TruncateFrame(nth int) *Rule {
+	return s.add(&Rule{kind: kindTruncateFrame, n: int64(nth)})
+}
+
+// CorruptFrame adds a rule flipping one bit in an afflicted connection's
+// every nth received frame. The connection stays up: detection is the
+// receiver's job (jbs_merger_corrupt_frames).
+func (s *Schedule) CorruptFrame(nth int) *Rule {
+	return s.add(&Rule{kind: kindCorruptFrame, n: int64(nth)})
+}
+
+// DelayFrame adds a rule sleeping d before delivering an afflicted
+// connection's every nth received frame — jitter, not failure.
+func (s *Schedule) DelayFrame(d time.Duration, nth int) *Rule {
+	return s.add(&Rule{kind: kindDelayFrame, n: int64(nth), d: d})
+}
+
+// StallFrame adds a rule blocking an afflicted connection's nth receive
+// until the connection is closed: the peer looks alive but never
+// responds, which only a fetch deadline can unstick.
+func (s *Schedule) StallFrame(nth int) *Rule {
+	return s.add(&Rule{kind: kindStallFrame, n: int64(nth)})
+}
+
+// RefuseDials adds a rule failing dial attempts outright (connection
+// refused). Almost always combined with Times(n).
+func (s *Schedule) RefuseDials() *Rule {
+	return s.add(&Rule{kind: kindRefuseDial})
+}
+
+// Blackout adds a rule failing every dial and in-flight operation for
+// addr ("" = all nodes) during [from, to) measured from the schedule's
+// first use.
+func (s *Schedule) Blackout(addr string, from, to time.Duration) *Rule {
+	return s.add(&Rule{kind: kindBlackout, addr: addr, d: from, d2: to})
+}
+
+func (s *Schedule) add(r *Rule) *Rule {
+	s.rules = append(s.rules, r)
+	return r
+}
+
+// Stats snapshots the faults injected so far.
+func (s *Schedule) Stats() Stats {
+	return Stats{
+		Resets:          s.resets.Load(),
+		Truncations:     s.truncations.Load(),
+		Corruptions:     s.corruptions.Load(),
+		Delays:          s.delays.Load(),
+		Stalls:          s.stalls.Load(),
+		RefusedDials:    s.refusedDials.Load(),
+		BlackoutDenials: s.blackoutDenials.Load(),
+	}
+}
+
+// startClock anchors the blackout epoch at the schedule's first use.
+func (s *Schedule) startClock() {
+	s.mu.Lock()
+	if s.started.IsZero() {
+		s.started = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// blackedOut reports whether addr is inside an active blackout window.
+func (s *Schedule) blackedOut(addr string) bool {
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started.IsZero() {
+		return false
+	}
+	elapsed := time.Since(started)
+	for _, r := range s.rules {
+		if r.kind != kindBlackout {
+			continue
+		}
+		if r.addr != "" && r.addr != addr {
+			continue
+		}
+		if elapsed >= r.d && elapsed < r.d2 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextConnRand returns a per-connection deterministic generator: seeded
+// by the schedule seed and the connection's dial sequence number, so the
+// nth dial of a run always draws the same fault assignment.
+func (s *Schedule) nextConnRand() *rand.Rand {
+	s.mu.Lock()
+	s.connSeq++
+	seq := s.connSeq
+	s.mu.Unlock()
+	return rand.New(rand.NewPCG(s.seed, seq))
+}
+
+// Transport wraps an inner transport with the schedule's faults.
+type Transport struct {
+	inner transport.Transport
+	sched *Schedule
+}
+
+// Wrap builds a fault-injecting view of inner driven by sched.
+func Wrap(inner transport.Transport, sched *Schedule) *Transport {
+	return &Transport{inner: inner, sched: sched}
+}
+
+// Name implements transport.Transport.
+func (t *Transport) Name() string { return "faultnet+" + t.inner.Name() }
+
+// Listen implements transport.Transport. Accepted connections pass
+// through unwrapped: faults live on the dial side (see the package
+// comment).
+func (t *Transport) Listen(addr string) (transport.Listener, error) {
+	t.sched.startClock()
+	lis, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &listener{inner: lis}, nil
+}
+
+// listener is the pass-through accept side.
+type listener struct {
+	inner transport.Listener
+}
+
+// Accept implements transport.Listener.
+func (l *listener) Accept() (transport.Conn, error) { return l.inner.Accept() }
+
+// Close implements transport.Listener.
+func (l *listener) Close() error { return l.inner.Close() }
+
+// Addr implements transport.Listener.
+func (l *listener) Addr() string { return l.inner.Addr() }
+
+// Dial implements transport.Transport: it applies dial-time faults
+// (refusals, blackouts), then arms the schedule's connection-level
+// faults on the new connection.
+func (t *Transport) Dial(addr string) (transport.Conn, error) {
+	s := t.sched
+	s.startClock()
+	if s.blackedOut(addr) {
+		s.blackoutDenials.Add(1)
+		return nil, fmt.Errorf("faultnet: dial %s: node blacked out (injected)", addr)
+	}
+	rng := s.nextConnRand()
+	for _, r := range s.rules {
+		if r.kind != kindRefuseDial || !r.matches(addr, rng) {
+			continue
+		}
+		if r.claim() {
+			s.refusedDials.Add(1)
+			return nil, fmt.Errorf("faultnet: dial %s: connection refused (injected)", addr)
+		}
+	}
+	conn, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{
+		inner:      conn,
+		sched:      s,
+		addr:       addr,
+		resetAfter: -1,
+		truncAt:    -1,
+		stallAt:    -1,
+		stallCh:    make(chan struct{}),
+	}
+	// Arm connection-level faults. Budget slots (Times) are claimed here,
+	// at dial, so "Times(2)" reads as "the first two matching
+	// connections", independent of which one hits its trigger first.
+	for _, r := range s.rules {
+		switch r.kind {
+		case kindRefuseDial, kindBlackout:
+			continue
+		}
+		if !r.matches(addr, rng) || !r.claim() {
+			continue
+		}
+		switch r.kind {
+		case kindResetAfter:
+			fc.resetAfter = r.n
+		case kindTruncateFrame:
+			fc.truncAt = r.n
+		case kindCorruptFrame:
+			fc.corruptEvery = r.n
+		case kindDelayFrame:
+			fc.delayEvery, fc.delayDur = r.n, r.d
+		case kindStallFrame:
+			fc.stallAt = r.n
+		}
+	}
+	return fc, nil
+}
+
+// faultConn is one dial-side connection with its armed faults. Fault
+// positions were fixed at dial time; the counters below advance as
+// traffic flows.
+type faultConn struct {
+	inner transport.Conn
+	sched *Schedule
+	addr  string
+
+	// Armed fault parameters; negative/zero means "not armed".
+	resetAfter   int64 // close once sent+received bytes exceed this
+	truncAt      int64 // halve the truncAt-th received frame, then close
+	corruptEvery int64 // flip a bit in every corruptEvery-th received frame
+	delayEvery   int64 // sleep before every delayEvery-th received frame
+	delayDur     time.Duration
+	stallAt      int64 // block the stallAt-th receive until Close
+
+	bytes      atomic.Int64 // sent + received, for resetAfter
+	recvFrames atomic.Int64
+
+	closeOnce sync.Once
+	stallCh   chan struct{} // closed by Close; releases a stalled receive
+}
+
+// errInjected wraps transport errors raised by the wrapper itself.
+func (c *faultConn) errInjected(op, fault string) error {
+	return fmt.Errorf("faultnet: %s %s: %s (injected): %w", op, c.addr, fault, transport.ErrConnClosed)
+}
+
+// preOp applies operation-time blackout: a node entering its window
+// kills in-flight traffic, not just new dials.
+func (c *faultConn) preOp(op string) error {
+	if c.sched.blackedOut(c.addr) {
+		c.sched.blackoutDenials.Add(1)
+		c.Close()
+		return c.errInjected(op, "node blacked out")
+	}
+	return nil
+}
+
+// checkReset closes the connection once its byte budget is spent.
+func (c *faultConn) checkReset(op string, n int) error {
+	if c.resetAfter < 0 {
+		return nil
+	}
+	if c.bytes.Add(int64(n)) > c.resetAfter {
+		c.sched.resets.Add(1)
+		c.Close()
+		return c.errInjected(op, "connection reset")
+	}
+	return nil
+}
+
+// Send implements transport.Conn.
+func (c *faultConn) Send(msg []byte) error {
+	if err := c.preOp("send"); err != nil {
+		return err
+	}
+	if err := c.inner.Send(msg); err != nil {
+		return err
+	}
+	return c.checkReset("send", len(msg))
+}
+
+// SendVec implements transport.VectorSender.
+func (c *faultConn) SendVec(bufs [][]byte) error {
+	if err := c.preOp("send"); err != nil {
+		return err
+	}
+	if err := transport.SendVec(c.inner, bufs...); err != nil {
+		return err
+	}
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	return c.checkReset("send", n)
+}
+
+// RecvBuf implements transport.PooledReceiver; it is the primary receive
+// path and the site of every frame-level fault.
+func (c *faultConn) RecvBuf() (*bufpool.Lease, error) {
+	if err := c.preOp("recv"); err != nil {
+		return nil, err
+	}
+	l, err := transport.RecvBuf(c.inner)
+	if err != nil {
+		return nil, err
+	}
+	nth := c.recvFrames.Add(1)
+	if c.delayEvery > 0 && nth%c.delayEvery == 0 {
+		c.sched.delays.Add(1)
+		timer := time.NewTimer(c.delayDur)
+		select {
+		case <-timer.C:
+		case <-c.stallCh: // closed: don't hold the frame past Close
+			timer.Stop()
+		}
+	}
+	if c.stallAt > 0 && nth == c.stallAt {
+		c.sched.stalls.Add(1)
+		<-c.stallCh // released only by Close (e.g. the fetch deadline)
+		l.Release()
+		return nil, c.errInjected("recv", "stalled read")
+	}
+	if c.truncAt > 0 && nth == c.truncAt {
+		c.sched.truncations.Add(1)
+		l.SetLen(l.Len() / 2)
+		// The rest of the frame "never arrived": kill the stream so the
+		// next receive fails like a real torn connection. The delivered
+		// half must be rejected by the frame checksum.
+		c.Close()
+		return l, nil
+	}
+	if c.corruptEvery > 0 && nth%c.corruptEvery == 0 {
+		b := l.Bytes()
+		if len(b) > 1 {
+			c.sched.corruptions.Add(1)
+			// Deterministic position from the frame ordinal; never byte 0
+			// (the type tag), so the damage always lands inside the
+			// checksummed region and a silent mis-dispatch cannot mask it.
+			idx := 1 + int(uint64(nth)*2654435761%uint64(len(b)-1))
+			b[idx] ^= 1 << (uint(nth) % 8)
+		}
+	}
+	if err := c.checkReset("recv", l.Len()); err != nil {
+		l.Release()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Recv implements transport.Conn via the pooled path, so every fault
+// applies regardless of which receive API the caller uses.
+func (c *faultConn) Recv() ([]byte, error) {
+	l, err := c.RecvBuf()
+	if err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), l.Bytes()...)
+	l.Release()
+	return out, nil
+}
+
+// Close implements transport.Conn; it also releases any stalled receive.
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.stallCh) })
+	return c.inner.Close()
+}
+
+// RemoteAddr implements transport.Conn.
+func (c *faultConn) RemoteAddr() string { return c.inner.RemoteAddr() }

@@ -1,0 +1,393 @@
+package faultnet
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/transport"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
+
+// pair dials through a fault-wrapped TCP transport to an echo-less peer:
+// the accept side simply serves frames the test tells it to send and
+// collects what it receives.
+type pair struct {
+	tr   *Transport
+	lis  transport.Listener
+	conn transport.Conn // dial side (fault-injecting)
+	peer transport.Conn // accept side (clean)
+}
+
+func newPair(t *testing.T, sched *Schedule) *pair {
+	t.Helper()
+	tr := Wrap(transport.NewTCP(), sched)
+	lis, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	accepted := make(chan transport.Conn, 1)
+	errs := make(chan error, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			errs <- err
+			return
+		}
+		accepted <- c
+	}()
+	conn, err := tr.Dial(lis.Addr())
+	if err != nil {
+		lis.Close()
+		t.Fatalf("dial: %v", err)
+	}
+	var peer transport.Conn
+	select {
+	case peer = <-accepted:
+	case err := <-errs:
+		t.Fatalf("accept: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	p := &pair{tr: tr, lis: lis, conn: conn, peer: peer}
+	t.Cleanup(func() {
+		p.conn.Close()
+		p.peer.Close()
+		p.lis.Close()
+	})
+	return p
+}
+
+func TestPassThroughWithoutRules(t *testing.T) {
+	p := newPair(t, NewSchedule(1))
+	msg := []byte("hello shuffle")
+	if err := p.conn.Send(msg); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := p.peer.Recv()
+	if err != nil {
+		t.Fatalf("peer recv: %v", err)
+	}
+	if string(got) != string(msg) {
+		t.Fatalf("peer got %q, want %q", got, msg)
+	}
+	if err := p.peer.Send([]byte("reply")); err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	reply, err := p.conn.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if string(reply) != "reply" {
+		t.Fatalf("got %q, want %q", reply, "reply")
+	}
+	if st := p.tr.sched.Stats(); st != (Stats{}) {
+		t.Fatalf("clean schedule injected faults: %+v", st)
+	}
+}
+
+func TestResetAfterBytes(t *testing.T) {
+	sched := NewSchedule(2)
+	sched.ResetAfter(16)
+	p := newPair(t, sched)
+	// First send fits under the budget; the next exceeds it.
+	if err := p.conn.Send(make([]byte, 10)); err != nil {
+		t.Fatalf("send under budget: %v", err)
+	}
+	err := p.conn.Send(make([]byte, 10))
+	if !errors.Is(err, transport.ErrConnClosed) {
+		t.Fatalf("send over budget: got %v, want ErrConnClosed", err)
+	}
+	if got := sched.Stats().Resets; got != 1 {
+		t.Fatalf("resets = %d, want 1", got)
+	}
+	// The connection is genuinely dead.
+	if err := p.conn.Send([]byte("x")); err == nil {
+		t.Fatal("send on reset conn succeeded")
+	}
+}
+
+func TestCorruptFrameFlipsOneBit(t *testing.T) {
+	sched := NewSchedule(3)
+	sched.CorruptFrame(2) // every 2nd received frame
+	p := newPair(t, sched)
+	want := []byte("abcdefghij")
+	for i := 0; i < 2; i++ {
+		if err := p.peer.Send(want); err != nil {
+			t.Fatalf("peer send %d: %v", i, err)
+		}
+	}
+	first, err := p.conn.Recv()
+	if err != nil {
+		t.Fatalf("recv 1: %v", err)
+	}
+	if string(first) != string(want) {
+		t.Fatalf("frame 1 corrupted: %q", first)
+	}
+	second, err := p.conn.Recv()
+	if err != nil {
+		t.Fatalf("recv 2: %v", err)
+	}
+	diff := 0
+	for i := range want {
+		if second[i] != want[i] {
+			diff++
+			if x := second[i] ^ want[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d changed by more than one bit: %02x vs %02x", i, second[i], want[i])
+			}
+			if i == 0 {
+				t.Fatal("corruption landed on byte 0 (type tag)")
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	if got := sched.Stats().Corruptions; got != 1 {
+		t.Fatalf("corruptions = %d, want 1", got)
+	}
+}
+
+func TestTruncateFrameHalvesAndCloses(t *testing.T) {
+	sched := NewSchedule(4)
+	sched.TruncateFrame(1)
+	p := newPair(t, sched)
+	if err := p.peer.Send(make([]byte, 64)); err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	got, err := p.conn.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if len(got) != 32 {
+		t.Fatalf("truncated frame is %d bytes, want 32", len(got))
+	}
+	if _, err := p.conn.Recv(); err == nil {
+		t.Fatal("recv after truncation succeeded; connection should be dead")
+	}
+	if got := sched.Stats().Truncations; got != 1 {
+		t.Fatalf("truncations = %d, want 1", got)
+	}
+}
+
+func TestStallFrameBlocksUntilClose(t *testing.T) {
+	sched := NewSchedule(5)
+	sched.StallFrame(1)
+	p := newPair(t, sched)
+	if err := p.peer.Send([]byte("stuck")); err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := p.conn.Recv()
+		recvErr <- err
+	}()
+	select {
+	case err := <-recvErr:
+		t.Fatalf("stalled recv returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.conn.Close()
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, transport.ErrConnClosed) {
+			t.Fatalf("stalled recv: got %v, want ErrConnClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled recv never released after Close")
+	}
+	if got := sched.Stats().Stalls; got != 1 {
+		t.Fatalf("stalls = %d, want 1", got)
+	}
+}
+
+func TestDelayFrame(t *testing.T) {
+	sched := NewSchedule(6)
+	const delay = 30 * time.Millisecond
+	sched.DelayFrame(delay, 1) // every frame
+	p := newPair(t, sched)
+	if err := p.peer.Send([]byte("slow")); err != nil {
+		t.Fatalf("peer send: %v", err)
+	}
+	start := time.Now()
+	if _, err := p.conn.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("delayed recv took %v, want >= %v", took, delay)
+	}
+	if got := sched.Stats().Delays; got != 1 {
+		t.Fatalf("delays = %d, want 1", got)
+	}
+}
+
+func TestRefuseDialsBudget(t *testing.T) {
+	tcp := transport.NewTCP()
+	lis, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer lis.Close()
+	// Accept (and immediately retain) whatever gets through.
+	var mu sync.Mutex
+	var conns []transport.Conn
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	sched := NewSchedule(7)
+	sched.RefuseDials().Times(2)
+	tr := Wrap(tcp, sched)
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Dial(lis.Addr()); err == nil {
+			t.Fatalf("dial %d succeeded, want refusal", i)
+		} else if !strings.Contains(err.Error(), "refused") {
+			t.Fatalf("dial %d: %v, want injected refusal", i, err)
+		}
+	}
+	conn, err := tr.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("dial after budget spent: %v", err)
+	}
+	conn.Close()
+	if got := sched.Stats().RefusedDials; got != 2 {
+		t.Fatalf("refused dials = %d, want 2", got)
+	}
+}
+
+func TestBlackoutWindow(t *testing.T) {
+	tcp := transport.NewTCP()
+	lis, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	sched := NewSchedule(8)
+	sched.Blackout(lis.Addr(), 0, 80*time.Millisecond)
+	tr := Wrap(tcp, sched)
+	if _, err := tr.Dial(lis.Addr()); err == nil {
+		t.Fatal("dial during blackout succeeded")
+	}
+	if got := sched.Stats().BlackoutDenials; got == 0 {
+		t.Fatal("blackout denial not counted")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := tr.Dial(lis.Addr())
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial never recovered after blackout window: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNodeScopedRule(t *testing.T) {
+	sched := NewSchedule(9)
+	sched.RefuseDials().Node("10.0.0.1:1").Times(100)
+	tcp := transport.NewTCP()
+	lis, err := tcp.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	tr := Wrap(tcp, sched)
+	conn, err := tr.Dial(lis.Addr()) // different node: unaffected
+	if err != nil {
+		t.Fatalf("dial to unscoped node: %v", err)
+	}
+	conn.Close()
+	if got := sched.Stats().RefusedDials; got != 0 {
+		t.Fatalf("refused dials = %d, want 0", got)
+	}
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	// Two schedules with the same seed and rules must afflict the same
+	// connections: with Prob(0.5), the per-conn draws are identical.
+	draws := func(seed uint64) []bool {
+		sched := NewSchedule(seed)
+		r := sched.CorruptFrame(1).Prob(0.5)
+		var out []bool
+		for i := 0; i < 32; i++ {
+			rng := sched.nextConnRand()
+			out = append(out, r.matches("n", rng))
+		}
+		return out
+	}
+	a, b := draws(42), draws(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+	}
+	c := draws(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draws")
+	}
+}
+
+func TestSendVecCountsTowardReset(t *testing.T) {
+	sched := NewSchedule(10)
+	sched.ResetAfter(16)
+	p := newPair(t, sched)
+	vs, ok := p.conn.(transport.VectorSender)
+	if !ok {
+		t.Fatal("faultConn does not implement VectorSender")
+	}
+	if err := vs.SendVec([][]byte{make([]byte, 8), make([]byte, 4)}); err != nil {
+		t.Fatalf("sendvec under budget: %v", err)
+	}
+	err := vs.SendVec([][]byte{make([]byte, 8), make([]byte, 8)})
+	if !errors.Is(err, transport.ErrConnClosed) {
+		t.Fatalf("sendvec over budget: got %v, want ErrConnClosed", err)
+	}
+}

@@ -131,6 +131,44 @@ func (c *ConnCache) InvalidateOnError(addr string, err error) bool {
 	return true
 }
 
+// InvalidateConn invalidates addr only while conn is still the cached
+// connection. A failure report races with recovery: by the time a reader
+// observes an I/O error and reports it, the address may already hold a
+// freshly dialed connection, and tearing that one down would turn one
+// failure into two. Transient errors never invalidate (see
+// InvalidateOnError). Reports whether the connection was removed.
+func (c *ConnCache) InvalidateConn(addr string, conn Conn, err error) bool {
+	if Transient(err) {
+		return false
+	}
+	c.mu.Lock()
+	el, ok := c.conns[addr]
+	if ok && el.Value.(*cacheEntry).conn == conn {
+		c.lru.Remove(el)
+		delete(c.conns, addr)
+		ccActive.Add(-1)
+	} else {
+		ok = false
+	}
+	c.mu.Unlock()
+	if ok {
+		// The connection already failed; its close error adds nothing.
+		_ = conn.Close()
+	}
+	return ok
+}
+
+// Peek returns the cached connection to addr without dialing or touching
+// the LRU order. ok is false when no connection is cached.
+func (c *ConnCache) Peek(addr string) (Conn, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.conns[addr]; ok {
+		return el.Value.(*cacheEntry).conn, true
+	}
+	return nil, false
+}
+
 // Len returns the number of cached connections.
 func (c *ConnCache) Len() int {
 	c.mu.Lock()
