@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz-smoke overload
+.PHONY: all build test vet vet-fast race bench fuzz-smoke overload
 
 all: build vet test
 
@@ -20,11 +20,22 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # vet: the stock toolchain vet plus jbsvet, the repo-specific pass
-# (lock hygiene, goroutine lifecycle, unchecked Close/Write/Flush,
-# sim-clock purity, package doc comments).
+# (lock hygiene, goroutine lifecycle, lease ownership flow, ledger
+# balance, lock ordering, unchecked Close/Write/Flush, sim-clock
+# purity, package doc comments). -stale-ignores keeps the
+# //jbsvet:ignore inventory honest.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/jbsvet ./...
+	$(GO) run ./cmd/jbsvet -stale-ignores ./...
+
+# vet-fast: jbsvet alone, with the jbsvet binary cached in GOBIN-style
+# under .cache so repeat runs skip the `go run` relink. The binary is
+# rebuilt only when analysis or cmd sources change (go build's own
+# cache makes the rebuild itself cheap).
+vet-fast:
+	@mkdir -p .cache
+	@$(GO) build -o .cache/jbsvet ./cmd/jbsvet
+	@./.cache/jbsvet -stale-ignores -timing ./...
 
 # race: the full suite under the race detector, with the leakcheck
 # TestMain hooks active in the concurrent packages.

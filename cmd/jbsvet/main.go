@@ -7,29 +7,48 @@
 //
 // Usage:
 //
-//	jbsvet [-checks lockhygiene,goroutines,...] [-list] [-v] [patterns]
+//	jbsvet [-checks lockhygiene,goroutines,...] [-list] [-v]
+//	       [-json] [-stale-ignores] [-timing] [patterns]
 //
 // Patterns are Go-style package patterns rooted at the module
 // ("./...", "./internal/...", "./internal/core"). With no patterns the
-// default is "./internal/... ./cmd/...". Exit status: 0 clean, 1 findings,
-// 2 usage or load failure.
+// default is "./internal/... ./cmd/...". -json emits one JSON object per
+// finding (machine-readable; pairs with the GitHub Actions problem
+// matcher in .github/jbsvet-problem-matcher.json). -stale-ignores audits
+// //jbsvet:ignore directives and fails on ones that no longer suppress
+// any finding. -timing prints per-check wall time to stderr. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
+
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
 
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
 	verbose := flag.Bool("v", false, "log each package as it is checked")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON Lines on stdout")
+	staleFlag := flag.Bool("stale-ignores", false, "also fail on //jbsvet:ignore directives that suppress nothing")
+	timingFlag := flag.Bool("timing", false, "print per-check wall time to stderr")
 	flag.Parse()
 
 	if *listFlag {
@@ -67,26 +86,39 @@ func main() {
 	}
 
 	runner := &analysis.Runner{
-		Loader: loader,
-		Checks: checks,
-		Scopes: analysis.DefaultScopes(),
+		Loader:            loader,
+		Checks:            checks,
+		Scopes:            analysis.DefaultScopes(),
+		AuditSuppressions: *staleFlag,
 	}
 	if *verbose {
 		runner.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	start := time.Now()
 	findings, err := runner.RunDirs(dirs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jbsvet:", err)
 		os.Exit(2)
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		pos := f.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
+		if *jsonFlag {
+			enc.Encode(jsonFinding{
+				File: pos.Filename, Line: pos.Line, Column: pos.Column,
+				Check: f.Check, Message: f.Message,
+			})
+			continue
+		}
 		fmt.Printf("%s: [%s] %s\n", pos, f.Check, f.Message)
+	}
+	if *timingFlag {
+		printTimings(runner, time.Since(start))
 	}
 	if n := len(findings); n > 0 {
 		fmt.Fprintf(os.Stderr, "jbsvet: %d finding(s) in %d package(s) scanned\n", n, len(dirs))
@@ -95,6 +127,23 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "jbsvet: clean (%d packages)\n", len(dirs))
 	}
+}
+
+// printTimings reports cumulative per-check wall time, slowest first.
+func printTimings(r *analysis.Runner, total time.Duration) {
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]row, 0, len(r.Timings))
+	for name, d := range r.Timings {
+		rows = append(rows, row{name, d})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	for _, rw := range rows {
+		fmt.Fprintf(os.Stderr, "jbsvet: timing %-14s %8.1fms\n", rw.name, float64(rw.d.Microseconds())/1000)
+	}
+	fmt.Fprintf(os.Stderr, "jbsvet: timing %-14s %8.1fms\n", "total", float64(total.Microseconds())/1000)
 }
 
 // selectChecks resolves the -checks flag against the registry.

@@ -26,6 +26,17 @@
 //     only the calling goroutine, silently corrupting the test's control
 //     flow. The one check that runs over _test.go files.
 //
+// On top of the syntactic checks, three path-sensitive checks run over
+// per-function control-flow graphs (internal/analysis/cfg) with
+// lightweight interprocedural summaries (summary.go):
+//
+//   - leaseflow: every bufpool/mof lease acquired must be Released or
+//     ownership-transferred on every path, including early-error returns.
+//   - ledgerbalance: every flow-ledger Admit charge must be drained or
+//     recorded on every path (Shed charges nothing).
+//   - lockorder: the repo-wide mutex acquisition graph must be acyclic
+//     (whole-program; see ProgramCheck).
+//
 // The package uses only the standard library (go/ast, go/parser,
 // go/types); go.mod stays dependency-free.
 package analysis
@@ -35,6 +46,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one rule violation at a source position.
@@ -70,7 +82,19 @@ func AllChecks() []Check {
 		&DocCommentCheck{},
 		&GaugePairCheck{},
 		&TestGoroutineCheck{},
+		&LeaseFlowCheck{},
+		&LedgerBalanceCheck{},
+		&LockOrderCheck{},
 	}
+}
+
+// ProgramCheck is implemented by checks that need the whole program at
+// once rather than one package at a time (lockorder's acquisition graph
+// spans packages). The Runner calls RunProgram once, after the
+// per-package pass, with every loaded package the check is in scope for.
+type ProgramCheck interface {
+	Check
+	RunProgram(pkgs []*Package) []Finding
 }
 
 // TestFileCheck is implemented by checks that analyze _test.go files.
@@ -96,6 +120,13 @@ func DefaultScopes() map[string][]string {
 		// testgoroutine runs everywhere tests run; the explicit entry is
 		// documentation that the breadth is deliberate.
 		"testgoroutine": {"internal", "cmd"},
+		// leaseflow and ledgerbalance are unscoped (they run everywhere):
+		// the lease and ledger types only occur on the data path, so
+		// breadth costs nothing and catches new call sites automatically.
+		// lockorder is bounded to the concurrent core — the packages whose
+		// mutexes can nest across call chains.
+		"lockorder": {"internal/core", "internal/flow", "internal/transport",
+			"internal/mof", "internal/bufpool"},
 	}
 }
 
@@ -127,15 +158,45 @@ type Runner struct {
 	Scopes map[string][]string
 	// Verbose, when set, receives one line per package checked.
 	Verbose func(format string, args ...any)
+	// AuditSuppressions, when set, additionally reports stale
+	// //jbsvet:ignore directives: ones whose check ran over their file
+	// during this scan yet suppressed nothing.
+	AuditSuppressions bool
+	// Timings, after RunDirs returns, holds cumulative wall time per
+	// check name (plus "load" for parsing and type-checking).
+	Timings map[string]time.Duration
+}
+
+// timed accumulates the duration of f under name in r.Timings.
+func (r *Runner) timed(name string, f func()) {
+	start := time.Now()
+	f()
+	if r.Timings == nil {
+		r.Timings = make(map[string]time.Duration)
+	}
+	r.Timings[name] += time.Since(start)
 }
 
 // RunDirs checks every package directory in dirs and returns the surviving
 // findings sorted by position. Suppressed findings are dropped; malformed
-// suppression directives are themselves reported as findings.
+// suppression directives are themselves reported as findings. Checks
+// implementing ProgramCheck run once at the end over every package they
+// are in scope for.
 func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 	var all []Finding
+	table := newSuppressionTable()
+	progPkgs := make(map[string][]*Package)
+	var progChecks []ProgramCheck
+	for _, c := range r.Checks {
+		if pc, ok := c.(ProgramCheck); ok {
+			progChecks = append(progChecks, pc)
+		}
+	}
+
 	for _, dir := range dirs {
-		pkg, err := r.Loader.Load(dir)
+		var pkg *Package
+		var err error
+		r.timed("load", func() { pkg, err = r.Loader.Load(dir) })
 		if err != nil {
 			return nil, fmt.Errorf("analysis: load %s: %w", dir, err)
 		}
@@ -147,23 +208,31 @@ func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 			r.Verbose("jbsvet: checking %s", pkg.Rel)
 		}
 		var raw []Finding
+		var ran []string
 		var testChecks []Check
 		for _, c := range r.Checks {
 			if !inScope(pkg.Rel, r.Scopes[c.Name()]) {
 				continue
 			}
-			raw = append(raw, c.Run(pkg)...)
+			if pc, ok := c.(ProgramCheck); ok {
+				progPkgs[pc.Name()] = append(progPkgs[pc.Name()], pkg)
+				ran = append(ran, c.Name())
+				continue
+			}
+			r.timed(c.Name(), func() { raw = append(raw, c.Run(pkg)...) })
+			ran = append(ran, c.Name())
 			if tc, ok := c.(TestFileCheck); ok && tc.WantsTestFiles() {
 				testChecks = append(testChecks, c)
 			}
 		}
-		kept, malformed := ApplySuppressions(pkg, raw)
-		all = append(all, kept...)
-		all = append(all, malformed...)
+		table.collect(pkg)
+		table.markRan(pkg, ran)
+		all = append(all, table.filter(raw)...)
 		if len(testChecks) == 0 {
 			continue
 		}
-		testPkgs, err := r.Loader.LoadTests(dir)
+		var testPkgs []*Package
+		r.timed("load", func() { testPkgs, err = r.Loader.LoadTests(dir) })
 		if err != nil {
 			return nil, fmt.Errorf("analysis: load tests %s: %w", dir, err)
 		}
@@ -173,13 +242,30 @@ func (r *Runner) RunDirs(dirs []string) ([]Finding, error) {
 					dir, tp.TypeErrors[0], len(tp.TypeErrors)-1)
 			}
 			var raw []Finding
+			var ran []string
 			for _, c := range testChecks {
-				raw = append(raw, c.Run(tp)...)
+				r.timed(c.Name(), func() { raw = append(raw, c.Run(tp)...) })
+				ran = append(ran, c.Name())
 			}
-			kept, malformed := ApplySuppressions(tp, raw)
-			all = append(all, kept...)
-			all = append(all, malformed...)
+			table.collect(tp)
+			table.markRan(tp, ran)
+			all = append(all, table.filter(raw)...)
 		}
+	}
+
+	for _, pc := range progChecks {
+		pkgs := progPkgs[pc.Name()]
+		if len(pkgs) == 0 {
+			continue
+		}
+		var raw []Finding
+		r.timed(pc.Name(), func() { raw = pc.RunProgram(pkgs) })
+		all = append(all, table.filter(raw)...)
+	}
+
+	all = append(all, table.malformed...)
+	if r.AuditSuppressions {
+		all = append(all, table.stale()...)
 	}
 	SortFindings(all)
 	return all, nil

@@ -212,7 +212,7 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := &Runner{Loader: loader, Checks: AllChecks(), Scopes: DefaultScopes()}
+	r := &Runner{Loader: loader, Checks: AllChecks(), Scopes: DefaultScopes(), AuditSuppressions: true}
 	findings, err := r.RunDirs(dirs)
 	if err != nil {
 		t.Fatal(err)

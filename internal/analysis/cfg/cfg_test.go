@@ -1,0 +1,482 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds the function named name, and
+// builds its CFG.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return Build(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// stmtCount sums the statements across all blocks.
+func stmtCount(g *Graph) int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Stmts)
+	}
+	return n
+}
+
+// reachesExit reports whether exit is reachable from entry.
+func reachesExit(g *Graph) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == g.Exit {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(g.Entry)
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	x := 1
+	x++
+	_ = x
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("straight-line function must reach exit:\n%s", g)
+	}
+	if stmtCount(g) != 3 {
+		t.Errorf("want 3 statements in blocks, got %d:\n%s", stmtCount(g), g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`, "f")
+	entrySuccs := g.Entry.Succs
+	if g.Entry.Cond == nil || len(entrySuccs) != 2 {
+		t.Fatalf("if block should carry Cond with 2 succs:\n%s", g)
+	}
+	// Both branches return; no path falls through to a third branch.
+	for _, s := range entrySuccs {
+		if len(s.Succs) != 1 || s.Succs[0] != g.Exit {
+			t.Errorf("branch block should go straight to exit:\n%s", g)
+		}
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		println("x")
+	}
+	println("y")
+}`, "f")
+	if g.Entry.Cond == nil || len(g.Entry.Succs) != 2 {
+		t.Fatalf("if without else still has true and false edges:\n%s", g)
+	}
+	// False edge skips the body.
+	if g.Entry.Succs[0] == g.Entry.Succs[1] {
+		t.Errorf("true and false edges must differ:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for i := 0; i < 3; i++ {
+		println(i)
+	}
+	println("done")
+}`, "f")
+	// Find the loop head: a block with a Cond and two successors.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil && len(b.Succs) == 2 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head found:\n%s", g)
+	}
+	// The body (true edge) must lead back to the head via the post block.
+	body := head.Succs[0]
+	foundBack := false
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if s == head {
+				foundBack = true
+				return
+			}
+			walk(s)
+		}
+	}
+	walk(body)
+	if !foundBack {
+		t.Errorf("loop body must have a back edge to the head:\n%s", g)
+	}
+	if !reachesExit(g) {
+		t.Errorf("loop with cond must reach exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		println("spin")
+	}
+}`, "f")
+	if reachesExit(g) {
+		t.Errorf("for{} without break must not reach exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+	}
+}`, "f")
+	if !reachesExit(g) {
+		t.Errorf("break must restore the exit path:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs [][]int) int {
+	total := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("labeled loops must reach exit:\n%s", g)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+	println("work")
+done:
+	println("done")
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("goto function must reach exit:\n%s", g)
+	}
+	// The goto block must have an edge to the labeled block. Count
+	// in-edges of the block holding the final println: 2 (fallthrough +
+	// goto).
+	preds := g.Preds()
+	maxIn := 0
+	for _, ps := range preds {
+		if len(ps) > maxIn {
+			maxIn = len(ps)
+		}
+	}
+	if maxIn < 2 {
+		t.Errorf("label target should have 2 predecessors (goto + fall-through):\n%s", g)
+	}
+}
+
+func TestReturnMidFunction(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 0
+}`, "f")
+	// Exit should have exactly two predecessors (the two returns).
+	preds := g.Preds()
+	if n := len(preds[g.Exit.Index]); n != 2 {
+		t.Errorf("exit should have 2 predecessors, got %d:\n%s", n, g)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	println("ok")
+}`, "f")
+	// The panic block must have no successors.
+	found := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok && isPanic(call) {
+				found = true
+				if len(b.Succs) != 0 {
+					t.Errorf("panic block must not have successors:\n%s", g)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("panic statement not found in graph:\n%s", g)
+	}
+}
+
+func TestSwitchWithFallthrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	default:
+		x = 0
+	}
+	return x
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("switch must reach exit:\n%s", g)
+	}
+	// The case-1 block must have exactly one successor: the case-2 block
+	// (fallthrough), not the after block.
+	var case1 *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if inc, ok := s.(*ast.IncDecStmt); ok && inc.Tok == token.INC {
+				case1 = b
+			}
+		}
+	}
+	if case1 == nil {
+		t.Fatalf("case 1 block not found:\n%s", g)
+	}
+	if len(case1.Succs) != 1 {
+		t.Errorf("fallthrough case should have exactly 1 successor, got %d:\n%s", len(case1.Succs), g)
+	}
+}
+
+func TestSwitchNoDefaultHasSkipEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		println(1)
+	}
+	println("after")
+}`, "f")
+	// Dispatch must branch both into the case and past it.
+	if !reachesExit(g) {
+		t.Fatalf("must reach exit:\n%s", g)
+	}
+	var dispatch *Block
+	for _, b := range g.Blocks {
+		if len(b.Succs) == 2 {
+			dispatch = b
+		}
+	}
+	if dispatch == nil {
+		t.Errorf("switch without default needs a 2-way dispatch:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	}
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("select clauses must reach exit:\n%s", g)
+	}
+	preds := g.Preds()
+	if n := len(preds[g.Exit.Index]); n != 2 {
+		t.Errorf("exit should have 2 predecessors (one per clause), got %d:\n%s", n, g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("range must reach exit:\n%s", g)
+	}
+	// The range head has two successors: body and after.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if _, ok := s.(*ast.RangeStmt); ok {
+				head = b
+			}
+		}
+	}
+	if head == nil || len(head.Succs) != 2 {
+		t.Fatalf("range head should have body and after successors:\n%s", g)
+	}
+}
+
+func TestDeferStaysInBlock(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	defer println("cleanup")
+	println("work")
+}`, "f")
+	found := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if _, ok := s.(*ast.DeferStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("defer statement must appear as a block statement:\n%s", g)
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := Build(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil body still yields entry and exit")
+	}
+	if !reachesExit(g) {
+		t.Error("empty function reaches exit")
+	}
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	println("dead")
+	return 2
+}`, "f")
+	// Dead code gets blocks but is pruned as unreachable; the graph must
+	// not panic building it and entry's path still reaches exit.
+	if !reachesExit(g) {
+		t.Fatalf("must reach exit:\n%s", g)
+	}
+}
+
+func TestGenericFunction(t *testing.T) {
+	g := buildFunc(t, `package p
+func f[T any](xs []T, keep func(T) bool) []T {
+	var out []T
+	for _, x := range xs {
+		if keep(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("generic function must build and reach exit:\n%s", g)
+	}
+}
+
+func TestMethodValueAndLiterals(t *testing.T) {
+	// Method values and function literals are leaves: the literal's body
+	// is NOT inlined into the outer graph.
+	g := buildFunc(t, `package p
+import "sync"
+type s struct{ mu sync.Mutex }
+func (x *s) f() {
+	lock := x.mu.Lock
+	lock()
+	fn := func() {
+		return
+	}
+	fn()
+	x.mu.Unlock()
+}`, "f")
+	if !reachesExit(g) {
+		t.Fatalf("must reach exit:\n%s", g)
+	}
+	// The literal's return must not add an exit predecessor.
+	preds := g.Preds()
+	if n := len(preds[g.Exit.Index]); n != 1 {
+		t.Errorf("exit should have exactly 1 predecessor, got %d:\n%s", n, g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	default:
+		return 0
+	}
+}`, "f")
+	preds := g.Preds()
+	if n := len(preds[g.Exit.Index]); n != 3 {
+		t.Errorf("exit should have 3 predecessors, got %d:\n%s", n, g)
+	}
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// LedgerBalanceCheck verifies flow-ledger symmetry statically: every
+// (*flow.Ledger).Admit call charges bytes that must be drained on every
+// path — by a (*flow.Ledger).Release, by calling a helper whose summary
+// (transitively) releases a ledger, or by recording the charge into a
+// field whose name contains "charge" for a later asymmetric drain (the
+// supplier's resolved.charge convention). The one decision that charges
+// nothing is Shed, so a `== flow.Shed` branch cancels the obligation on
+// its true edge.
+type LedgerBalanceCheck struct{}
+
+// Name returns "ledgerbalance".
+func (*LedgerBalanceCheck) Name() string { return "ledgerbalance" }
+
+// Doc describes the check.
+func (*LedgerBalanceCheck) Doc() string {
+	return "flow-ledger Admit charges must be drained or recorded on every path"
+}
+
+// Run reports Admit charges that can reach a return undrained.
+func (c *LedgerBalanceCheck) Run(pkg *Package) []Finding {
+	var fs []Finding
+	for _, file := range pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			fs = append(fs, analyzeLedgerBody(pkg, name, fd.Body)...)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					fs = append(fs, analyzeLedgerBody(pkg, name+" (func literal)", fl.Body)...)
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// charge is one live Admit obligation.
+type charge struct {
+	id  int
+	pos token.Pos
+	// decVar is the Decision-typed variable the Admit result was bound
+	// to, when any; condCall is the Admit call itself when the result is
+	// compared inline (`if ledger.Admit(n) == flow.Shed`).
+	decVar   types.Object
+	condCall *ast.CallExpr
+}
+
+// ledgerEvent mirrors leaseflow's event shape: drainAll kills every live
+// charge; acquire adds one.
+type ledgerEvent struct {
+	drainAll bool
+	acquire  int
+}
+
+type ledgerAnalysis struct {
+	pkg      *Package
+	sum      *summarizer
+	fn       string
+	charges  []*charge
+	events   map[ast.Stmt][]ledgerEvent
+	condAcq  map[*cfg.Block][]int // charges acquired by a block's Cond expr
+	findings []Finding
+}
+
+func analyzeLedgerBody(pkg *Package, fnName string, body *ast.BlockStmt) []Finding {
+	var sum *summarizer
+	if pkg.loader != nil {
+		sum = pkg.loader.summaries()
+	}
+	an := &ledgerAnalysis{
+		pkg:     pkg,
+		sum:     sum,
+		fn:      fnName,
+		events:  make(map[ast.Stmt][]ledgerEvent),
+		condAcq: make(map[*cfg.Block][]int),
+	}
+	g := cfg.Build(body)
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			an.events[s] = an.scanLedgerStmt(s)
+		}
+		if b.Cond != nil {
+			an.scanCond(b)
+		}
+	}
+	if len(an.charges) > 0 {
+		an.solve(g)
+	}
+	return an.findings
+}
+
+// isAdmitCall matches (*flow.Ledger).Admit.
+func (an *ledgerAnalysis) isAdmitCall(call *ast.CallExpr) bool {
+	fn := staticCallee(an.pkg.Info, call)
+	if fn == nil || fn.Name() != "Admit" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isLedgerType(sig.Recv().Type())
+}
+
+// drainsHere reports whether call releases a ledger, directly or through
+// a summarized helper.
+func (an *ledgerAnalysis) drainsHere(call *ast.CallExpr) bool {
+	fn := staticCallee(an.pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Name() == "Release" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isLedgerType(sig.Recv().Type()) {
+			return true
+		}
+	}
+	if an.sum != nil {
+		if s := an.sum.summaryFor(fn, an.pkg); s != nil && s.drainsLedger {
+			return true
+		}
+	}
+	return false
+}
+
+// scanLedgerStmt derives the charge events of one block statement.
+func (an *ledgerAnalysis) scanLedgerStmt(s ast.Stmt) []ledgerEvent {
+	var evs []ledgerEvent
+	info := an.pkg.Info
+
+	// Charge-field stores: any assignment to a field named *charge*
+	// records the admitted amount for a later drain (documented
+	// convention; see docs/STATIC_ANALYSIS.md).
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if sel, ok := ast.Unparen(l).(*ast.SelectorExpr); ok &&
+				strings.Contains(strings.ToLower(sel.Sel.Name), "charge") {
+				evs = append(evs, ledgerEvent{drainAll: true})
+			}
+		}
+	}
+
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals are analyzed as separate bodies
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if an.drainsHere(call) {
+			evs = append(evs, ledgerEvent{drainAll: true})
+			return true
+		}
+		if an.isAdmitCall(call) {
+			ch := &charge{id: len(an.charges), pos: call.Pos()}
+			// Bind the decision variable when the enclosing statement is a
+			// plain assignment of this single call.
+			if as, ok := s.(*ast.AssignStmt); ok && len(as.Rhs) == 1 &&
+				ast.Unparen(as.Rhs[0]) == call && len(as.Lhs) == 1 {
+				if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						ch.decVar = obj
+					} else if obj := info.Uses[id]; obj != nil {
+						ch.decVar = obj
+					}
+				}
+			}
+			an.charges = append(an.charges, ch)
+			evs = append(evs, ledgerEvent{acquire: ch.id})
+		}
+		return true
+	})
+
+	// Drains must win within one statement (e.g. a helper that both
+	// drains and re-admits is beyond this model); order drains first,
+	// acquires last, mirroring leaseflow.
+	var drains, acquires []ledgerEvent
+	for _, e := range evs {
+		if e.drainAll {
+			drains = append(drains, e)
+		} else {
+			acquires = append(acquires, e)
+		}
+	}
+	return append(drains, acquires...)
+}
+
+// scanCond registers Admit calls inside a block's condition expression
+// (`if s.ledger.Admit(n) == flow.Shed { ... }`): the charge is created
+// when the condition evaluates, then refined by the comparison.
+func (an *ledgerAnalysis) scanCond(b *cfg.Block) {
+	ast.Inspect(b.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if an.isAdmitCall(call) {
+			ch := &charge{id: len(an.charges), pos: call.Pos(), condCall: call}
+			an.charges = append(an.charges, ch)
+			an.condAcq[b] = append(an.condAcq[b], ch.id)
+		}
+		return true
+	})
+}
+
+// shedComparison matches a condition of the form `x == flow.Shed` or
+// `x != flow.Shed`, returning the compared expression and whether the
+// operator is ==.
+func shedComparison(info *types.Info, cond ast.Expr) (x ast.Expr, isEq bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false
+	}
+	isShed := func(e ast.Expr) bool {
+		var id *ast.Ident
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			id = v
+		case *ast.SelectorExpr:
+			id = v.Sel
+		}
+		if id == nil {
+			return false
+		}
+		obj := info.Uses[id]
+		return obj != nil && obj.Name() == "Shed" && obj.Pkg() != nil &&
+			strings.HasSuffix(obj.Pkg().Path(), "internal/flow")
+	}
+	switch {
+	case isShed(be.Y):
+		return ast.Unparen(be.X), be.Op == token.EQL
+	case isShed(be.X):
+		return ast.Unparen(be.Y), be.Op == token.EQL
+	}
+	return nil, false
+}
+
+func (an *ledgerAnalysis) solve(g *cfg.Graph) {
+	n := len(g.Blocks)
+	in := make([]map[int]bool, n)
+	for i := range in {
+		in[i] = make(map[int]bool)
+	}
+	info := an.pkg.Info
+
+	outFor := func(b *cfg.Block, si int, inState map[int]bool) map[int]bool {
+		out := make(map[int]bool, len(inState))
+		for id := range inState {
+			out[id] = true
+		}
+		for _, s := range b.Stmts {
+			for _, ev := range an.events[s] {
+				if ev.drainAll {
+					clear(out)
+				} else {
+					out[ev.acquire] = true
+				}
+			}
+		}
+		for _, id := range an.condAcq[b] {
+			out[id] = true
+		}
+		if b.Cond != nil && len(b.Succs) == 2 {
+			if x, isEq := shedComparison(info, b.Cond); x != nil {
+				// Shed charges nothing: kill on the edge where the decision
+				// is known to be Shed. For "== Shed" that is the true edge,
+				// for "!= Shed" the false edge.
+				if (si == 0) == isEq {
+					for _, ch := range an.charges {
+						if !out[ch.id] {
+							continue
+						}
+						if ch.condCall != nil && ast.Unparen(x) == ast.Unparen(ch.condCall) {
+							delete(out, ch.id)
+						}
+						if ch.decVar != nil {
+							if id, ok := x.(*ast.Ident); ok && info.Uses[id] == ch.decVar {
+								delete(out, ch.id)
+							}
+						}
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	union := func(dst, src map[int]bool) bool {
+		changed := false
+		for id := range src {
+			if !dst[id] {
+				dst[id] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// Seed every block (see the matching comment in leaseflow's solve):
+	// change-driven propagation alone never visits blocks past an empty
+	// first frontier.
+	work := make([]*cfg.Block, 0, n)
+	inWork := make([]bool, n)
+	for i := len(g.Blocks) - 1; i >= 0; i-- {
+		work = append(work, g.Blocks[i])
+		inWork[g.Blocks[i].Index] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.Index] = false
+		for si, s := range b.Succs {
+			out := outFor(b, si, in[b.Index])
+			if union(in[s.Index], out) && !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+
+	for id := range in[g.Exit.Index] {
+		ch := an.charges[id]
+		an.findings = append(an.findings, Finding{
+			Pos:   an.pkg.Fset.Position(ch.pos),
+			Check: "ledgerbalance",
+			Message: fmt.Sprintf(
+				"ledger charge from Admit may not be drained (Release, drained helper, or charge-field store) on every path (in %s)",
+				an.fn),
+		})
+	}
+	SortFindings(an.findings)
+}

@@ -34,6 +34,11 @@ type Package struct {
 	// TypeErrors collects type-check errors; checks still run but may be
 	// unreliable when this is non-empty.
 	TypeErrors []error
+
+	// loader points back at the Loader that produced this package, so
+	// interprocedural analyses (summaries, lockorder) can resolve callees
+	// declared in other packages. Nil for hand-built test packages.
+	loader *Loader
 }
 
 // Loader parses and type-checks package directories. Our own module's
@@ -48,6 +53,7 @@ type Loader struct {
 	std      types.Importer
 	pkgs     map[string]*Package   // keyed by cleaned absolute dir
 	testPkgs map[string][]*Package // LoadTests results, same key
+	sum      *summarizer           // shared interprocedural summaries
 }
 
 // NewLoader creates a loader rooted at the module containing dir (found by
@@ -151,6 +157,7 @@ func (l *Loader) Load(dir string) (*Package, error) {
 			Uses:       make(map[*ast.Ident]types.Object),
 			Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		},
+		loader: l,
 	}
 	// Memoize before type-checking: import cycles would otherwise recurse
 	// forever (valid Go has none, but a broken tree should fail cleanly).
@@ -256,6 +263,7 @@ func (l *Loader) LoadTests(dir string) ([]*Package, error) {
 				Uses:       make(map[*ast.Ident]types.Object),
 				Selections: make(map[*ast.SelectorExpr]*types.Selection),
 			},
+			loader: l,
 		}
 		conf := types.Config{
 			Importer: importerFunc(func(path string) (*types.Package, error) {

@@ -1,0 +1,509 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/cfg"
+)
+
+// LockOrderCheck builds a repo-wide mutex acquisition-order graph and
+// fails on cycles: if one code path locks A then B while another locks B
+// then A, the two paths can deadlock against each other even though each
+// is locally well-formed (lockhygiene passes). Mutexes are identified at
+// type granularity — the struct field object for field mutexes (shared
+// by all instances of the type), the variable object for package-level
+// mutexes, and the named type for embedded ones. Edges come from direct
+// nested Lock calls and, interprocedurally, from calling a function
+// whose transitive lockset is known while holding a lock. Goroutine
+// launches do not propagate the held set (a spawned goroutine starts
+// with no locks of its creator), and call-edge self-loops are skipped —
+// helper recursion at type granularity would otherwise self-report.
+type LockOrderCheck struct{}
+
+// Name returns "lockorder".
+func (*LockOrderCheck) Name() string { return "lockorder" }
+
+// Doc describes the check.
+func (*LockOrderCheck) Doc() string {
+	return "no cycles in the repo-wide mutex acquisition-order graph"
+}
+
+// Run implements Check; lockorder is whole-program, so the per-package
+// pass reports nothing.
+func (*LockOrderCheck) Run(pkg *Package) []Finding { return nil }
+
+// RunProgram implements ProgramCheck over every in-scope package.
+func (c *LockOrderCheck) RunProgram(pkgs []*Package) []Finding {
+	lo := &lockOrder{
+		edges:    make(map[[2]types.Object]*lockEdge),
+		locksets: make(map[*types.Func]map[types.Object]token.Pos),
+		inLS:     make(map[*types.Func]bool),
+	}
+	for _, pkg := range pkgs {
+		if pkg.loader != nil {
+			lo.sum = pkg.loader.summaries()
+			break
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lo.analyzeBody(pkg, fd.Name.Name, fd.Body)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						// A literal may run on any goroutine; analyze it with
+						// an empty held set of its own.
+						lo.analyzeBody(pkg, fd.Name.Name+" (func literal)", fl.Body)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return lo.cycles()
+}
+
+// lockEdge records the first witness of "to acquired while from held".
+type lockEdge struct {
+	from, to types.Object
+	pos      token.Position
+	fn       string
+	note     string // "" for a direct Lock, else the callee path
+}
+
+type lockOrder struct {
+	sum   *summarizer
+	edges map[[2]types.Object]*lockEdge
+
+	// locksets memoizes the set of mutexes a function may acquire,
+	// directly or transitively, with one witness position each.
+	locksets map[*types.Func]map[types.Object]token.Pos
+	inLS     map[*types.Func]bool
+}
+
+// mutexIdent resolves the receiver of a sync.Mutex/RWMutex method call
+// to a stable identity object, and a human-readable name.
+func mutexIdent(pkg *Package, recv ast.Expr) (types.Object, string) {
+	recv = ast.Unparen(recv)
+	// Embedded mutex: the receiver's own type is not from package sync.
+	t := pkg.Info.TypeOf(recv)
+	if t != nil {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() != "sync" {
+				return obj, obj.Name() + " (embedded mutex)"
+			}
+		}
+	}
+	switch r := recv.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[r]; ok {
+			// Field var: shared by every instance of the declaring struct,
+			// giving type granularity for free.
+			return sel.Obj(), types.ExprString(recv)
+		}
+		if obj := pkg.Info.Uses[r.Sel]; obj != nil {
+			return obj, types.ExprString(recv) // pkg.Var
+		}
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[r]; obj != nil {
+			return obj, r.Name
+		}
+	}
+	return nil, ""
+}
+
+// syncLockCall classifies call as a Lock/RLock acquisition on a
+// sync.Mutex or sync.RWMutex, returning the receiver expression.
+func syncLockCall(pkg *Package, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// lockEvent is one ordered mutex action within a statement.
+type lockEvent struct {
+	obj     types.Object
+	name    string
+	pos     token.Pos
+	acquire bool // false = release
+	// callee, when set, contributes its transitive lockset instead.
+	callee *types.Func
+}
+
+// scanLockStmts extracts ordered lock events from one statement (or a
+// condition expression), skipping function literals and goroutine
+// launches.
+func (lo *lockOrder) scanLockNode(pkg *Package, n ast.Node, deferred bool) []lockEvent {
+	var evs []lockEvent
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// Arguments evaluate here; the spawned call does not inherit
+			// the held set.
+			for _, arg := range x.Call.Args {
+				evs = append(evs, lo.scanLockNode(pkg, arg, deferred)...)
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held for edge purposes (it
+			// releases only at exit); a deferred lock or locking callee is
+			// not modeled.
+			return false
+		case *ast.CallExpr:
+			if recv, method, ok := syncLockCall(pkg, x); ok {
+				obj, name := mutexIdent(pkg, recv)
+				if obj == nil {
+					return true
+				}
+				switch method {
+				case "Lock", "RLock":
+					evs = append(evs, lockEvent{obj: obj, name: name, pos: x.Pos(), acquire: true})
+				case "Unlock", "RUnlock":
+					if !deferred {
+						evs = append(evs, lockEvent{obj: obj, name: name, pos: x.Pos()})
+					}
+				}
+				return true
+			}
+			if fn := staticCallee(pkg.Info, x); fn != nil {
+				evs = append(evs, lockEvent{callee: fn, pos: x.Pos()})
+			}
+		}
+		return true
+	})
+	return evs
+}
+
+// analyzeBody runs the held-set dataflow over one function body,
+// recording acquisition-order edges.
+func (lo *lockOrder) analyzeBody(pkg *Package, fnName string, body *ast.BlockStmt) {
+	g := cfg.Build(body)
+	events := make(map[*cfg.Block][]lockEvent)
+	any := false
+	for _, b := range g.Blocks {
+		var evs []lockEvent
+		for _, s := range b.Stmts {
+			_, isDefer := s.(*ast.DeferStmt)
+			evs = append(evs, lo.scanLockNode(pkg, s, isDefer)...)
+		}
+		if b.Cond != nil {
+			evs = append(evs, lo.scanLockNode(pkg, b.Cond, false)...)
+		}
+		events[b] = evs
+		if len(evs) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+
+	n := len(g.Blocks)
+	in := make([]map[types.Object]bool, n)
+	for i := range in {
+		in[i] = make(map[types.Object]bool)
+	}
+	apply := func(b *cfg.Block, state map[types.Object]bool, record bool) map[types.Object]bool {
+		out := make(map[types.Object]bool, len(state))
+		for o := range state {
+			out[o] = true
+		}
+		for _, ev := range events[b] {
+			switch {
+			case ev.callee != nil:
+				if len(out) == 0 {
+					continue
+				}
+				for to, witness := range lo.locksetOf(ev.callee, pkg) {
+					for from := range out {
+						if from == to {
+							continue // call-edge self-loop: helper on another instance
+						}
+						if record {
+							lo.addEdge(pkg, from, to, ev.pos,
+								fmt.Sprintf("via call to %s (locks at %s)", ev.callee.Name(), pkg.Fset.Position(witness)), fnName)
+						}
+					}
+				}
+			case ev.acquire:
+				if record {
+					for from := range out {
+						lo.addEdge(pkg, from, ev.obj, ev.pos, "", fnName)
+					}
+				}
+				out[ev.obj] = true
+			default:
+				delete(out, ev.obj)
+			}
+		}
+		return out
+	}
+
+	// Fixpoint on may-held sets, then one recording pass. Every block is
+	// seeded (see the matching comment in leaseflow's solve): held sets
+	// acquired past an empty first frontier must still propagate.
+	work := make([]*cfg.Block, 0, n)
+	inWork := make([]bool, n)
+	for i := len(g.Blocks) - 1; i >= 0; i-- {
+		work = append(work, g.Blocks[i])
+		inWork[g.Blocks[i].Index] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.Index] = false
+		out := apply(b, in[b.Index], false)
+		for _, s := range b.Succs {
+			changed := false
+			for o := range out {
+				if !in[s.Index][o] {
+					in[s.Index][o] = true
+					changed = true
+				}
+			}
+			if changed && !inWork[s.Index] {
+				inWork[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	for _, b := range g.Blocks {
+		apply(b, in[b.Index], true)
+	}
+}
+
+func (lo *lockOrder) addEdge(pkg *Package, from, to types.Object, pos token.Pos, note, fn string) {
+	key := [2]types.Object{from, to}
+	if _, ok := lo.edges[key]; ok {
+		return
+	}
+	lo.edges[key] = &lockEdge{
+		from: from, to: to,
+		pos:  pkg.Fset.Position(pos),
+		fn:   fn,
+		note: note,
+	}
+}
+
+// locksetOf returns the set of mutexes fn may acquire, transitively.
+func (lo *lockOrder) locksetOf(fn *types.Func, ctx *Package) map[types.Object]token.Pos {
+	fn = fn.Origin()
+	if ls, ok := lo.locksets[fn]; ok {
+		return ls
+	}
+	if lo.inLS[fn] || lo.sum == nil {
+		return nil
+	}
+	decl, declPkg := lo.sum.decl(fn, ctx)
+	if decl == nil || decl.Body == nil {
+		lo.locksets[fn] = nil
+		return nil
+	}
+	lo.inLS[fn] = true
+	ls := make(map[types.Object]token.Pos)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if recv, method, ok := syncLockCall(declPkg, x); ok {
+				if method == "Lock" || method == "RLock" {
+					if obj, _ := mutexIdent(declPkg, recv); obj != nil {
+						if _, seen := ls[obj]; !seen {
+							ls[obj] = x.Pos()
+						}
+					}
+				}
+				return true
+			}
+			if callee := staticCallee(declPkg.Info, x); callee != nil {
+				for obj, pos := range lo.locksetOf(callee, declPkg) {
+					if _, seen := ls[obj]; !seen {
+						ls[obj] = pos
+					}
+				}
+			}
+		}
+		return true
+	})
+	delete(lo.inLS, fn)
+	lo.locksets[fn] = ls
+	return ls
+}
+
+// cycles finds strongly connected components of the edge graph and
+// reports one finding per nontrivial SCC (and per direct self-edge).
+func (lo *lockOrder) cycles() []Finding {
+	// Stable node ordering for deterministic output.
+	nodeSet := make(map[types.Object]bool)
+	for key := range lo.edges {
+		nodeSet[key[0]] = true
+		nodeSet[key[1]] = true
+	}
+	nodes := make([]types.Object, 0, len(nodeSet))
+	for o := range nodeSet {
+		nodes = append(nodes, o)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return objName(nodes[i]) < objName(nodes[j]) })
+	index := make(map[types.Object]int, len(nodes))
+	for i, o := range nodes {
+		index[o] = i
+	}
+	succs := make([][]int, len(nodes))
+	for key := range lo.edges {
+		succs[index[key[0]]] = append(succs[index[key[0]]], index[key[1]])
+	}
+	for _, s := range succs {
+		sort.Ints(s)
+	}
+
+	// Tarjan's SCC.
+	const unvisited = -1
+	idx := make([]int, len(nodes))
+	low := make([]int, len(nodes))
+	onStack := make([]bool, len(nodes))
+	for i := range idx {
+		idx[i] = unvisited
+	}
+	var stack []int
+	var counter int
+	var sccs [][]int
+	var strongconnect func(v int)
+	strongconnect = func(v int) {
+		idx[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if idx[w] == unvisited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && idx[w] < low[v] {
+				low[v] = idx[w]
+			}
+		}
+		if low[v] == idx[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for v := range nodes {
+		if idx[v] == unvisited {
+			strongconnect(v)
+		}
+	}
+
+	var fs []Finding
+	for _, comp := range sccs {
+		selfEdge := len(comp) == 1 && lo.edges[[2]types.Object{nodes[comp[0]], nodes[comp[0]]}] != nil
+		if len(comp) < 2 && !selfEdge {
+			continue
+		}
+		sort.Ints(comp)
+		members := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			members[v] = true
+		}
+		// Collect the component's internal edges, sorted by position for a
+		// stable, readable witness list.
+		var compEdges []*lockEdge
+		for key, e := range lo.edges {
+			if members[index[key[0]]] && members[index[key[1]]] {
+				compEdges = append(compEdges, e)
+			}
+		}
+		sort.Slice(compEdges, func(i, j int) bool {
+			a, b := compEdges[i], compEdges[j]
+			if a.pos.Filename != b.pos.Filename {
+				return a.pos.Filename < b.pos.Filename
+			}
+			return a.pos.Offset < b.pos.Offset
+		})
+		var names []string
+		for _, v := range comp {
+			names = append(names, objName(nodes[v]))
+		}
+		var witness []string
+		for _, e := range compEdges {
+			w := fmt.Sprintf("%s->%s in %s at %s", objName(e.from), objName(e.to), e.fn, e.pos)
+			if e.note != "" {
+				w += " " + e.note
+			}
+			witness = append(witness, w)
+		}
+		first := compEdges[0]
+		msg := fmt.Sprintf("lock-order cycle among {%s}: %s",
+			strings.Join(names, ", "), strings.Join(witness, "; "))
+		if selfEdge {
+			msg = fmt.Sprintf("mutex %s acquired while an instance is already held: %s",
+				objName(nodes[comp[0]]), strings.Join(witness, "; "))
+		}
+		fs = append(fs, Finding{Pos: first.pos, Check: "lockorder", Message: msg})
+	}
+	SortFindings(fs)
+	return fs
+}
+
+// objName renders a mutex identity for messages: Type.field for field
+// mutexes, plain name otherwise.
+func objName(o types.Object) string {
+	if v, ok := o.(*types.Var); ok && v.IsField() {
+		// Walk the package scope for the struct type declaring this field.
+		if v.Pkg() != nil {
+			scope := v.Pkg().Scope()
+			for _, tn := range scope.Names() {
+				obj, ok := scope.Lookup(tn).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				for i := 0; i < st.NumFields(); i++ {
+					if st.Field(i) == v {
+						return obj.Name() + "." + v.Name()
+					}
+				}
+			}
+		}
+	}
+	return o.Name()
+}

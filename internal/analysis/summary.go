@@ -1,0 +1,497 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file implements the lightweight interprocedural summaries behind
+// the path-sensitive checks (leaseflow, ledgerbalance): for each function
+// we record what it does with lease-typed parameters — releases them,
+// stores them somewhere that outlives the call (escape), or returns them
+// — and whether it (transitively) drains a flow ledger. Summaries are
+// existence-based, not path-sensitive: "somewhere in the body this
+// parameter is released" is enough for a caller to treat the call as an
+// ownership transfer. That is deliberately optimistic — the callee's own
+// body is separately checked path-sensitively by leaseflow, so a callee
+// that releases on only some paths is flagged at its own definition, not
+// at every call site.
+
+// paramEffect records what a function does with one lease parameter.
+type paramEffect uint8
+
+const (
+	// effReleased: the parameter's Release method is called (directly or
+	// via a transitively-summarized callee).
+	effReleased paramEffect = 1 << iota
+	// effEscaped: the parameter is stored into a field, map, slice,
+	// channel, or composite literal, captured by a function literal, or
+	// handed to a goroutine — somewhere that outlives the call.
+	effEscaped
+	// effReturned: the parameter is returned to the caller, which then
+	// owns it under the docs/PERF.md contract.
+	effReturned
+)
+
+// consumes reports whether the effect transfers ownership away from the
+// caller: any of release, escape, or return discharges the caller's
+// obligation.
+func (e paramEffect) consumes() bool { return e != 0 }
+
+// funcSummary is one function's interprocedural summary.
+type funcSummary struct {
+	// recv is the effect on the receiver, params[i] on the i-th
+	// parameter. Only lease-typed positions carry effects.
+	recv   paramEffect
+	params []paramEffect
+	// drainsLedger reports that the function (transitively) calls
+	// (*flow.Ledger).Release — used by ledgerbalance to treat helper
+	// calls like releaseCharge as a drain.
+	drainsLedger bool
+}
+
+// effectOn returns the effect for argument index i of a call (not
+// counting the receiver).
+func (s *funcSummary) effectOn(i int) paramEffect {
+	if s == nil || i < 0 || i >= len(s.params) {
+		return 0
+	}
+	return s.params[i]
+}
+
+// summarizer memoizes function summaries across every package a Loader
+// touches. It is created lazily on first use and shared by all checks
+// running under one Loader, so a whole-repo scan summarizes each
+// function at most once.
+type summarizer struct {
+	loader *Loader
+
+	sums       map[*types.Func]*funcSummary
+	inProgress map[*types.Func]bool
+
+	// annotated records //jbsvet:owns annotations: the marked function or
+	// interface method takes ownership of every lease-typed parameter.
+	annotated  map[*types.Func]bool
+	annScanned map[*Package]bool
+}
+
+// summaries returns the loader's shared summarizer.
+func (l *Loader) summaries() *summarizer {
+	if l.sum == nil {
+		l.sum = &summarizer{
+			loader:     l,
+			sums:       make(map[*types.Func]*funcSummary),
+			inProgress: make(map[*types.Func]bool),
+			annotated:  make(map[*types.Func]bool),
+			annScanned: make(map[*Package]bool),
+		}
+	}
+	return l.sum
+}
+
+// isLeaseType reports whether t is one of the manually-managed lease
+// types: *bufpool.Lease or *mof.FileHandle. Matching is by package-path
+// suffix so golden fixtures loaded from testdata directories (whose
+// import path is their absolute directory) still resolve the real types.
+func isLeaseType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	switch obj.Name() {
+	case "Lease":
+		return strings.HasSuffix(path, "internal/bufpool")
+	case "FileHandle":
+		return strings.HasSuffix(path, "internal/mof")
+	}
+	return false
+}
+
+// isLedgerType reports whether t is *flow.Ledger.
+func isLedgerType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Ledger" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/flow")
+}
+
+// staticCallee resolves the *types.Func a call statically dispatches to,
+// or nil for calls through function values, builtins, and conversions.
+// Generic instantiations resolve to their origin.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// summaryFor computes (memoized) the summary of fn. ctx is the package
+// whose Info produced fn; its own files are searched for the declaration
+// before falling back to the loader's package table. Functions without a
+// findable body (interface methods, stdlib, function values) summarize
+// as no-effect unless annotated with //jbsvet:owns.
+func (s *summarizer) summaryFor(fn *types.Func, ctx *Package) *funcSummary {
+	if fn == nil {
+		return nil
+	}
+	fn = fn.Origin()
+	if sum, ok := s.sums[fn]; ok {
+		return sum
+	}
+	if s.inProgress[fn] {
+		return nil // recursion: assume no effects on this path
+	}
+
+	if sum := builtinSummary(fn); sum != nil {
+		s.sums[fn] = sum
+		return sum
+	}
+	if s.isAnnotated(fn, ctx) {
+		sum := annotatedSummary(fn)
+		s.sums[fn] = sum
+		return sum
+	}
+
+	decl, declPkg := s.decl(fn, ctx)
+	if decl == nil || decl.Body == nil {
+		s.sums[fn] = nil
+		return nil
+	}
+
+	s.inProgress[fn] = true
+	sum := s.computeSummary(fn, decl, declPkg)
+	delete(s.inProgress, fn)
+	s.sums[fn] = sum
+	return sum
+}
+
+// builtinSummary hardcodes the ownership primitives the rest of the
+// analysis is defined in terms of: the Release methods themselves.
+func builtinSummary(fn *types.Func) *funcSummary {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	switch {
+	case fn.Name() == "Release" && isLeaseType(recv.Type()):
+		return &funcSummary{recv: effReleased}
+	case fn.Name() == "Release" && isLedgerType(recv.Type()):
+		return &funcSummary{drainsLedger: true}
+	}
+	return nil
+}
+
+// annotatedSummary builds the summary implied by //jbsvet:owns: every
+// lease-typed parameter (and receiver) escapes into the callee.
+func annotatedSummary(fn *types.Func) *funcSummary {
+	sig := fn.Type().(*types.Signature)
+	sum := &funcSummary{params: make([]paramEffect, sig.Params().Len())}
+	if r := sig.Recv(); r != nil && isLeaseType(r.Type()) {
+		sum.recv = effEscaped
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isLeaseType(sig.Params().At(i).Type()) {
+			sum.params[i] = effEscaped
+		}
+	}
+	return sum
+}
+
+// isAnnotated reports whether fn carries a //jbsvet:owns annotation in
+// its declaring package (function doc comment or interface method
+// comment).
+func (s *summarizer) isAnnotated(fn *types.Func, ctx *Package) bool {
+	if s.annotated[fn] {
+		return true
+	}
+	// Scan the context package and the declaring package once each.
+	s.scanAnnotations(ctx)
+	if s.annotated[fn] {
+		return true
+	}
+	if p := s.packageFor(fn); p != nil {
+		s.scanAnnotations(p)
+	}
+	return s.annotated[fn]
+}
+
+const ownsMarker = "jbsvet:owns"
+
+// scanAnnotations records every //jbsvet:owns-marked function and
+// interface method in pkg (memoized per package).
+func (s *summarizer) scanAnnotations(pkg *Package) {
+	if pkg == nil || s.annScanned[pkg] {
+		return
+	}
+	s.annScanned[pkg] = true
+	hasMarker := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if strings.Contains(c.Text, ownsMarker) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if hasMarker(d.Doc) {
+					if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+						s.annotated[fn.Origin()] = true
+					}
+				}
+				return false // function bodies hold no annotations
+			case *ast.InterfaceType:
+				for _, field := range d.Methods.List {
+					if !hasMarker(field.Doc, field.Comment) {
+						continue
+					}
+					for _, name := range field.Names {
+						if fn, ok := pkg.Info.Defs[name].(*types.Func); ok {
+							s.annotated[fn.Origin()] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// packageFor resolves the loaded *Package declaring fn, or nil when it
+// lives outside the module (stdlib).
+func (s *summarizer) packageFor(fn *types.Func) *Package {
+	if fn.Pkg() == nil || s.loader == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	l := s.loader
+	var dir string
+	switch {
+	case path == l.Module:
+		dir = l.Root
+	case strings.HasPrefix(path, l.Module+"/"):
+		dir = filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(path, l.Module+"/")))
+	case filepath.IsAbs(path): // fixture packages outside the module
+		dir = path
+	default:
+		return nil
+	}
+	pkg, err := l.Load(dir)
+	if err != nil {
+		return nil
+	}
+	return pkg
+}
+
+// decl finds fn's declaration. The context package's own files are
+// checked first: test units re-parse base files into fresh ASTs, so a
+// function object from a test unit's Info only matches positions in
+// that unit. The shared FileSet makes Pos comparison valid across every
+// package one Loader touches.
+func (s *summarizer) decl(fn *types.Func, ctx *Package) (*ast.FuncDecl, *Package) {
+	find := func(p *Package) *ast.FuncDecl {
+		if p == nil {
+			return nil
+		}
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+					return fd
+				}
+			}
+		}
+		return nil
+	}
+	if fd := find(ctx); fd != nil {
+		return fd, ctx
+	}
+	p := s.packageFor(fn)
+	if fd := find(p); fd != nil {
+		return fd, p
+	}
+	return nil, nil
+}
+
+// computeSummary walks fn's body once, recording effects on each
+// lease-typed parameter and whether a ledger is drained.
+func (s *summarizer) computeSummary(fn *types.Func, decl *ast.FuncDecl, pkg *Package) *funcSummary {
+	sig := fn.Type().(*types.Signature)
+	sum := &funcSummary{params: make([]paramEffect, sig.Params().Len())}
+
+	// tracked maps each lease-typed parameter object to a setter for its
+	// effect bits.
+	tracked := make(map[types.Object]*paramEffect)
+	if r := sig.Recv(); r != nil && isLeaseType(r.Type()) {
+		tracked[r] = &sum.recv
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isLeaseType(p.Type()) {
+			tracked[p] = &sum.params[i]
+		}
+	}
+
+	info := pkg.Info
+	// paramOf resolves an expression to a tracked parameter, seeing
+	// through parens.
+	paramOf := func(e ast.Expr) *paramEffect {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if eff, ok := tracked[info.Uses[id]]; ok {
+			return eff
+		}
+		return nil
+	}
+	// mentionsParam reports whether any tracked parameter appears under e.
+	mentionsParam := func(e ast.Expr) *paramEffect {
+		var found *paramEffect
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if eff, ok := tracked[info.Uses[id]]; ok {
+					found = eff
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		switch nd := n.(type) {
+		case *ast.CallExpr:
+			callee := staticCallee(info, nd)
+			if callee != nil {
+				csum := s.summaryFor(callee, pkg)
+				if csum != nil && csum.drainsLedger {
+					sum.drainsLedger = true
+				}
+				// Receiver effect: v.Release() and friends.
+				if sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr); ok {
+					if eff := paramOf(sel.X); eff != nil && csum != nil && csum.recv.consumes() {
+						*eff |= csum.recv
+					}
+				}
+				for i, arg := range nd.Args {
+					if eff := paramOf(arg); eff != nil && csum.effectOn(i).consumes() {
+						*eff |= csum.effectOn(i)
+					}
+				}
+			} else if id, ok := ast.Unparen(nd.Fun).(*ast.Ident); ok && id.Name == "append" {
+				// append(s, v): the element is stored into the slice.
+				for _, arg := range nd.Args[1:] {
+					if eff := paramOf(arg); eff != nil {
+						*eff |= effEscaped
+					}
+				}
+			}
+			// Direct ledger drain without a resolvable callee summary is
+			// covered by builtinSummary via staticCallee; nothing more here.
+		case *ast.ReturnStmt:
+			for _, res := range nd.Results {
+				if eff := paramOf(res); eff != nil {
+					*eff |= effReturned
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range nd.Lhs {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// Storing into a field, map, or slice element. Match
+					// positionally when possible, else any RHS mention.
+					if i < len(nd.Rhs) {
+						if eff := mentionsParam(nd.Rhs[i]); eff != nil {
+							*eff |= effEscaped
+						}
+					} else if len(nd.Rhs) == 1 {
+						if eff := mentionsParam(nd.Rhs[0]); eff != nil {
+							*eff |= effEscaped
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if eff := mentionsParam(nd.Value); eff != nil {
+				*eff |= effEscaped
+			}
+		case *ast.CompositeLit:
+			for _, el := range nd.Elts {
+				if eff := mentionsParam(el); eff != nil {
+					*eff |= effEscaped
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range nd.Call.Args {
+				if eff := paramOf(arg); eff != nil {
+					*eff |= effEscaped
+				}
+			}
+			// The spawned callee and captured params are handled by the
+			// FuncLit case below when the call target is a literal.
+		case *ast.FuncLit:
+			// A parameter captured by a literal escapes: the literal may
+			// run later (defer, goroutine, stored callback).
+			ast.Inspect(nd.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if eff, ok := tracked[info.Uses[id]]; ok {
+						*eff |= effEscaped
+					}
+				}
+				return true
+			})
+			return false // don't double-visit the body
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, inspect)
+	return sum
+}

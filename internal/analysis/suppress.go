@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -23,12 +24,47 @@ type suppression struct {
 	line  int
 }
 
-// ApplySuppressions filters findings through the package's
-// //jbsvet:ignore directives. It returns the surviving findings and, as a
-// second slice, findings for malformed directives (missing check name or
-// reason).
-func ApplySuppressions(pkg *Package, findings []Finding) (kept, malformed []Finding) {
-	var sups []suppression
+// suppressionEntry is one directive tracked by a suppressionTable, with
+// enough state to audit staleness: whether the named check ever ran over
+// the directive's file, and whether the directive suppressed anything.
+type suppressionEntry struct {
+	suppression
+	pos token.Position
+	// applicable: the named check (or, for "all", any check) ran over
+	// this file's package during the scan, so "suppressed nothing" is
+	// meaningful.
+	applicable bool
+	// used: at least one finding was silenced by this directive.
+	used bool
+}
+
+// suppressionTable collects every directive seen during one Runner scan.
+// Base source files are parsed twice when a package has in-package tests
+// (once for the base unit, once merged); entries are deduplicated by
+// file, line, and check so usage accumulates across both passes.
+type suppressionTable struct {
+	entries map[string]*suppressionEntry // "file:line:check"
+	order   []*suppressionEntry
+	// malformed directives, deduplicated by position.
+	malformed     []Finding
+	malformedSeen map[string]bool
+	collected     map[*Package]bool
+}
+
+func newSuppressionTable() *suppressionTable {
+	return &suppressionTable{
+		entries:       make(map[string]*suppressionEntry),
+		malformedSeen: make(map[string]bool),
+		collected:     make(map[*Package]bool),
+	}
+}
+
+// collect parses pkg's //jbsvet:ignore directives into the table.
+func (t *suppressionTable) collect(pkg *Package) {
+	if t.collected[pkg] {
+		return
+	}
+	t.collected[pkg] = true
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
@@ -39,39 +75,113 @@ func ApplySuppressions(pkg *Package, findings []Finding) (kept, malformed []Find
 				rest := strings.TrimPrefix(c.Text, ignorePrefix)
 				fields := strings.Fields(rest)
 				if len(fields) < 2 {
-					malformed = append(malformed, Finding{
-						Pos:     pos,
-						Check:   "suppress",
-						Message: "malformed //jbsvet:ignore: need \"//jbsvet:ignore <check> <reason>\"",
-					})
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					if !t.malformedSeen[key] {
+						t.malformedSeen[key] = true
+						t.malformed = append(t.malformed, Finding{
+							Pos:     pos,
+							Check:   "suppress",
+							Message: "malformed //jbsvet:ignore: need \"//jbsvet:ignore <check> <reason>\"",
+						})
+					}
 					continue
 				}
-				sups = append(sups, suppression{check: fields[0], file: pos.Filename, line: pos.Line})
+				key := fmt.Sprintf("%s:%d:%s", pos.Filename, pos.Line, fields[0])
+				if _, ok := t.entries[key]; ok {
+					continue
+				}
+				e := &suppressionEntry{
+					suppression: suppression{check: fields[0], file: pos.Filename, line: pos.Line},
+					pos:         pos,
+				}
+				t.entries[key] = e
+				t.order = append(t.order, e)
 			}
 		}
 	}
+}
+
+// markRan records that the named checks ran over pkg's files, making
+// their directives auditable.
+func (t *suppressionTable) markRan(pkg *Package, checks []string) {
+	if len(checks) == 0 {
+		return
+	}
+	ran := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		ran[c] = true
+	}
+	files := make(map[string]bool, len(pkg.Files))
+	for _, f := range pkg.Files {
+		files[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, e := range t.order {
+		if !files[e.file] {
+			continue
+		}
+		if e.check == "all" || ran[e.check] {
+			e.applicable = true
+		}
+	}
+}
+
+// filter drops findings silenced by a collected directive, marking the
+// directives used.
+func (t *suppressionTable) filter(findings []Finding) []Finding {
+	var kept []Finding
 	for _, f := range findings {
-		if suppressed(f, sups) {
+		if t.suppressFinding(f) {
 			continue
 		}
 		kept = append(kept, f)
 	}
-	return kept, malformed
+	return kept
 }
 
-func suppressed(f Finding, sups []suppression) bool {
-	for _, s := range sups {
-		if s.file != f.Pos.Filename {
-			continue
-		}
-		if s.check != f.Check && s.check != "all" {
-			continue
-		}
-		if s.line == f.Pos.Line || s.line == f.Pos.Line-1 {
-			return true
+func (t *suppressionTable) suppressFinding(f Finding) bool {
+	hit := false
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, check := range []string{f.Check, "all"} {
+			key := fmt.Sprintf("%s:%d:%s", f.Pos.Filename, line, check)
+			if e, ok := t.entries[key]; ok {
+				e.used = true
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
+}
+
+// stale reports directives whose check ran over their file yet silenced
+// nothing — the code they excused has moved or been fixed, and the
+// suppression now only hides future regressions.
+func (t *suppressionTable) stale() []Finding {
+	var fs []Finding
+	for _, e := range t.order {
+		if e.applicable && !e.used {
+			fs = append(fs, Finding{
+				Pos:   e.pos,
+				Check: "staleignore",
+				Message: fmt.Sprintf(
+					"//jbsvet:ignore %s suppresses nothing: the %s check ran over this file and found no finding here; delete the directive",
+					e.check, e.check),
+			})
+		}
+	}
+	return fs
+}
+
+// ApplySuppressions filters findings through the package's
+// //jbsvet:ignore directives. It returns the surviving findings and, as a
+// second slice, findings for malformed directives (missing check name or
+// reason). The Runner uses a shared suppressionTable across packages;
+// this standalone form is for single-package use (tests, external
+// tooling).
+func ApplySuppressions(pkg *Package, findings []Finding) (kept, malformed []Finding) {
+	t := newSuppressionTable()
+	t.collect(pkg)
+	kept = t.filter(findings)
+	return kept, t.malformed
 }
 
 // position is a small helper for checks.

@@ -1,0 +1,69 @@
+// Package generics exercises the CFG builder and summarizer on language
+// features that historically panic naive AST analyses: generic
+// functions and types (instantiated *types.Func objects must resolve to
+// their Origin declaration), method values, and generic receivers with
+// mutexes. Everything here must analyze clean under all three
+// path-sensitive checks.
+package generics
+
+import (
+	"sync"
+
+	"repro/internal/bufpool"
+)
+
+// apply consumes its lease via defer; callers transfer ownership. The
+// summarizer must resolve the instantiated apply[int] back to this
+// declaration.
+func apply[T any](l *bufpool.Lease, f func(*bufpool.Lease) T) T {
+	defer l.Release()
+	return f(l)
+}
+
+func useGenericConsumer(p *bufpool.Pool) int {
+	l := p.Get(8)
+	return apply(l, func(x *bufpool.Lease) int { return x.Len() })
+}
+
+// box is a generic type with a field mutex; lockorder must identify the
+// field through the instantiated selection.
+type box[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+func (b *box[T]) get() T {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+func useBox(b *box[string]) string {
+	return b.get()
+}
+
+// counter exists to take a method value: the CFG and the checks must
+// treat `c.inc` (no call) without panicking.
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+func methodValue() func() {
+	c := &counter{}
+	f := c.inc
+	return f
+}
+
+// releaseVia takes the release through a method value bound to the
+// lease, then calls it on every path — the checks must at least not
+// crash on the SelectorExpr-without-call shape. The explicit call keeps
+// the function genuinely clean.
+func releaseVia(p *bufpool.Pool, cond bool) {
+	l := p.Get(8)
+	rel := l.Release
+	if cond {
+		rel()
+		return
+	}
+	rel()
+}

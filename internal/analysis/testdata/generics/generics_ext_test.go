@@ -1,0 +1,22 @@
+package generics_test
+
+import (
+	"testing"
+
+	"repro/internal/bufpool"
+)
+
+// wrap is a generic declared inside the external test unit itself.
+func wrap[T any](v T) []T { return []T{v} }
+
+// TestMethodValueExternal binds a lease's Release as a method value —
+// ownership transfers to the closure, which the defer invokes.
+func TestMethodValueExternal(t *testing.T) {
+	p := bufpool.New()
+	l := p.Get(2)
+	rel := l.Release
+	defer rel()
+	if got := wrap(l.Len()); len(got) != 1 {
+		t.Fatal(got)
+	}
+}

@@ -1,0 +1,84 @@
+// Package lockorder is the golden fixture for the lockorder check: a
+// three-mutex acquisition cycle split across three locally-well-formed
+// functions (each passes lockhygiene), a same-type nested acquisition,
+// and clean direct and interprocedural orderings.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// ---- the A -> B -> C -> A cycle ----
+
+func abPath(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle among {A.mu, B.mu, C.mu}"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// bcPath guards the nesting behind an early return and a branch: the
+// held set acquired past an empty first frontier must still propagate
+// across blocks for the cycle to be seen.
+func bcPath(b *B, c *C, ok bool) {
+	if !ok {
+		return
+	}
+	b.mu.Lock()
+	if ok {
+		c.mu.Lock()
+		c.mu.Unlock()
+	}
+	b.mu.Unlock()
+}
+
+func caPath(c *C, a *A) {
+	c.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// ---- same-type nesting: deadlocks when d1 and d2 swap roles ----
+
+func nestedSameType(d1, d2 *D) {
+	d1.mu.Lock()
+	d2.mu.Lock() // want "mutex D.mu acquired while an instance is already held"
+	d2.mu.Unlock()
+	d1.mu.Unlock()
+}
+
+// ---- clean orderings ----
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// eThenF orders E.mu before F.mu through a callee's transitive lockset.
+func eThenF(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lockF(f)
+}
+
+// alsoEThenF uses the same order directly, so the edge stays acyclic.
+func alsoEThenF(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// disjoint never nests, so it contributes no edges at all.
+func disjoint(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
