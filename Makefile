@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet vet-fast race bench fuzz-smoke overload
+.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short
 
 all: build vet test
 
@@ -49,9 +49,24 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameUnmarshal$$' -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzShedCreditFrame$$' -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzMOFIndexConcat$$' -fuzztime 30s ./internal/mof
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+# writer-matrix: the map-side writer crossover measurement — seal MB/s
+# for every strategy over the (partition count × record size × combiner)
+# grid. The selector's default thresholds in
+# internal/mapred/writerselect.go are read off this table; rerun it and
+# update EXPERIMENTS.md ("Writer crossover matrix") when they drift.
+writer-matrix:
+	$(GO) run ./cmd/jbsbench writer-matrix
+
+# writer-matrix-short: the CI smoke — each strategy's decisive home cell
+# at small volume, asserting the selector still picks the measured
+# winner there.
+writer-matrix-short:
+	$(GO) run ./cmd/jbsbench -short writer-matrix
 
 # overload: the multi-tenant flow-control scenario — two concurrent jobs
 # (one 10x-skewed) against one supplier, with and without internal/flow,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/mapred"
 )
 
 // printOnce prints each experiment's regenerated table a single time per
@@ -68,11 +69,12 @@ func BenchmarkSimulator256GB(b *testing.B) {
 }
 
 // functionalBench runs one real-engine job per iteration under the named
-// provider.
-func functionalBench(b *testing.B, providerName string) {
+// provider, optionally pinning the map-side writer strategy.
+func functionalBench(b *testing.B, providerName string, writer mapred.WriterStrategy) {
 	b.Helper()
 	cfg := bench.DefaultFunctionalConfig()
 	cfg.Lines = 1000
+	cfg.Writer = writer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		providers, err := bench.FunctionalProviders()
@@ -91,12 +93,23 @@ func functionalBench(b *testing.B, providerName string) {
 
 // BenchmarkFunctionalShuffleHTTP runs real Terasort with the stock Hadoop
 // HTTP shuffle (real HTTP servlets, spill merger).
-func BenchmarkFunctionalShuffleHTTP(b *testing.B) { functionalBench(b, "hadoop-http") }
+func BenchmarkFunctionalShuffleHTTP(b *testing.B) {
+	functionalBench(b, "hadoop-http", mapred.WriterAuto)
+}
 
 // BenchmarkFunctionalShuffleJBSTCP runs real Terasort with JBS over real
 // TCP sockets (MOFSupplier + NetMerger + network-levitated merge).
-func BenchmarkFunctionalShuffleJBSTCP(b *testing.B) { functionalBench(b, "jbs-tcp") }
+func BenchmarkFunctionalShuffleJBSTCP(b *testing.B) { functionalBench(b, "jbs-tcp", mapred.WriterAuto) }
 
 // BenchmarkFunctionalShuffleJBSRDMA runs real Terasort with JBS over the
 // emulated RDMA verbs transport.
-func BenchmarkFunctionalShuffleJBSRDMA(b *testing.B) { functionalBench(b, "jbs-rdma") }
+func BenchmarkFunctionalShuffleJBSRDMA(b *testing.B) {
+	functionalBench(b, "jbs-rdma", mapred.WriterAuto)
+}
+
+// BenchmarkFunctionalShuffleJBSTCPBypass pins the bypass hash writer on
+// the map side: unsorted MOF segments cross real sockets and are
+// normalized by the reduce-side merge, end to end.
+func BenchmarkFunctionalShuffleJBSTCPBypass(b *testing.B) {
+	functionalBench(b, "jbs-tcp", mapred.WriterBypass)
+}

@@ -23,6 +23,7 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
+	short := flag.Bool("short", false, "writer-matrix: small smoke grid with selector assertions (CI)")
 	lines := flag.Int("lines", 2000, "input records for the functional run")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	dumpMetrics := flag.Bool("metrics", false, "dump the full metrics registry (Prometheus text format) after all runs")
@@ -72,6 +73,24 @@ func main() {
 				os.Exit(1)
 			}
 			emit(rep)
+		case "writer-matrix":
+			cfg := bench.DefaultWriterMatrixConfig()
+			if *short {
+				cfg = bench.ShortWriterMatrixConfig()
+			}
+			rep, cells, err := bench.WriterMatrix(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+			if *short {
+				if err := bench.WriterMatrixSmoke(cells); err != nil {
+					fmt.Fprintln(os.Stderr, "jbsbench:", err)
+					os.Exit(1)
+				}
+				fmt.Println("writer-matrix smoke: selector matches the measured winner on every strategy's home cell")
+			}
 		case "overload":
 			rep, err := bench.Overload(bench.DefaultOverloadConfig())
 			if err != nil {

@@ -114,7 +114,7 @@ type TestFileCheck interface {
 func DefaultScopes() map[string][]string {
 	return map[string][]string{
 		"goroutines": {"internal/core", "internal/transport", "internal/mapred"},
-		"errcheck":   {"internal/transport", "internal/mof"},
+		"errcheck":   {"internal/transport", "internal/mof", "internal/mapred"},
 		"simclock":   {"internal/sim*", "internal/shuffle"},
 		"gaugepair":  {"internal/core", "internal/flow"},
 		// testgoroutine runs everywhere tests run; the explicit entry is

@@ -7,12 +7,13 @@ import (
 )
 
 // ErrCheck flags discarded error results from Close, Write, and Flush
-// method calls in the data-integrity packages (transport and mof): a
-// swallowed Close on a connection hides peer teardown races, and a
-// swallowed Flush/Close on a spill or index file silently truncates
-// shuffle data.
+// method calls — and from os.RemoveAll — in the data-integrity packages
+// (transport, mof, mapred): a swallowed Close on a connection hides peer
+// teardown races, a swallowed Flush/Close on a spill or index file
+// silently truncates shuffle data, and a swallowed RemoveAll leaks spill
+// directories that the next task attempt then trips over.
 //
-// A call statement whose method returns an error must either consume the
+// A call statement whose callee returns an error must either consume the
 // result (assignment, if-statement, return) or discard it explicitly with
 // `_ = x.Close()`. Deferred calls are not flagged: the repo idiom reserves
 // `defer x.Close()` for read-side resources whose close error is
@@ -24,12 +25,26 @@ func (*ErrCheck) Name() string { return "errcheck" }
 
 // Doc implements Check.
 func (*ErrCheck) Doc() string {
-	return "Close/Write/Flush errors must be checked or explicitly discarded with _ ="
+	return "Close/Write/Flush and os.RemoveAll errors must be checked or explicitly discarded with _ ="
 }
 
 // checkedMethods are the method names whose error results must not be
 // silently dropped.
 var checkedMethods = map[string]bool{"Close": true, "Write": true, "Flush": true}
+
+// checkedFuncs are fully-qualified package functions whose error results
+// must not be silently dropped. Cleanup paths that genuinely tolerate
+// failure say so with `_ =`.
+var checkedFuncs = map[string]bool{"os.RemoveAll": true}
+
+// isCheckedCallee reports whether fn is a method or package function on
+// the must-check list.
+func isCheckedCallee(fn *types.Func) bool {
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return checkedMethods[fn.Name()]
+	}
+	return fn.Pkg() != nil && checkedFuncs[fn.Pkg().Path()+"."+fn.Name()]
+}
 
 // Run implements Check.
 func (c *ErrCheck) Run(pkg *Package) []Finding {
@@ -49,7 +64,7 @@ func (c *ErrCheck) Run(pkg *Package) []Finding {
 				return true
 			}
 			fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
-			if fn == nil || !checkedMethods[fn.Name()] {
+			if fn == nil || !isCheckedCallee(fn) {
 				return true
 			}
 			if !returnsError(fn) {

@@ -1,7 +1,10 @@
 // Package errfix is a golden-file fixture for the errcheck check.
 package errfix
 
-import "bufio"
+import (
+	"bufio"
+	"os"
+)
 
 type closer struct{}
 
@@ -15,9 +18,10 @@ type quiet struct{}
 func (quiet) Close() {}
 
 func bad(c closer, p []byte) {
-	c.Close()  // want "result of c.Close"
-	c.Flush()  // want "result of c.Flush"
-	c.Write(p) // want "result of c.Write"
+	c.Close()           // want "result of c.Close"
+	c.Flush()           // want "result of c.Flush"
+	c.Write(p)          // want "result of c.Write"
+	os.RemoveAll("dir") // want "result of os.RemoveAll"
 }
 
 func good(c closer, q quiet, p []byte) error {
@@ -25,10 +29,25 @@ func good(c closer, q quiet, p []byte) error {
 	if err := c.Flush(); err != nil {
 		return err
 	}
-	q.Close()       // no error result: nothing to check
-	defer c.Close() // deferred read-side close is accepted idiom
+	q.Close()                 // no error result: nothing to check
+	defer c.Close()           // deferred read-side close is accepted idiom
+	_ = os.RemoveAll("dir")   // explicit discard on a tolerant cleanup
+	defer os.RemoveAll("dir") // deferred cleanup is accepted idiom
+	if err := os.RemoveAll("dir"); err != nil {
+		return err
+	}
 	_, err := c.Write(p)
 	return err
+}
+
+// removeAller exercises the qualification guard: a method named
+// RemoveAll outside package os is not on the must-check list.
+type removeAller struct{}
+
+func (removeAller) RemoveAll(string) error { return nil }
+
+func notOS(r removeAller) {
+	r.RemoveAll("dir") // methods named RemoveAll are not os.RemoveAll
 }
 
 // buffered exercises the bufio.Writer exemption: Write's error is sticky

@@ -1,0 +1,182 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/leakcheck"
+	"repro/internal/mapred"
+	"repro/internal/merge"
+	"repro/internal/transport"
+)
+
+// buildWriterFixture writes the parity scenario's MOFs through one
+// map-side writer strategy. The record stream per task is derived from
+// the seed alone — every strategy sees the identical emit sequence — so
+// any divergence downstream is the writer's doing.
+func buildWriterFixture(t *testing.T, dir string, strategy mapred.WriterStrategy, tasks, parts int, seed uint64) (core.LookupFunc, []core.FetchSpec) {
+	t.Helper()
+	paths := make(map[string][2]string, tasks)
+	var specs []core.FetchSpec
+	for i := 0; i < tasks; i++ {
+		task := fmt.Sprintf("m-%05d", i)
+		w, err := mapred.NewShuffleWriter(strategy, mapred.WriterConfig{
+			Partitions: parts,
+			SortMemory: 8 << 10, // small enough that the sort writers spill runs
+			Dir:        dir,
+			TaskID:     task + "-" + string(strategy),
+		})
+		if err != nil {
+			t.Fatalf("writer %s: %v", strategy, err)
+		}
+		rng := rand.New(rand.NewPCG(seed, uint64(i)))
+		val := make([]byte, 256)
+		for r := 0; r < 120; r++ {
+			// Duplicate keys (rng range < record count) with distinct
+			// values: stable equal-key ordering is part of the contract.
+			key := []byte(fmt.Sprintf("%s-k%04d", task, rng.Uint64()%40))
+			for b := range val {
+				val[b] = byte(rng.Uint64())
+			}
+			copy(val, fmt.Sprintf("r%04d-", r))
+			p := mapred.HashPartitioner(key, parts)
+			if err := w.Add(p, key, val); err != nil {
+				t.Fatalf("writer %s add: %v", strategy, err)
+			}
+		}
+		final := mapred.MOFPaths{
+			Data:  filepath.Join(dir, fmt.Sprintf("%s-%s.data", task, strategy)),
+			Index: filepath.Join(dir, fmt.Sprintf("%s-%s.index", task, strategy)),
+		}
+		if err := w.Seal(final); err != nil {
+			t.Fatalf("writer %s seal: %v", strategy, err)
+		}
+		paths[task] = [2]string{final.Data, final.Index}
+		for p := 0; p < parts; p++ {
+			specs = append(specs, core.FetchSpec{MapTask: task, Partition: p})
+		}
+	}
+	lookup := func(task string) (string, string, error) {
+		p, ok := paths[task]
+		if !ok {
+			return "", "", fmt.Errorf("no MOF %s", task)
+		}
+		return p[0], p[1], nil
+	}
+	return lookup, specs
+}
+
+// TestWriterParityOverRealShuffle is the writer-strategy counterpart of
+// the chaos baseline: the same seeded record stream goes through each
+// map-side writer, each writer's MOFs are served by a real MOFSupplier
+// over real sockets, fetched by a real NetMerger, and reduced through the
+// real merge path. The merged output must be byte-identical across
+// writers — the read path cannot tell which writer ran.
+func TestWriterParityOverRealShuffle(t *testing.T) {
+	const tasks, parts = 3, 2
+	const seed = 99
+
+	snap := leakcheck.Take()
+	run := func(strategy mapred.WriterStrategy) (string, merge.Stats) {
+		tcp := transport.NewTCP()
+		lookup, specs := buildWriterFixture(t, t.TempDir(), strategy, tasks, parts, seed)
+		supplier, err := core.NewMOFSupplier(core.SupplierConfig{
+			Transport:      tcp,
+			Addr:           "127.0.0.1:0",
+			BufferSize:     fixtureBufferSize,
+			DataCacheBytes: 1 << 20,
+		}, lookup)
+		if err != nil {
+			t.Fatalf("%s: start supplier: %v", strategy, err)
+		}
+		defer supplier.Close()
+		for i := range specs {
+			specs[i].Addr = supplier.Addr()
+		}
+		m, err := core.NewNetMerger(core.MergerConfig{Transport: tcp, WindowPerNode: 2})
+		if err != nil {
+			t.Fatalf("%s: start merger: %v", strategy, err)
+		}
+		defer m.Close()
+
+		mergers := make([]*merge.NetLevitatedMerger, parts)
+		for p := range mergers {
+			mergers[p] = merge.NewNetLevitatedMerger()
+		}
+		var mu sync.Mutex
+		err = m.Fetch(specs, func(spec core.FetchSpec, data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			seg := append([]byte(nil), data...) // fetched buffer is reused
+			return mergers[spec.Partition].AddSegment(seg)
+		})
+		if err != nil {
+			t.Fatalf("%s: fetch: %v", strategy, err)
+		}
+
+		var out strings.Builder
+		var stats merge.Stats
+		for p, mg := range mergers {
+			it, err := mg.Finish()
+			if err != nil {
+				t.Fatalf("%s: finish partition %d: %v", strategy, p, err)
+			}
+			for {
+				rec, err := it.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s: merge partition %d: %v", strategy, p, err)
+				}
+				out.Write(rec.Key)
+				out.WriteByte('\t')
+				out.Write(rec.Value)
+				out.WriteByte('\n')
+			}
+			if err := it.Close(); err != nil {
+				t.Fatalf("%s: close iterator: %v", strategy, err)
+			}
+			st := mg.Stats()
+			stats.Segments += st.Segments
+			stats.UnsortedSegments += st.UnsortedSegments
+		}
+		return out.String(), stats
+	}
+
+	base, baseStats := run(mapred.WriterSortSpill)
+	if base == "" {
+		t.Fatal("baseline run produced no output")
+	}
+	if baseStats.UnsortedSegments != 0 {
+		t.Fatalf("sort-spill segments arrived unsorted: %+v", baseStats)
+	}
+	for _, s := range []mapred.WriterStrategy{mapred.WriterBypass, mapred.WriterSortMerge} {
+		out, stats := run(s)
+		if out != base {
+			t.Fatalf("writer %s produced different merged output (%d vs %d bytes)", s, len(out), len(base))
+		}
+		switch s {
+		case mapred.WriterBypass:
+			// The bypass writer's segments are unsorted by construction;
+			// the merger must have normalized every one.
+			if stats.UnsortedSegments != stats.Segments {
+				t.Fatalf("bypass: %d of %d segments normalized", stats.UnsortedSegments, stats.Segments)
+			}
+		case mapred.WriterSortMerge:
+			if stats.UnsortedSegments != 0 {
+				t.Fatalf("sort-merge segments arrived unsorted: %+v", stats)
+			}
+		}
+	}
+
+	if err := snap.Check(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bufpool"
 	"repro/internal/flow"
+	"repro/internal/mapred"
 	"repro/internal/metrics"
 )
 
@@ -61,6 +62,12 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /debug/jbs/traces   slowest fetch traces (?n=N, ?enable=1, ?reset=1)\n"+
 		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n"+
 		"  /debug/jbs/flow     flow control plane: admission ledgers, AIMD windows, tenant queues\n")
+	if d, ok := mapred.LastWriterDecision(); ok {
+		fmt.Fprintf(w, "last writer decision: strategy=%s partitions=%d record-bytes=%d combine=%v override=%v (%s)\n",
+			d.Strategy, d.Partitions, d.RecordBytes, d.Combine, d.Override, d.Reason)
+	} else {
+		fmt.Fprint(w, "last writer decision: none yet (no job has started)\n")
+	}
 }
 
 func handleMetrics(w http.ResponseWriter, r *http.Request) {

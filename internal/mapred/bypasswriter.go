@@ -1,0 +1,193 @@
+package mapred
+
+import (
+	"bufio"
+	"compress/flate"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/mof"
+)
+
+// bypassPartBufSize is the write buffer per open partition file. The
+// writer is only selected at modest partition counts, so total buffer
+// memory stays bounded (64 partitions × 32 KiB = 2 MiB).
+const bypassPartBufSize = 32 << 10
+
+// bypassWriter is the hash-style map-side writer modeled on Spark's
+// BypassMergeSortShuffleWriter: every record streams straight into a
+// buffered per-partition file — no sorting, no buffering of the record
+// set, no per-record allocations — and Seal concatenates the partition
+// files into the servable MOF + index in one sequential pass
+// (mof.ConcatMOF). Its segments carry records in emit order; the
+// reduce-side mergers normalize them on ingest (merge.NormalizeSegment),
+// which is what keeps the read path writer-agnostic.
+type bypassWriter struct {
+	cfg     WriterConfig
+	parts   []*bypassPart // indexed by partition; nil until first record
+	scratch []byte
+}
+
+// bypassPart is one partition's open stream. Stored bytes (what lands in
+// the file, compressed when compression is on) flow through crc so the
+// seal can hand ConcatMOF a verified length and checksum without
+// re-reading the file.
+type bypassPart struct {
+	path    string
+	f       *os.File
+	bw      *bufio.Writer
+	crc     *crcCountWriter // counts + checksums stored bytes
+	fl      *flate.Writer   // non-nil when compressing; writes into crc
+	raw     int64           // encoded bytes before compression
+	records int64
+}
+
+// crcCountWriter tracks the CRC-32 and byte count of everything written
+// through it.
+type crcCountWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcCountWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+func newBypassWriter(cfg WriterConfig) *bypassWriter {
+	return &bypassWriter{cfg: cfg, parts: make([]*bypassPart, cfg.Partitions)}
+}
+
+// Strategy names the implementation.
+func (w *bypassWriter) Strategy() WriterStrategy { return WriterBypass }
+
+// open creates the partition file lazily, so empty partitions cost
+// nothing.
+func (w *bypassWriter) open(p int) (*bypassPart, error) {
+	path := filepath.Join(w.cfg.Dir, fmt.Sprintf("%s.part%05d", w.cfg.TaskID, p))
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapred: bypass partition file: %w", err)
+	}
+	bp := &bypassPart{path: path, f: f, bw: bufio.NewWriterSize(f, bypassPartBufSize)}
+	bp.crc = &crcCountWriter{w: bp.bw}
+	if w.cfg.Compress {
+		// Same flate level as mof.CompressSegment, so a bypass MOF's
+		// compressed segments cost the read path exactly what a sort
+		// writer's would.
+		fl, err := flate.NewWriter(bp.crc, flate.BestSpeed)
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(path)
+			return nil, err
+		}
+		bp.fl = fl
+	}
+	return bp, nil
+}
+
+// Add streams one record into its partition file.
+func (w *bypassWriter) Add(partition int, key, value []byte) error {
+	bp := w.parts[partition]
+	if bp == nil {
+		var err error
+		bp, err = w.open(partition)
+		if err != nil {
+			return err
+		}
+		w.parts[partition] = bp
+	}
+	w.scratch = mof.AppendRecord(w.scratch[:0], mof.Record{Key: key, Value: value})
+	var err error
+	if bp.fl != nil {
+		_, err = bp.fl.Write(w.scratch)
+	} else {
+		_, err = bp.crc.Write(w.scratch)
+	}
+	if err != nil {
+		return fmt.Errorf("mapred: bypass write: %w", err)
+	}
+	bp.raw += int64(len(w.scratch))
+	bp.records++
+	return nil
+}
+
+// close flushes and closes the partition stream; idempotent.
+func (bp *bypassPart) close() error {
+	if bp.f == nil {
+		return nil
+	}
+	var err error
+	if bp.fl != nil {
+		err = bp.fl.Close()
+		bp.fl = nil
+	}
+	if ferr := bp.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := bp.f.Close(); err == nil {
+		err = cerr
+	}
+	bp.f = nil
+	return err
+}
+
+// Seal closes every partition file and concatenates them into the final
+// MOF in one sequential pass; the index entries come straight from the
+// lengths, record counts, and checksums tracked while streaming.
+func (w *bypassWriter) Seal(final MOFPaths) error {
+	start := time.Now()
+	parts := make([]mof.ConcatPart, len(w.parts))
+	for p, bp := range w.parts {
+		if bp == nil {
+			continue // zero ConcatPart = empty partition
+		}
+		if err := bp.close(); err != nil {
+			return fmt.Errorf("mapred: bypass close partition %d: %w", p, err)
+		}
+		parts[p] = mof.ConcatPart{
+			Path:      bp.path,
+			Length:    bp.crc.n,
+			RawLength: bp.raw,
+			Records:   bp.records,
+			Checksum:  bp.crc.crc,
+		}
+	}
+	if err := mof.ConcatMOF(final.Data, final.Index, parts); err != nil {
+		return err
+	}
+	w.removeParts()
+	observeWriterSeal(WriterBypass, start, final)
+	return nil
+}
+
+// Abort closes and removes the partition files of a failed attempt.
+func (w *bypassWriter) Abort() {
+	for _, bp := range w.parts {
+		if bp == nil {
+			continue
+		}
+		_ = bp.close()
+	}
+	w.removeParts()
+}
+
+func (w *bypassWriter) removeParts() {
+	for p, bp := range w.parts {
+		if bp == nil {
+			continue
+		}
+		_ = os.Remove(bp.path)
+		w.parts[p] = nil
+	}
+}
+
+// Interface check.
+var _ ShuffleWriter = (*bypassWriter)(nil)

@@ -110,7 +110,7 @@ func NewCluster(cfg Config, fs *dfs.Cluster, provider ShuffleProvider) (*Cluster
 		c.registries[node] = reg
 		addr, stop, err := provider.StartNode(node, reg)
 		if err != nil {
-			c.Close()
+			_ = c.Close() // already failing; the start error is the one to report
 			return nil, fmt.Errorf("mapred: start shuffle server on %s: %w", node, err)
 		}
 		c.addrs[node] = addr
@@ -126,7 +126,7 @@ func NewCluster(cfg Config, fs *dfs.Cluster, provider ShuffleProvider) (*Cluster
 	for _, node := range cfg.Nodes {
 		f, err := provider.NewFetcher(node, addrOf)
 		if err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, fmt.Errorf("mapred: start fetcher on %s: %w", node, err)
 		}
 		c.fetchers[node] = f
@@ -174,6 +174,9 @@ func (c *Cluster) Run(job *Job) (*Result, error) {
 	c.jobSeq++
 	jobID := fmt.Sprintf("job-%04d-%s", c.jobSeq, job.Name)
 	c.mu.Unlock()
+
+	job.decision = SelectWriter(job)
+	recordWriterDecision(job.decision)
 
 	cs := &counterSet{}
 
@@ -369,8 +372,8 @@ func (c *Cluster) nextNode(node string) string {
 }
 
 // runMapTask executes one map attempt on the given node: read the split,
-// apply the map function through the map-side sort buffer (spilling sorted
-// runs when it overflows), write the attempt's MOF, and try to commit it.
+// feed the map function's output through the job's selected ShuffleWriter
+// strategy, seal the attempt's MOF, and try to commit it.
 // A losing attempt (another attempt committed first) discards its files
 // and reports success.
 func (c *Cluster) runMapTask(a mapAssignment, node string, attempt int, job *Job, cs *counterSet, commitHost *sync.Map, announce func(task, node string)) error {
@@ -385,12 +388,29 @@ func (c *Cluster) runMapTask(a mapAssignment, node string, attempt int, job *Job
 		return err
 	}
 	attemptID := fmt.Sprintf("%s-a%d", a.taskID, attempt)
-	buf := newMapOutputBuffer(job.NumReducers, job.SortMemory, dir, attemptID, job.Combine, job.CompressMOF, cs)
+	w, err := NewShuffleWriter(job.writerStrategy(), WriterConfig{
+		Partitions: job.NumReducers,
+		SortMemory: job.SortMemory,
+		Dir:        dir,
+		TaskID:     attemptID,
+		Combine:    job.Combine,
+		Compress:   job.CompressMOF,
+		cs:         cs,
+	})
+	if err != nil {
+		return err
+	}
+	sealed := false
+	defer func() {
+		if !sealed {
+			w.Abort()
+		}
+	}()
 
 	var emitErr error
 	emit := func(k, v []byte) {
 		p := job.Partitioner(k, job.NumReducers)
-		if err := buf.add(p, k, v); err != nil && emitErr == nil {
+		if err := w.Add(p, k, v); err != nil && emitErr == nil {
 			emitErr = err
 		}
 		cs.mapOutputRecords.Add(1)
@@ -418,9 +438,10 @@ func (c *Cluster) runMapTask(a mapAssignment, node string, attempt int, job *Job
 		Data:  filepath.Join(dir, attemptID+".data"),
 		Index: filepath.Join(dir, attemptID+".index"),
 	}
-	if err := buf.finalize(paths); err != nil {
+	if err := w.Seal(paths); err != nil {
 		return err
 	}
+	sealed = true
 
 	// Commit: the first attempt to claim the task (across all nodes) wins;
 	// the loser withdraws its files.
@@ -492,13 +513,13 @@ func combinePartition(combine ReduceFunc, recs []mof.Record, cs *counterSet) ([]
 		for _, r := range recs[i:j] {
 			values = append(values, r.Value)
 		}
-		cs.combineInputs.Add(int64(j - i))
+		cs.addCombineInputs(int64(j - i))
 		if err := combine(recs[i].Key, values, emit); err != nil {
 			return nil, err
 		}
 		i = j
 	}
-	cs.combineOutputs.Add(int64(len(out)))
+	cs.addCombineOutputs(int64(len(out)))
 	merge.SortRecords(out) // combiner output order is the emitter's choice
 	return out, nil
 }
@@ -658,6 +679,8 @@ func (c *Cluster) runReduceTask(jobID string, job *Job, rID int, node string, nu
 	cs.spilledBytes.Add(st.SpilledBytes)
 	cs.mergePasses.Add(int64(st.MergePasses))
 	cs.reduceTasks.Add(1)
-	os.RemoveAll(spillDir)
+	if err := os.RemoveAll(spillDir); err != nil {
+		return "", fmt.Errorf("remove spill dir for %s: %w", reduceID, err)
+	}
 	return outPath, nil
 }

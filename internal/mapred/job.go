@@ -23,7 +23,7 @@ type Partitioner func(key []byte, numReduce int) int
 // HashPartitioner is the default FNV-1a partitioner.
 func HashPartitioner(key []byte, numReduce int) int {
 	h := fnv.New32a()
-	h.Write(key)
+	_, _ = h.Write(key) // fnv.Write never fails
 	return int(h.Sum32() % uint32(numReduce))
 }
 
@@ -50,6 +50,13 @@ type Job struct {
 	// io.sort.mb): map outputs beyond it spill sorted runs to local disk,
 	// merged into the final MOF at task end. Zero means unbounded.
 	SortMemory int64
+	// Writer pins the map-side shuffle writer strategy. The default,
+	// WriterAuto, lets SelectWriter choose from the job shape (reducer
+	// count, ExpectedRecordBytes, combiner presence).
+	Writer WriterStrategy
+	// ExpectedRecordBytes hints the average intermediate record size
+	// (key + value) to the writer selector. Zero means unknown.
+	ExpectedRecordBytes int64
 	// CompressMOF enables per-segment flate compression of map outputs
 	// (Hadoop's mapred.compress.map.output), shrinking local disk traffic
 	// and shuffle volume; reducers inflate fetched segments before
@@ -59,6 +66,23 @@ type Job struct {
 	InputFormat InputFormat
 	// Partitioner defaults to HashPartitioner.
 	Partitioner Partitioner
+
+	// decision is the writer selection Run made for this job; map tasks
+	// read it instead of re-deriving the choice per attempt.
+	decision WriterDecision
+}
+
+// writerStrategy resolves the concrete writer for a map attempt: the
+// selection Run stored, the explicit override, or the classic sort
+// buffer when the job runs outside Cluster.Run.
+func (j *Job) writerStrategy() WriterStrategy {
+	if j.decision.Strategy != WriterAuto {
+		return j.decision.Strategy
+	}
+	if j.Writer != WriterAuto {
+		return j.Writer
+	}
+	return WriterSortSpill
 }
 
 // Validate checks the job and fills defaults.
@@ -74,6 +98,15 @@ func (j *Job) Validate() error {
 	}
 	if j.Map == nil {
 		return fmt.Errorf("mapred: job %s needs a map function", j.Name)
+	}
+	if !j.Writer.valid() {
+		return fmt.Errorf("mapred: job %s: unknown writer strategy %q", j.Name, string(j.Writer))
+	}
+	if j.Writer == WriterBypass && j.Combine != nil {
+		return fmt.Errorf("mapred: job %s: the bypass writer cannot run a combiner", j.Name)
+	}
+	if j.ExpectedRecordBytes < 0 {
+		return fmt.Errorf("mapred: job %s: negative expected record size", j.Name)
 	}
 	if j.InputFormat == nil {
 		j.InputFormat = LineInput

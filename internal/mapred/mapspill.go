@@ -3,19 +3,21 @@ package mapred
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/merge"
 	"repro/internal/mof"
 )
 
-// mapOutputBuffer is the map side's sort buffer (Hadoop's io.sort.mb): map
-// outputs accumulate per partition; when the buffer exceeds its limit the
-// contents are sorted and spilled as one partitioned run file, and at task
-// end all runs are merged into the final MOF. JBS does not change this
-// path — both shuffle implementations consume the same MOFs.
-type mapOutputBuffer struct {
+// sortSpillWriter is the map side's sort buffer (Hadoop's io.sort.mb):
+// map outputs accumulate per partition; when the buffer exceeds its limit
+// the contents are sorted and spilled as one partitioned run file, and at
+// task end all runs are merged into the final MOF. JBS does not change
+// this path — both shuffle implementations consume the same MOFs. It is
+// also the combining writer: the combiner runs over every sorted run
+// before it is written.
+type sortSpillWriter struct {
 	parts  [][]mof.Record
 	bytes  int64
 	limit  int64 // 0 = unbounded (single final write)
@@ -29,28 +31,23 @@ type mapOutputBuffer struct {
 	runs []MOFPaths
 }
 
-func newMapOutputBuffer(numReducers int, limit int64, dir, taskID string, combine ReduceFunc, compress bool, cs *counterSet) *mapOutputBuffer {
-	return &mapOutputBuffer{
-		parts:    make([][]mof.Record, numReducers),
-		limit:    limit,
-		dir:      dir,
-		taskID:   taskID,
-		combine:  combine,
-		compress: compress,
-		cs:       cs,
+func newSortSpillWriter(cfg WriterConfig) *sortSpillWriter {
+	return &sortSpillWriter{
+		parts:    make([][]mof.Record, cfg.Partitions),
+		limit:    cfg.SortMemory,
+		dir:      cfg.Dir,
+		taskID:   cfg.TaskID,
+		combine:  cfg.Combine,
+		compress: cfg.Compress,
+		cs:       cfg.cs,
 	}
 }
 
-// writerOptions returns the MOF writer options for this buffer.
-func (b *mapOutputBuffer) writerOptions() []mof.WriterOption {
-	if b.compress {
-		return []mof.WriterOption{mof.WithCompression()}
-	}
-	return nil
-}
+// Strategy names the implementation.
+func (b *sortSpillWriter) Strategy() WriterStrategy { return WriterSortSpill }
 
-// add buffers one intermediate record, spilling when over the limit.
-func (b *mapOutputBuffer) add(partition int, key, value []byte) error {
+// Add buffers one intermediate record, spilling when over the limit.
+func (b *sortSpillWriter) Add(partition int, key, value []byte) error {
 	b.parts[partition] = append(b.parts[partition], mof.Record{
 		Key:   append([]byte(nil), key...),
 		Value: append([]byte(nil), value...),
@@ -64,8 +61,8 @@ func (b *mapOutputBuffer) add(partition int, key, value []byte) error {
 
 // writeRun sorts (and combines) the buffered partitions and writes them as
 // one partitioned MOF-format file pair.
-func (b *mapOutputBuffer) writeRun(paths MOFPaths) error {
-	w, err := mof.NewWriter(paths.Data, paths.Index, len(b.parts), b.writerOptions()...)
+func (b *sortSpillWriter) writeRun(paths MOFPaths) error {
+	w, err := mof.NewWriter(paths.Data, paths.Index, len(b.parts), writerOptions(b.compress)...)
 	if err != nil {
 		return err
 	}
@@ -93,7 +90,7 @@ func (b *mapOutputBuffer) writeRun(paths MOFPaths) error {
 }
 
 // spill writes the current buffer as a numbered run and resets it.
-func (b *mapOutputBuffer) spill() error {
+func (b *sortSpillWriter) spill() error {
 	if b.bytes == 0 {
 		return nil
 	}
@@ -104,84 +101,47 @@ func (b *mapOutputBuffer) spill() error {
 	if err := b.writeRun(paths); err != nil {
 		return err
 	}
-	b.cs.mapSpills.Add(1)
-	b.cs.mapSpilledBytes.Add(b.bytes)
+	b.cs.addMapSpill(b.bytes)
+	observeWriterSpill(WriterSortSpill)
 	b.runs = append(b.runs, paths)
 	b.parts = make([][]mof.Record, len(b.parts))
 	b.bytes = 0
 	return nil
 }
 
-// finalize produces the task's final MOF. Without spills this is a direct
+// Seal produces the task's final MOF. Without spills this is a direct
 // sorted write; with spills, every run's segments are merged per partition
 // (Hadoop's final map-side merge pass).
-func (b *mapOutputBuffer) finalize(final MOFPaths) error {
+func (b *sortSpillWriter) Seal(final MOFPaths) error {
+	start := time.Now()
 	if len(b.runs) == 0 {
-		return b.writeRun(final)
+		if err := b.writeRun(final); err != nil {
+			return err
+		}
+		observeWriterSeal(WriterSortSpill, start, final)
+		return nil
 	}
 	// Spill the in-memory remainder so everything is in runs.
 	if err := b.spill(); err != nil {
 		return err
 	}
-	defer func() {
-		for _, r := range b.runs {
-			os.Remove(r.Data)
-			os.Remove(r.Index)
-		}
-	}()
-
-	indexes := make([]*mof.Index, len(b.runs))
-	for i, r := range b.runs {
-		ix, err := mof.ReadIndex(r.Index)
-		if err != nil {
-			return err
-		}
-		indexes[i] = ix
-	}
-	w, err := mof.NewWriter(final.Data, final.Index, len(b.parts), b.writerOptions()...)
-	if err != nil {
+	defer removeRuns(b.runs)
+	if err := mergeRuns(b.runs, len(b.parts), final, b.compress); err != nil {
 		return err
 	}
-	for p := range b.parts {
-		var sources []merge.Source
-		empty := true
-		for i, r := range b.runs {
-			entry, err := indexes[i].Entry(p)
-			if err != nil {
-				closeSources(sources)
-				return err
-			}
-			if entry.Length == 0 {
-				continue
-			}
-			sr, err := mof.OpenSegment(r.Data, entry)
-			if err != nil {
-				closeSources(sources)
-				return err
-			}
-			sources = append(sources, segmentSource{sr})
-			empty = false
-		}
-		if empty {
-			continue
-		}
-		if err := w.BeginSegment(p); err != nil {
-			closeSources(sources)
-			return err
-		}
-		err := merge.Merge(sources, func(r mof.Record) error {
-			return w.Append(r.Key, r.Value)
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return w.Close()
+	observeWriterSeal(WriterSortSpill, start, final)
+	return nil
+}
+
+// Abort discards the spill runs of a failed attempt.
+func (b *sortSpillWriter) Abort() {
+	removeRuns(b.runs)
+	b.runs = nil
 }
 
 func closeSources(sources []merge.Source) {
 	for _, s := range sources {
-		s.Close()
+		_ = s.Close() // read-side sources; close errors carry no data
 	}
 }
 
@@ -199,3 +159,6 @@ func (s segmentSource) Next() (mof.Record, error) {
 }
 
 func (s segmentSource) Close() error { return s.sr.Close() }
+
+// Interface check.
+var _ ShuffleWriter = (*sortSpillWriter)(nil)

@@ -32,10 +32,17 @@ func NewHierarchicalMerger(fanIn int) (*HierarchicalMerger, error) {
 	return &HierarchicalMerger{fanIn: fanIn}, nil
 }
 
-// AddSegment ingests one sorted raw segment.
+// AddSegment ingests one raw segment, normalizing unsorted arrivals.
 func (m *HierarchicalMerger) AddSegment(data []byte) error {
 	if m.finished {
 		return fmt.Errorf("merge: AddSegment after Finish")
+	}
+	data, resorted, err := NormalizeSegment(data)
+	if err != nil {
+		return err
+	}
+	if resorted {
+		m.stats.UnsortedSegments++
 	}
 	m.segments = append(m.segments, data)
 	m.stats.Segments++

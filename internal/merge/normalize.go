@@ -1,0 +1,57 @@
+package merge
+
+import (
+	"bytes"
+
+	"repro/internal/mof"
+)
+
+// NormalizeSegment returns a key-sorted encoding of one raw segment. A
+// segment that is already sorted — what the map-side sort writers emit —
+// is returned unchanged (zero copies); an unsorted segment, as produced
+// by the bypass hash writer, is decoded, sorted stably by key, and
+// re-encoded. The bool reports whether a sort was needed.
+//
+// This is the seam that keeps the MOF contract writer-agnostic: the
+// supplier serves segment bytes exactly as the map side wrote them, and
+// the reduce-side mergers normalize on ingest, so neither the read path
+// nor the reduce function can tell which writer produced a MOF.
+func NormalizeSegment(data []byte) ([]byte, bool, error) {
+	sorted, err := segmentSorted(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if sorted {
+		return data, false, nil
+	}
+	recs, err := mof.ParseRecords(data)
+	if err != nil {
+		return nil, false, err
+	}
+	SortRecords(recs)
+	out := make([]byte, 0, len(data))
+	for _, r := range recs {
+		out = mof.AppendRecord(out, r)
+	}
+	return out, true, nil
+}
+
+// segmentSorted scans a raw segment once, reporting whether its records
+// are in non-decreasing key order.
+func segmentSorted(data []byte) (bool, error) {
+	var prev []byte
+	first := true
+	for len(data) > 0 {
+		r, n, err := mof.DecodeRecord(data)
+		if err != nil {
+			return false, err
+		}
+		if !first && bytes.Compare(prev, r.Key) > 0 {
+			return false, nil
+		}
+		prev = r.Key
+		first = false
+		data = data[n:]
+	}
+	return true, nil
+}

@@ -24,12 +24,19 @@ type Stats struct {
 	SpilledBytes int64
 	// MergePasses counts intermediate disk-to-disk merge passes.
 	MergePasses int
+	// UnsortedSegments counts ingested segments that arrived without
+	// key order (the bypass hash writer's output) and were sorted on
+	// ingest by NormalizeSegment.
+	UnsortedSegments int
 }
 
-// Merger accumulates sorted shuffle segments and produces one globally
-// sorted iterator.
+// Merger accumulates shuffle segments and produces one globally sorted
+// iterator. Segments normally arrive key-sorted (the map-side sort
+// writers emit them that way); an unsorted segment is normalized on
+// ingest, so the iterator contract holds regardless of which map-side
+// writer produced the MOF.
 type Merger interface {
-	// AddSegment ingests one sorted raw segment (mof encoding).
+	// AddSegment ingests one raw segment (mof encoding).
 	AddSegment(data []byte) error
 	// Finish returns the merged iterator; no AddSegment may follow.
 	Finish() (*Iterator, error)
@@ -70,11 +77,18 @@ func NewSpillMerger(dir string, memLimit int64, fanIn int) (*SpillMerger, error)
 	return &SpillMerger{dir: dir, memLimit: memLimit, fanIn: fanIn}, nil
 }
 
-// AddSegment ingests one sorted raw segment, spilling if the memory budget
-// is exceeded.
+// AddSegment ingests one raw segment, spilling if the memory budget is
+// exceeded.
 func (m *SpillMerger) AddSegment(data []byte) error {
 	if m.finished {
 		return fmt.Errorf("merge: AddSegment after Finish")
+	}
+	data, resorted, err := NormalizeSegment(data)
+	if err != nil {
+		return err
+	}
+	if resorted {
+		m.stats.UnsortedSegments++
 	}
 	m.stats.Segments++
 	m.stats.SegmentBytes += int64(len(data))
@@ -272,10 +286,17 @@ func NewNetLevitatedMerger() *NetLevitatedMerger {
 	return &NetLevitatedMerger{}
 }
 
-// AddSegment ingests one sorted raw segment.
+// AddSegment ingests one raw segment, normalizing unsorted arrivals.
 func (m *NetLevitatedMerger) AddSegment(data []byte) error {
 	if m.finished {
 		return fmt.Errorf("merge: AddSegment after Finish")
+	}
+	data, resorted, err := NormalizeSegment(data)
+	if err != nil {
+		return err
+	}
+	if resorted {
+		m.stats.UnsortedSegments++
 	}
 	m.segments = append(m.segments, data)
 	m.stats.Segments++
