@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short
+.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short multiproc-smoke
 
 all: build vet test
 
@@ -67,6 +67,16 @@ writer-matrix:
 # winner there.
 writer-matrix-short:
 	$(GO) run ./cmd/jbsbench -short writer-matrix
+
+# multiproc-smoke: the process-level acceptance run — build the real
+# jbsregistryd/jbssupplierd/jbsmergerd binaries, spawn a registry plus
+# two supplier daemons as OS processes, run a byte-verified multi-round
+# jbsmergerd job, SIGKILL one supplier mid-job and restart it under the
+# same identity, and require the job to complete with every segment
+# verified and every surviving daemon draining to exit 0. See
+# docs/DEPLOYMENT.md for the topology this exercises.
+multiproc-smoke:
+	$(GO) run ./cmd/jbsbench -short multiproc
 
 # overload: the multi-tenant flow-control scenario — two concurrent jobs
 # (one 10x-skewed) against one supplier, with and without internal/flow,

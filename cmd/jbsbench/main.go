@@ -7,6 +7,8 @@
 //	jbsbench all                   # run every table and figure
 //	jbsbench functional            # run the real-engine comparison
 //	jbsbench overload              # run the multi-tenant flow-control scenario
+//	jbsbench multiproc             # real daemon processes, SIGKILL + restart mid-job
+//	jbsbench -dir d mof-fixture    # write a deterministic MOF grid for the daemons
 //	jbsbench -csv out/ all         # also write per-experiment CSV files
 //	jbsbench -metrics functional   # also dump the metrics registry after the runs
 package main
@@ -18,13 +20,19 @@ import (
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/daemon"
 	"repro/internal/metrics"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
-	short := flag.Bool("short", false, "writer-matrix: small smoke grid with selector assertions (CI)")
+	short := flag.Bool("short", false, "writer-matrix/multiproc: small smoke configuration (CI)")
 	lines := flag.Int("lines", 2000, "input records for the functional run")
+	fixtureDir := flag.String("dir", "", "mof-fixture: directory to write the MOF grid into")
+	fixtureTasks := flag.Int("fixture-tasks", 4, "mof-fixture: map-task count")
+	fixtureParts := flag.Int("fixture-parts", 4, "mof-fixture: partitions per map task")
+	segBytes := flag.Int("seg-bytes", 64<<10, "mof-fixture: payload bytes per segment")
+	seed := flag.Uint64("seed", 42, "mof-fixture: deterministic content seed")
 	csvDir := flag.String("csv", "", "also write each experiment's rows as CSV into this directory")
 	dumpMetrics := flag.Bool("metrics", false, "dump the full metrics registry (Prometheus text format) after all runs")
 	flag.Parse()
@@ -51,6 +59,8 @@ func main() {
 		}
 		fmt.Printf("%-10s %s\n", "functional", "real-engine comparison on real sockets and files")
 		fmt.Printf("%-10s %s\n", "overload", "multi-tenant overload: flow control vs unmanaged pipeline")
+		fmt.Printf("%-10s %s\n", "multiproc", "multi-process shuffle: real daemons, SIGKILL + restart mid-job")
+		fmt.Printf("%-10s %s\n", "mof-fixture", "write a deterministic MOF grid for the standalone daemons (-dir)")
 		return
 	}
 	args := flag.Args()
@@ -98,6 +108,35 @@ func main() {
 				os.Exit(1)
 			}
 			emit(rep)
+		case "multiproc":
+			cfg := bench.DefaultMultiprocConfig()
+			if *short {
+				cfg = bench.ShortMultiprocConfig()
+			}
+			cfg.Log = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+			rep, err := bench.Multiproc(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+		case "mof-fixture":
+			if *fixtureDir == "" {
+				fmt.Fprintln(os.Stderr, "jbsbench: mof-fixture needs -dir")
+				os.Exit(2)
+			}
+			if err := os.MkdirAll(*fixtureDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			if err := daemon.WriteFixture(*fixtureDir, *fixtureTasks, *fixtureParts, *segBytes, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("jbsbench: wrote %dx%d MOF grid (%d B segments, seed %d) to %s\n",
+				*fixtureTasks, *fixtureParts, *segBytes, *seed, *fixtureDir)
 		default:
 			e, err := bench.ByID(arg)
 			if err != nil {

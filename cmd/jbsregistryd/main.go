@@ -1,0 +1,67 @@
+// Command jbsregistryd runs the JBS discovery/ownership registry: the
+// process suppliers register with, heartbeat against, and mergers query
+// for the shard→supplier ownership map. All state is in memory; on
+// restart suppliers re-register within one heartbeat interval. See
+// docs/DEPLOYMENT.md for the topology and the drain/handoff protocol.
+//
+// Usage:
+//
+//	jbsregistryd -addr :7400 -shards 16 -lease-ttl 3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/debug"
+	"repro/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "registry listen address")
+	shards := flag.Int("shards", 16, "MOF shard count (a deployment constant; suppliers and mergers must agree)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "supplier lease TTL; a supplier missing heartbeats this long is expired")
+	sweep := flag.Duration("sweep", 0, "expired-lease sweep interval; 0 = lease-ttl/4")
+	debugAddr := flag.String("debug", "", "serve /debug/jbs endpoints on this address (e.g. localhost:6060)")
+	quiet := flag.Bool("quiet", false, "suppress per-event membership logging")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = nil
+	}
+	s, err := registry.NewServer(registry.ServerConfig{
+		Addr:          *addr,
+		Shards:        *shards,
+		LeaseTTL:      *leaseTTL,
+		SweepInterval: *sweep,
+		Log:           logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jbsregistryd:", err)
+		os.Exit(1)
+	}
+	if *debugAddr != "" {
+		lis, err := debug.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jbsregistryd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("jbsregistryd: debug at http://%s/debug/jbs\n", lis.Addr())
+	}
+	fmt.Printf("jbsregistryd: serving %d shards at %s (lease TTL %v)\n", *shards, s.Addr(), *leaseTTL)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("jbsregistryd: %v, shutting down\n", sig)
+	if err := s.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "jbsregistryd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,10 @@
-// Command jbsrun executes one MapReduce benchmark on the real in-process
-// engine — real input files, a real DFS, real shuffle traffic over real
-// sockets (or the emulated RDMA verbs) — under a chosen shuffle provider.
+// Command jbsrun executes one MapReduce benchmark on the real engine —
+// real input files, a real DFS, real shuffle traffic over real sockets
+// (or the emulated RDMA verbs) — under a chosen shuffle provider. All
+// nodes run inside this one process; for the multi-process deployment
+// of the same engine (standalone supplier/merger daemons coordinated by
+// a discovery registry) see jbsregistryd, jbssupplierd, jbsmergerd, and
+// docs/DEPLOYMENT.md.
 //
 // Usage:
 //

@@ -113,10 +113,11 @@ type TestFileCheck interface {
 // internal/sim, internal/simnet, internal/simdisk, internal/simcpu).
 func DefaultScopes() map[string][]string {
 	return map[string][]string{
-		"goroutines": {"internal/core", "internal/transport", "internal/mapred"},
-		"errcheck":   {"internal/transport", "internal/mof", "internal/mapred"},
-		"simclock":   {"internal/sim*", "internal/shuffle"},
-		"gaugepair":  {"internal/core", "internal/flow"},
+		"goroutines": {"internal/core", "internal/transport", "internal/mapred",
+			"internal/registry", "internal/daemon"},
+		"errcheck":  {"internal/transport", "internal/mof", "internal/mapred"},
+		"simclock":  {"internal/sim*", "internal/shuffle"},
+		"gaugepair": {"internal/core", "internal/flow"},
 		// testgoroutine runs everywhere tests run; the explicit entry is
 		// documentation that the breadth is deliberate.
 		"testgoroutine": {"internal", "cmd"},

@@ -26,17 +26,25 @@ func TestGetReleaseRecycles(t *testing.T) {
 	if len(l.Bytes()) != 1000 || l.Cap() != 1<<10 {
 		t.Fatalf("lease len=%d cap=%d", len(l.Bytes()), l.Cap())
 	}
-	buf := &l.Bytes()[0]
-	l.Release()
-	// The same class-sized buffer must come back on the next Get.
-	l2 := p.Get(512)
-	if &l2.Bytes()[0] != buf {
-		t.Error("released buffer not recycled")
+	// The class-sized buffer must come back on a subsequent Get. One
+	// cycle is not guaranteed: sync.Pool deliberately drops a fraction
+	// of Puts under the race detector, so allow a few attempts — any
+	// recycle proves the size-class wiring.
+	recycled := false
+	attempts := 0
+	for ; attempts < 32 && !recycled; attempts++ {
+		buf := &l.Bytes()[0]
+		l.Release()
+		l = p.Get(512)
+		recycled = &l.Bytes()[0] == buf
 	}
-	l2.Release()
+	if !recycled {
+		t.Error("released buffer never recycled")
+	}
+	l.Release()
 	st := p.Stats()
-	if st.Gets != 2 || st.Puts != 2 || st.Misses != 1 || st.Outstanding != 0 {
-		t.Errorf("stats = %+v", st)
+	if st.Gets != int64(1+attempts) || st.Puts != st.Gets || st.Misses < 1 || st.Outstanding != 0 {
+		t.Errorf("stats = %+v after %d attempts", st, attempts)
 	}
 }
 

@@ -3,6 +3,7 @@ package chaos
 import (
 	"flag"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -11,7 +12,17 @@ import (
 	"repro/internal/leakcheck"
 )
 
-func TestMain(m *testing.M) { leakcheck.Main(m) }
+// TestMain doubles as the process-chaos supplier entry point: the
+// process-level scenarios re-exec this test binary with JBS_CHAOS_PROC
+// set, turning it into a real standalone supplier daemon the parent
+// can SIGKILL and restart (see proc_test.go).
+func TestMain(m *testing.M) {
+	if os.Getenv("JBS_CHAOS_PROC") == "supplier" {
+		procSupplierMain()
+		return
+	}
+	leakcheck.Main(m)
+}
 
 // seedFlag replays a failing scenario: the harness prints the exact
 // command on failure, e.g.

@@ -38,6 +38,16 @@ var (
 	supCorruptFrames = metrics.Default().Counter("jbs_supplier_corrupt_frames_total", "frames",
 		"fetch requests rejected by the CRC32C frame checksum")
 
+	// Graceful drain (operator-initiated supplier shutdown).
+	supDrains = metrics.Default().Counter("jbs_supplier_drains_total", "drains",
+		"graceful drains initiated on suppliers")
+	supDrainState = metrics.Default().Gauge("jbs_supplier_drain_state", "suppliers",
+		"suppliers currently draining (latched, pipeline not yet empty)")
+	supDrainSheds = metrics.Default().Counter("jbs_supplier_drain_sheds_total", "reqs",
+		"fetch requests shed because the supplier is draining")
+	supDrainWait = metrics.Default().Histogram("jbs_supplier_drain_wait_ns", "ns",
+		"time from drain initiation to the pipeline running empty")
+
 	// NetMerger fetch engine.
 	mrgFetches = metrics.Default().Counter("jbs_merger_fetches_total", "reqs",
 		"segment fetches issued by mergers")
@@ -57,6 +67,8 @@ var (
 		"response frames rejected by the CRC32C checksum; the connection is torn down and the segments re-fetched")
 	mrgDeadlineTrips = metrics.Default().Counter("jbs_merger_deadline_trips_total", "conns",
 		"connections failed by the per-fetch deadline watchdog (stalled reads)")
+	mrgRerouted = metrics.Default().Counter("jbs_merger_rerouted_total", "reqs",
+		"parked fetches whose owner changed on re-resolution (drain/failover handoff)")
 )
 
 // inflightGauge returns the per-remote-node in-flight gauge, registered

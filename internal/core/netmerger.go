@@ -42,6 +42,15 @@ type MergerConfig struct {
 	// replacing the fixed WindowPerNode, plus shed handling with
 	// jittered retry-after backoff. Nil keeps the paper's fixed window.
 	Flow *flow.Config
+	// Resolver maps a fetch spec to the supplier address that currently
+	// owns its MOF shard. A spec with an empty Addr is resolved once at
+	// Fetch, and every parked fetch (shed or failure backoff) is
+	// re-resolved on unpark — so when a registry hands a draining or
+	// crashed supplier's shards to a peer, in-flight retries follow the
+	// ownership move instead of hammering the dead address. Nil keeps
+	// static addressing: empty-Addr specs fail, and retries stay on
+	// their original node.
+	Resolver func(spec FetchSpec) (string, error)
 }
 
 func (c *MergerConfig) applyDefaults() error {
@@ -111,6 +120,7 @@ type MergerStats struct {
 	ShedRetries   int64 // parked fetches re-queued after their backoff
 	CorruptFrames int64 // frames rejected by the CRC32C checksum
 	DeadlineTrips int64 // connections failed by the fetch deadline watchdog
+	Rerouted      int64 // parked fetches whose owner changed on re-resolution
 }
 
 // fetchResult is one completed fetch.
@@ -222,6 +232,7 @@ type NetMerger struct {
 	shedRetries   int64
 	corruptFrames int64
 	deadlineTrips int64
+	rerouted      int64
 }
 
 // NewNetMerger creates the node's consolidated fetch engine.
@@ -279,6 +290,7 @@ func (m *NetMerger) Stats() MergerStats {
 		ShedRetries:   m.shedRetries,
 		CorruptFrames: m.corruptFrames,
 		DeadlineTrips: m.deadlineTrips,
+		Rerouted:      m.rerouted,
 	}
 }
 
@@ -321,35 +333,88 @@ func (m *NetMerger) Close() error {
 	return err
 }
 
+// groupForLocked returns (creating if needed) the node group for addr.
+// Must be called with m.mu held.
+func (m *NetMerger) groupForLocked(addr string) *nodeGroup {
+	g, ok := m.groups[addr]
+	if !ok {
+		g = &nodeGroup{addr: addr, inflightG: inflightGauge(addr)}
+		if m.cfg.Flow != nil {
+			g.win = flow.NewWindow(*m.cfg.Flow, flow.WindowGauge(addr))
+		}
+		m.groups[addr] = g
+		m.ring = append(m.ring, addr)
+		if n := int64(len(m.ring)); n > m.connsHigh {
+			m.connsHigh = n
+		}
+	}
+	return g
+}
+
+// errNoResolver reports an empty-Addr spec fetched without a Resolver.
+var errNoResolver = errors.New("core: fetch spec has no address and the merger has no resolver")
+
 // Fetch retrieves every segment in specs, invoking deliver once per
-// segment in completion order. It is safe for concurrent calls from
-// multiple ReduceTasks; all their requests share the consolidated
-// connections and the round-robin injector.
+// segment in completion order. A spec with an empty Addr is resolved
+// through cfg.Resolver to the supplier currently owning its shard.
+// It is safe for concurrent calls from multiple ReduceTasks; all their
+// requests share the consolidated connections and the round-robin
+// injector.
 func (m *NetMerger) Fetch(specs []FetchSpec, deliver func(FetchSpec, []byte) error) error {
 	if len(specs) == 0 {
 		return nil
 	}
 	results := make(chan fetchResult, len(specs))
+	// Resolve empty addresses before taking the lock: the resolver may
+	// block on registry I/O. Failures complete immediately as error
+	// results (the buffered channel cannot block) so the collection loop
+	// below still sees len(specs) of them.
+	resolved := specs
+	failed := 0
+	needResolve := false
+	for _, spec := range specs {
+		if spec.Addr == "" {
+			needResolve = true
+			break
+		}
+	}
+	if needResolve {
+		// Copy-on-resolve keeps the common static-address path free of
+		// the extra slice allocation (the hot-path alloc budget is exact).
+		resolved = make([]FetchSpec, 0, len(specs))
+		for _, spec := range specs {
+			if spec.Addr == "" {
+				err := errNoResolver
+				if m.cfg.Resolver != nil {
+					spec.Addr, err = m.cfg.Resolver(spec)
+					if err != nil {
+						err = fmt.Errorf("resolve: %w", err)
+					} else if spec.Addr == "" {
+						err = errors.New("core: resolver returned an empty address")
+					}
+				}
+				if spec.Addr == "" {
+					failed++
+					mrgFetches.Inc()
+					mrgErrors.Inc()
+					results <- fetchResult{spec: spec, err: err}
+					continue
+				}
+			}
+			resolved = append(resolved, spec)
+		}
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return transport.ErrConnClosed
 	}
-	for _, spec := range specs {
+	m.requests += int64(failed)
+	m.errCount += int64(failed)
+	for _, spec := range resolved {
 		m.nextID++
 		p := &pendingFetch{id: m.nextID, spec: spec, result: results}
-		g, ok := m.groups[spec.Addr]
-		if !ok {
-			g = &nodeGroup{addr: spec.Addr, inflightG: inflightGauge(spec.Addr)}
-			if m.cfg.Flow != nil {
-				g.win = flow.NewWindow(*m.cfg.Flow, flow.WindowGauge(spec.Addr))
-			}
-			m.groups[spec.Addr] = g
-			m.ring = append(m.ring, spec.Addr)
-			if n := int64(len(m.ring)); n > m.connsHigh {
-				m.connsHigh = n
-			}
-		}
+		g := m.groupForLocked(spec.Addr)
 		g.queue = append(g.queue, p) // arrival order within the group
 		m.requests++
 		mrgFetches.Inc()
@@ -648,23 +713,49 @@ func (m *NetMerger) parkLocked(p *pendingFetch, delay time.Duration, shed bool) 
 }
 
 // unpark re-queues a parked fetch at the head of its node group after its
-// backoff elapses. Runs on the backoff timer's goroutine.
+// backoff elapses. With a Resolver configured the fetch's owner is
+// re-resolved first — a shed from a draining supplier or a failure
+// backoff from a dead one lands here, and by now the registry may have
+// handed the shard to a peer; following the move is what makes drain
+// lossless. Runs on the backoff timer's goroutine.
 func (m *NetMerger) unpark(id uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	p, ok := m.parked[id]
 	if !ok || m.closed {
+		m.mu.Unlock()
 		return // Close already failed it
+	}
+	addr := p.spec.Addr
+	if m.cfg.Resolver != nil {
+		// Resolve outside the lock (registry I/O may block); p stays in
+		// parked meanwhile, so only Close can touch it — recheck below.
+		spec := p.spec
+		m.mu.Unlock()
+		if a, err := m.cfg.Resolver(spec); err == nil && a != "" {
+			addr = a
+		}
+		m.mu.Lock()
+		p, ok = m.parked[id]
+		if !ok || m.closed {
+			m.mu.Unlock()
+			return
+		}
 	}
 	delete(m.parked, id)
 	p.backoff = nil
-	g := m.groups[p.spec.Addr]
+	if addr != p.spec.Addr {
+		p.spec.Addr = addr
+		m.rerouted++
+		mrgRerouted.Inc()
+	}
+	g := m.groupForLocked(addr)
 	g.queue = append([]*pendingFetch{p}, g.queue...)
 	if p.shedPark {
 		m.shedRetries++
 		mrgShedRetries.Inc()
 	}
 	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
 // maxRetryBackoff caps the exponential retry delay.

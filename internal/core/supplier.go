@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -112,6 +113,7 @@ type SupplierStats struct {
 	CacheHits   int64
 	GroupTurns  int64
 	Errors      int64
+	DrainSheds  int64 // requests rejected because the supplier is draining
 }
 
 // supplierReq is one resolved fetch request in flight through the pipeline.
@@ -235,12 +237,23 @@ type MOFSupplier struct {
 	drr        *flow.DRR
 	unregister func()
 
+	// Graceful drain: draining latches once Drain is called; inflight
+	// counts requests inside the pipeline (admitted but not yet finished),
+	// and the last one out closes drainCh. drainMu guards drainCh and
+	// drainStart.
+	draining   atomic.Bool
+	inflight   atomic.Int64
+	drainMu    sync.Mutex
+	drainCh    chan struct{}
+	drainStart time.Time
+
 	requests    atomic.Int64
 	bytesServed atomic.Int64
 	diskReads   atomic.Int64
 	cacheHits   atomic.Int64
 	groupTurns  atomic.Int64
 	errCount    atomic.Int64
+	drainSheds  atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -298,6 +311,7 @@ func (s *MOFSupplier) Stats() SupplierStats {
 		CacheHits:   s.cacheHits.Load(),
 		GroupTurns:  s.groupTurns.Load(),
 		Errors:      s.errCount.Load(),
+		DrainSheds:  s.drainSheds.Load(),
 	}
 }
 
@@ -340,6 +354,107 @@ func (s *MOFSupplier) releaseCharge(r *supplierReq) {
 		s.grantCredits()
 	}
 }
+
+// finish ends a request's trip through the pipeline at whichever point
+// terminates it (transmit done, stage failure, shutdown): the admission
+// charge is released, the record recycled, and the pipeline occupancy
+// retired — the last occupant out completes a pending drain.
+func (s *MOFSupplier) finish(r *supplierReq) {
+	s.releaseCharge(r)
+	putSupplierReq(r)
+	s.decInflight()
+}
+
+// decInflight retires one pipeline occupant. Under a drain the last one
+// out signals drain completion.
+func (s *MOFSupplier) decInflight() {
+	if s.inflight.Add(-1) == 0 && s.draining.Load() {
+		s.drainMu.Lock()
+		if s.drainCh != nil {
+			s.closeDrainLocked()
+		}
+		s.drainMu.Unlock()
+	}
+}
+
+// closeDrainLocked marks the drain complete (idempotently). The caller
+// holds drainMu and has observed inflight at zero with the drain latch
+// set.
+func (s *MOFSupplier) closeDrainLocked() {
+	select {
+	case <-s.drainCh:
+	default:
+		close(s.drainCh)
+		supDrainState.Add(-1)
+		supDrainWait.Observe(time.Since(s.drainStart).Nanoseconds())
+	}
+}
+
+// drainRetryAfter is the retry-after hint carried on drain sheds when
+// flow control is off; with flow on the configured RetryAfter is used.
+// The hint only has to outlive the registry's ownership handoff from the
+// merger's point of view — shed retries consume no retry budget, so a
+// too-short hint costs extra round trips, never a lost fetch.
+const drainRetryAfter = 2 * time.Millisecond
+
+// shedRetryAfter is the hint attached to shed responses.
+func (s *MOFSupplier) shedRetryAfter() time.Duration {
+	if s.cfg.Flow != nil {
+		return s.cfg.Flow.RetryAfter
+	}
+	return drainRetryAfter
+}
+
+// Drain puts the supplier into graceful-shutdown mode and blocks until
+// the pipeline is empty (or ctx expires). A draining supplier sheds
+// every new fetch request — reusing the flow-control SHED frame, so
+// mergers park the fetch, re-resolve its owner, and retry against the
+// peer that took over this supplier's shards — while requests already
+// admitted run to completion. Drain is idempotent: concurrent and
+// repeated calls wait on the same completion. With zero inflight
+// requests it returns immediately. The caller typically hands shard
+// ownership to a peer (registry drain) before calling Drain, then
+// Closes the supplier once Drain returns.
+func (s *MOFSupplier) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if s.drainCh == nil {
+		s.drainCh = make(chan struct{})
+		s.drainStart = time.Now()
+		s.draining.Store(true)
+		if s.ledger != nil {
+			s.ledger.SetDraining(true)
+		}
+		supDrains.Inc()
+		supDrainState.Add(1)
+		if s.inflight.Load() == 0 {
+			s.closeDrainLocked()
+		}
+	}
+	ch := s.drainCh
+	s.drainMu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.done:
+		// Close raced the drain; if the pipeline emptied first the drain
+		// still counts as complete.
+		select {
+		case <-ch:
+			return nil
+		default:
+		}
+		return errors.New("core: supplier closed while draining")
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *MOFSupplier) Draining() bool { return s.draining.Load() }
+
+// Inflight returns the number of fetch requests currently inside the
+// pipeline (admitted but not yet transmitted or failed).
+func (s *MOFSupplier) Inflight() int64 { return s.inflight.Load() }
 
 // grantCredits sends one flow-control credit to every connected client.
 // The connection list is snapshotted under connMu and the sends happen
@@ -431,11 +546,28 @@ func (s *MOFSupplier) connLoop(sc *supplierConn) {
 			}
 			continue
 		}
+		// Occupancy is claimed before the drain check: Drain's store of
+		// the latch and its read of inflight are both sequentially
+		// consistent atomics, so either this request sees the latch (and
+		// sheds) or Drain sees the occupancy (and waits for it). No
+		// request can slip into the pipeline unseen by a drain.
+		s.inflight.Add(1)
+		if s.draining.Load() {
+			s.drainSheds.Add(1)
+			supDrainSheds.Inc()
+			s.decInflight()
+			putSupplierReq(resolved)
+			if serr := sc.sendShed(req.ID, s.shedRetryAfter()); serr != nil {
+				return
+			}
+			continue
+		}
 		if s.ledger != nil {
 			// Admission: charge the segment's resident bytes before the
 			// request enters the pipeline. A shed charges nothing — the
 			// client backs off and retries; the connection stays up.
 			if s.ledger.Admit(resolved.entry.Length) == flow.Shed {
+				s.decInflight()
 				putSupplierReq(resolved)
 				if serr := sc.sendShed(req.ID, s.cfg.Flow.RetryAfter); serr != nil {
 					return
@@ -448,8 +580,7 @@ func (s *MOFSupplier) connLoop(sc *supplierConn) {
 		case s.reqCh <- resolved:
 			supQueueDepth.Add(1)
 		case <-s.done:
-			s.releaseCharge(resolved)
-			putSupplierReq(resolved)
+			s.finish(resolved)
 			return
 		}
 	}
@@ -675,8 +806,7 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 			s.errCount.Add(1)
 			supErrors.Inc()
 			r.conn.sendError(r.id, err)
-			s.releaseCharge(r)
-			putSupplierReq(r)
+			s.finish(r)
 			return
 		}
 		s.diskReads.Add(1)
@@ -688,8 +818,7 @@ func (s *MOFSupplier) stage(r *supplierReq) {
 		supXmitDepth.Add(1)
 	case <-s.done:
 		s.dcache.Unpin(r.task, r.part)
-		s.releaseCharge(r)
-		putSupplierReq(r)
+		s.finish(r)
 	}
 }
 
@@ -707,8 +836,7 @@ func (s *MOFSupplier) xmitLoop() {
 				supErrors.Inc()
 				r.conn.sendError(r.id, errors.New("segment evicted while staged"))
 				supXmitDepth.Add(-1)
-				s.releaseCharge(r)
-				putSupplierReq(r)
+				s.finish(r)
 				continue
 			}
 			tracer.Mark(r.task, r.part, metrics.StageXmit)
@@ -723,8 +851,7 @@ func (s *MOFSupplier) xmitLoop() {
 				supErrors.Inc()
 			}
 			supXmitDepth.Add(-1)
-			s.releaseCharge(r)
-			putSupplierReq(r)
+			s.finish(r)
 		case <-s.done:
 			return
 		}

@@ -1,0 +1,211 @@
+package daemon
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+func newTestRegistry(t *testing.T, cfg registry.ServerConfig) *registry.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := registry.NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestDirLookupRejectsTraversal(t *testing.T) {
+	lookup := DirLookup(t.TempDir())
+	for _, task := range []string{"", ".", "..", "../etc/passwd", "a/b", `a\b`, "..secret.."} {
+		if _, _, err := lookup(task); err == nil {
+			t.Errorf("task %q resolved outside the MOF dir", task)
+		}
+	}
+}
+
+func startTestSupplier(t *testing.T, reg *registry.Server, id, dir string) *Supplier {
+	t.Helper()
+	d, err := StartSupplier(SupplierConfig{
+		ID:                id,
+		RegistryAddr:      reg.Addr(),
+		MOFDir:            dir,
+		HeartbeatInterval: 50 * time.Millisecond,
+		Log:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestSupplierDaemonLifecycle walks the full multi-process topology
+// in-process: registry, two supplier daemons over one MOF directory, a
+// registry-addressed merger job; then drains one supplier mid-topology
+// and re-runs the job, asserting the handoff lost nothing.
+func TestSupplierDaemonLifecycle(t *testing.T) {
+	const tasks, parts = 4, 3
+	dir := t.TempDir()
+	if err := WriteFixture(dir, tasks, parts, 4096, 42); err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, registry.ServerConfig{Shards: 8})
+	a := startTestSupplier(t, reg, "sup-a", dir)
+	b := startTestSupplier(t, reg, "sup-b", dir)
+
+	job := MergerJobConfig{
+		RegistryAddr: reg.Addr(),
+		Tasks:        tasks,
+		Parts:        parts,
+		VerifyDir:    dir,
+		ResolverTTL:  20 * time.Millisecond,
+		Progress:     t.Logf,
+	}
+	st, err := RunMergerJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments != tasks*parts || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if a.Stats().BytesServed+b.Stats().BytesServed != st.Bytes {
+		t.Fatalf("supplier bytes %d+%d != merger bytes %d",
+			a.Stats().BytesServed, b.Stats().BytesServed, st.Bytes)
+	}
+
+	// Drain A: ownership moves to B, then A's pipeline runs dry.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	served := b.Stats().BytesServed
+	st2, err := RunMergerJob(job)
+	if err != nil {
+		t.Fatalf("job after drain: %v", err)
+	}
+	if st2.Segments != tasks*parts || st2.Errors != 0 {
+		t.Fatalf("stats after drain = %+v", st2)
+	}
+	if b.Stats().BytesServed-served != st2.Bytes {
+		t.Fatal("post-drain job not served entirely by the surviving supplier")
+	}
+}
+
+// TestDrainMidJobIsLossless overlaps the drain with a running job: a
+// multi-round merger job is underway when one supplier drains; every
+// in-flight and future fetch must complete, rerouted to the peer.
+func TestDrainMidJobIsLossless(t *testing.T) {
+	const tasks, parts, rounds = 4, 3, 12
+	dir := t.TempDir()
+	if err := WriteFixture(dir, tasks, parts, 8192, 7); err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, registry.ServerConfig{Shards: 8})
+	a := startTestSupplier(t, reg, "sup-a", dir)
+	b := startTestSupplier(t, reg, "sup-b", dir)
+	_ = b
+
+	drained := make(chan struct{})
+	var once sync.Once
+	job := MergerJobConfig{
+		RegistryAddr: reg.Addr(),
+		Tasks:        tasks,
+		Parts:        parts,
+		Rounds:       rounds,
+		VerifyDir:    dir,
+		ResolverTTL:  10 * time.Millisecond,
+		MaxRetries:   8,
+		Progress: func(format string, args ...any) {
+			t.Logf(format, args...)
+			// Kick the drain off after the first round completes, so it
+			// overlaps the remaining rounds.
+			once.Do(func() {
+				go func() {
+					defer close(drained)
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					defer cancel()
+					if err := a.Drain(ctx); err != nil {
+						t.Errorf("mid-job drain: %v", err)
+						return
+					}
+					if err := a.Close(); err != nil {
+						t.Errorf("mid-job close: %v", err)
+					}
+				}()
+			})
+		},
+	}
+	st, err := RunMergerJob(job)
+	if err != nil {
+		t.Fatalf("mid-drain job: %v", err)
+	}
+	<-drained
+	if st.Segments != tasks*parts*rounds || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want %d segments and no errors", st, tasks*parts*rounds)
+	}
+}
+
+// TestHeartbeatReregistersAfterLeaseLoss pins the daemon's recovery
+// from a lease collapse (GC pause, network partition): the next
+// heartbeat learns the lease is gone and re-registers the same ID.
+func TestHeartbeatReregistersAfterLeaseLoss(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFixture(dir, 1, 1, 1024, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, registry.ServerConfig{
+		Shards:        4,
+		LeaseTTL:      120 * time.Millisecond,
+		SweepInterval: 20 * time.Millisecond,
+	})
+	d, err := StartSupplier(SupplierConfig{
+		ID:           "sup-a",
+		RegistryAddr: reg.Addr(),
+		MOFDir:       dir,
+		// Heartbeats far slower than the TTL: every lease is lost and
+		// every heartbeat must recover it.
+		HeartbeatInterval: 300 * time.Millisecond,
+		Log:               t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	c := registry.NewClient(reg.Addr())
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	lost := false
+	for time.Now().Before(deadline) && !recovered {
+		m, err := c.FetchMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.Suppliers) == 0 {
+			lost = true
+		} else if lost {
+			recovered = true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !lost || !recovered {
+		t.Fatalf("lease loss/recovery not observed (lost=%v recovered=%v)", lost, recovered)
+	}
+	if len(d.ID()) == 0 || !strings.HasPrefix(d.ID(), "sup-") {
+		t.Fatalf("id = %q", d.ID())
+	}
+}

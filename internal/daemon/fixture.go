@@ -1,0 +1,56 @@
+package daemon
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"path/filepath"
+
+	"repro/internal/mof"
+)
+
+// WriteFixture writes a tasks×parts MOF grid into dir — tasks named
+// m-00000 …, one segment per partition, ~segBytes of seed-derived
+// records each. The same (tasks, parts, segBytes, seed) always produces
+// byte-identical MOFs, so a merger process can verify fetched segments
+// against a locally regenerated (or shared-directory) reference without
+// any channel back to the supplier processes. This is the shared
+// fixture for the multi-process smoke test, the process-chaos harness,
+// and the deployment walkthrough (via `jbsbench mof-fixture`).
+func WriteFixture(dir string, tasks, parts, segBytes int, seed uint64) error {
+	if tasks <= 0 || parts <= 0 {
+		return fmt.Errorf("daemon: fixture needs positive tasks (%d) and parts (%d)", tasks, parts)
+	}
+	rng := rand.New(rand.NewPCG(seed, 0))
+	const recBytes = 512
+	recs := segBytes / recBytes
+	if recs == 0 {
+		recs = 1
+	}
+	for i := 0; i < tasks; i++ {
+		task := fmt.Sprintf("m-%05d", i)
+		w, err := mof.NewWriter(filepath.Join(dir, task+".data"), filepath.Join(dir, task+".index"), parts)
+		if err != nil {
+			return err
+		}
+		val := make([]byte, recBytes)
+		for p := 0; p < parts; p++ {
+			if err := w.BeginSegment(p); err != nil {
+				w.Close()
+				return err
+			}
+			for r := 0; r < recs; r++ {
+				for b := range val {
+					val[b] = byte(rng.Uint64())
+				}
+				if err := w.Append([]byte(fmt.Sprintf("%s-p%d-k%04d", task, p, r)), val); err != nil {
+					w.Close()
+					return err
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

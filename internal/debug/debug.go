@@ -18,6 +18,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/mapred"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 )
 
 // Mux returns a mux serving the /debug/jbs endpoint tree:
@@ -28,6 +29,7 @@ import (
 //	                    (?n=N limit, ?enable=1 / ?enable=0, ?reset=1)
 //	/debug/jbs/bufpool  buffer pool size-class lease accounting
 //	/debug/jbs/flow     flow control plane: ledgers, windows, tenants
+//	/debug/jbs/registry discovery registry: membership, leases, shard map
 func Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/jbs", handleIndex)
@@ -36,6 +38,7 @@ func Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/jbs/traces", handleTraces)
 	mux.HandleFunc("/debug/jbs/bufpool", handleBufpool)
 	mux.HandleFunc("/debug/jbs/flow", handleFlow)
+	mux.HandleFunc("/debug/jbs/registry", handleRegistry)
 	return mux
 }
 
@@ -61,7 +64,8 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /debug/jbs/metrics  full metrics registry (Prometheus text format)\n"+
 		"  /debug/jbs/traces   slowest fetch traces (?n=N, ?enable=1, ?reset=1)\n"+
 		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n"+
-		"  /debug/jbs/flow     flow control plane: admission ledgers, AIMD windows, tenant queues\n")
+		"  /debug/jbs/flow     flow control plane: admission ledgers, AIMD windows, tenant queues\n"+
+		"  /debug/jbs/registry discovery registry: supplier membership, draining flags, shard ownership\n")
 	if d, ok := mapred.LastWriterDecision(); ok {
 		fmt.Fprintf(w, "last writer decision: strategy=%s partitions=%d record-bytes=%d combine=%v override=%v (%s)\n",
 			d.Strategy, d.Partitions, d.RecordBytes, d.Combine, d.Override, d.Reason)
@@ -120,6 +124,23 @@ func handleBufpool(w http.ResponseWriter, r *http.Request) {
 // per-node AIMD windows and shed counters) as indented JSON.
 func handleFlow(w http.ResponseWriter, r *http.Request) {
 	states := flow.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if len(states) == 0 {
+		fmt.Fprint(w, "[]\n")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(states)
+}
+
+// handleRegistry dumps every in-process registry server's membership and
+// shard-ownership state as indented JSON — epoch, shard→supplier owner
+// table, and each supplier's lease (draining flag included). Empty when
+// this process hosts no registry (suppliers and mergers are clients;
+// point this at jbsregistryd's -debug address).
+func handleRegistry(w http.ResponseWriter, r *http.Request) {
+	states := registry.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	if len(states) == 0 {
 		fmt.Fprint(w, "[]\n")

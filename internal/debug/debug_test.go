@@ -11,6 +11,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/flow"
 	"repro/internal/metrics"
+	"repro/internal/registry"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) string {
@@ -119,5 +120,48 @@ func TestFlowEndpoint(t *testing.T) {
 	// The index mentions the endpoint.
 	if index := get(t, srv, "/debug/jbs"); !strings.Contains(index, "/debug/jbs/flow") {
 		t.Errorf("index missing /debug/jbs/flow:\n%s", index)
+	}
+}
+
+func TestRegistryEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Mux())
+	defer srv.Close()
+
+	// With no registry server in-process the endpoint serves an empty
+	// list (supplier and merger processes are clients, not hosts).
+	if body := get(t, srv, "/debug/jbs/registry"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty registry snapshot = %q, want []", body)
+	}
+
+	reg, err := registry.NewServer(registry.ServerConfig{Addr: "127.0.0.1:0", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	c := registry.NewClient(reg.Addr())
+	defer c.Close()
+	if err := c.Register("sup-debug", "127.0.0.1:7501", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	body := get(t, srv, "/debug/jbs/registry")
+	var states []registry.State
+	if err := json.Unmarshal([]byte(body), &states); err != nil {
+		t.Fatalf("registry endpoint is not JSON: %v\n%s", err, body)
+	}
+	if len(states) != 1 || states[0].Shards != 4 {
+		t.Fatalf("unexpected snapshot: %+v", states)
+	}
+	if len(states[0].Suppliers) != 1 || states[0].Suppliers[0].ID != "sup-debug" {
+		t.Errorf("supplier registration lost in transit: %+v", states[0].Suppliers)
+	}
+	for shard, owner := range states[0].Owners {
+		if owner != "sup-debug" {
+			t.Errorf("shard %d owner = %q, want sup-debug", shard, owner)
+		}
+	}
+
+	if index := get(t, srv, "/debug/jbs"); !strings.Contains(index, "/debug/jbs/registry") {
+		t.Errorf("index missing /debug/jbs/registry:\n%s", index)
 	}
 }

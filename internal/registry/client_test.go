@@ -1,0 +1,104 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClientReconnectsAfterRegistryRestart(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	addr := s.Addr()
+	c := NewClient(addr)
+	defer c.Close()
+	if err := c.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the registry on the same address: in-memory state is gone.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(ServerConfig{Addr: addr, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// The client's cached connection is dead; do() must redial. The
+	// fresh registry has no lease, so the heartbeat's answer is the
+	// re-register cue — exactly what a daemon's heartbeat loop acts on.
+	err = c.Heartbeat("sup-a")
+	if err == nil {
+		t.Fatal("heartbeat against a fresh registry succeeded")
+	}
+	if !strings.Contains(err.Error(), "unknown lease") {
+		t.Fatalf("heartbeat after restart: %v, want unknown lease", err)
+	}
+	if err := c.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatalf("re-register after restart: %v", err)
+	}
+}
+
+func TestResolverFollowsHandoff(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	c := newTestClient(t, s)
+	if err := c.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewClient(s.Addr())
+	defer rc.Close()
+	r := NewResolver(rc, time.Hour) // cache would never age out on its own
+	addr, err := r.Resolve("m-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "a:1" {
+		t.Fatalf("resolve = %q, want a:1", addr)
+	}
+	// Handoff: a joins' peer takes over after a drain. The cached map
+	// still says a:1; Invalidate is the drain-aware caller's fast path.
+	if err := c.Register("sup-b", "b:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain("sup-a"); err != nil {
+		t.Fatal(err)
+	}
+	r.Invalidate()
+	addr, err = r.Resolve("m-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "b:1" {
+		t.Fatalf("resolve after handoff = %q, want b:1", addr)
+	}
+}
+
+// TestResolverRetriesUnownedShard pins the forced-refresh path: a
+// cached map with an unowned shard triggers one re-fetch before the
+// error surfaces, so a supplier registering between fetches is found
+// without waiting out the TTL.
+func TestResolverRetriesUnownedShard(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	c := newTestClient(t, s)
+	// Register a supplier owning nothing useful so the map is non-empty.
+	if err := c.Register("sup-a", "a:1", []int{ShardOf("m-00000", 4)}); err != nil {
+		t.Fatal(err)
+	}
+	rc := NewClient(s.Addr())
+	defer rc.Close()
+	r := NewResolver(rc, time.Hour)
+	other := taskInShard(t, (ShardOf("m-00000", 4)+1)%4, 4)
+	if _, err := r.Resolve(other); err == nil {
+		t.Fatal("resolve of an unowned shard succeeded")
+	}
+	// Now the shard gains an owner; the stale cache must not mask it.
+	if err := c.Register("sup-b", "b:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.Resolve(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "b:1" {
+		t.Fatalf("resolve = %q, want b:1", addr)
+	}
+}

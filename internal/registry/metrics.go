@@ -1,0 +1,25 @@
+package registry
+
+import "repro/internal/metrics"
+
+// Registry handles for the discovery layer, refreshed by the server on
+// every membership change (this is control-plane traffic; none of this
+// is on the fetch hot path).
+var (
+	regSuppliers = metrics.Default().Gauge("jbs_registry_suppliers", "suppliers",
+		"suppliers currently holding a registry lease")
+	regDraining = metrics.Default().Gauge("jbs_registry_draining", "suppliers",
+		"registered suppliers currently draining (excluded from ownership)")
+	regEpoch = metrics.Default().Gauge("jbs_registry_epoch", "epoch",
+		"current shard-ownership epoch (increments on every reassignment)")
+	regRegistrations = metrics.Default().Counter("jbs_registry_registrations_total", "ops",
+		"register ops accepted (including same-ID re-registrations)")
+	regHeartbeats = metrics.Default().Counter("jbs_registry_heartbeats_total", "ops",
+		"heartbeats accepted against a live lease")
+	regExpirations = metrics.Default().Counter("jbs_registry_expirations_total", "leases",
+		"leases collected by the sweeper after missing their TTL")
+	regReassignments = metrics.Default().Counter("jbs_registry_reassignments_total", "epochs",
+		"ownership rebalances that moved at least one shard (epoch bumps)")
+	regLookups = metrics.Default().Counter("jbs_registry_lookups_total", "ops",
+		"task-to-owner lookup ops served")
+)

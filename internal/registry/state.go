@@ -1,0 +1,68 @@
+package registry
+
+import "sync"
+
+// State is one registry server's membership snapshot for the
+// /debug/jbs/registry endpoint.
+type State struct {
+	// Name identifies the server (its listen address).
+	Name string `json:"name"`
+	// Epoch is the current ownership epoch.
+	Epoch uint64 `json:"epoch"`
+	// Shards is the deployment shard count.
+	Shards int `json:"shards"`
+	// Owners maps shard index to owning supplier id ("" unowned).
+	Owners []string `json:"owners"`
+	// Suppliers lists live registrations, draining included.
+	Suppliers []SupplierInfo `json:"suppliers,omitempty"`
+}
+
+// Source is a registry participant that can snapshot its state for the
+// debug endpoint (in practice: a Server, in-process or embedded in a
+// daemon).
+type Source interface {
+	RegistryState() State
+}
+
+// registration wraps a Source so unregistration can compare by token
+// pointer — Source dynamic types need not be comparable.
+type registration struct{ src Source }
+
+// sources is the process-wide registry behind Snapshot.
+var (
+	sourcesMu sync.Mutex
+	sources   []*registration
+)
+
+// RegisterSource adds a participant to the process-wide debug registry
+// and returns a function that removes it (call it on Close).
+func RegisterSource(s Source) (unregister func()) {
+	r := &registration{src: s}
+	sourcesMu.Lock()
+	sources = append(sources, r)
+	sourcesMu.Unlock()
+	return func() {
+		sourcesMu.Lock()
+		defer sourcesMu.Unlock()
+		for i, v := range sources {
+			if v == r {
+				sources = append(sources[:i], sources[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Snapshot collects the State of every registered participant, in
+// registration order.
+func Snapshot() []State {
+	sourcesMu.Lock()
+	regs := make([]*registration, len(sources))
+	copy(regs, sources)
+	sourcesMu.Unlock()
+	out := make([]State, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, r.src.RegistryState())
+	}
+	return out
+}
