@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short multiproc-smoke
+.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short multiproc-smoke elastic-smoke
 
 all: build vet test
 
@@ -77,6 +77,15 @@ writer-matrix-short:
 # docs/DEPLOYMENT.md for the topology this exercises.
 multiproc-smoke:
 	$(GO) run ./cmd/jbsbench -short multiproc
+
+# elastic-smoke: the autoscaler acceptance run — build jbsregistryd,
+# jbssupplierd, and jbsautoscalerd, let the autoscaler launch its own
+# supplier fleet, drive a seeded overload that must scale the fleet
+# 1 -> 3 and back to 1, and require zero fetch errors, every light-tenant
+# segment byte-verified, and every retirement a graceful drain (the
+# drained daemon exits 0). See docs/DEPLOYMENT.md "Elastic fleets".
+elastic-smoke:
+	$(GO) run ./cmd/jbsbench -short elastic
 
 # overload: the multi-tenant flow-control scenario — two concurrent jobs
 # (one 10x-skewed) against one supplier, with and without internal/flow,

@@ -8,6 +8,7 @@
 //	jbsbench functional            # run the real-engine comparison
 //	jbsbench overload              # run the multi-tenant flow-control scenario
 //	jbsbench multiproc             # real daemon processes, SIGKILL + restart mid-job
+//	jbsbench elastic               # autoscaled supplier fleet under seeded overload
 //	jbsbench -dir d mof-fixture    # write a deterministic MOF grid for the daemons
 //	jbsbench -csv out/ all         # also write per-experiment CSV files
 //	jbsbench -metrics functional   # also dump the metrics registry after the runs
@@ -60,6 +61,7 @@ func main() {
 		fmt.Printf("%-10s %s\n", "functional", "real-engine comparison on real sockets and files")
 		fmt.Printf("%-10s %s\n", "overload", "multi-tenant overload: flow control vs unmanaged pipeline")
 		fmt.Printf("%-10s %s\n", "multiproc", "multi-process shuffle: real daemons, SIGKILL + restart mid-job")
+		fmt.Printf("%-10s %s\n", "elastic", "elastic fleet: autoscaler scales suppliers 1 -> 3 -> 1 under seeded overload")
 		fmt.Printf("%-10s %s\n", "mof-fixture", "write a deterministic MOF grid for the standalone daemons (-dir)")
 		return
 	}
@@ -117,6 +119,20 @@ func main() {
 				fmt.Printf(format+"\n", args...)
 			}
 			rep, err := bench.Multiproc(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+		case "elastic":
+			cfg := bench.DefaultElasticConfig()
+			if *short {
+				cfg = bench.ShortElasticConfig()
+			}
+			cfg.Log = func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			}
+			rep, err := bench.Elastic(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "jbsbench:", err)
 				os.Exit(1)

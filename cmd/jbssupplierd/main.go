@@ -56,6 +56,20 @@ func main() {
 	// handshake must still produce a graceful drain, not a default kill.
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	// The debug listener starts before the daemon so its bound address
+	// can ride the registration: the autoscaler's collector discovers
+	// suppliers through the registry and polls each one's advertised
+	// /debug/jbs/flow endpoint for scaling signals.
+	advertiseDebug := ""
+	if *debugAddr != "" {
+		lis, err := debug.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jbssupplierd:", err)
+			os.Exit(1)
+		}
+		advertiseDebug = lis.Addr().String()
+		fmt.Printf("jbssupplierd: debug at http://%s/debug/jbs\n", advertiseDebug)
+	}
 	d, err := daemon.StartSupplier(daemon.SupplierConfig{
 		ID:                *id,
 		Addr:              *addr,
@@ -65,19 +79,12 @@ func main() {
 		DataCacheBytes:    *cacheBytes,
 		Flow:              fc,
 		HeartbeatInterval: *heartbeat,
+		DebugAddr:         advertiseDebug,
 		Log:               logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jbssupplierd:", err)
 		os.Exit(1)
-	}
-	if *debugAddr != "" {
-		lis, err := debug.Serve(*debugAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jbssupplierd:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("jbssupplierd: debug at http://%s/debug/jbs\n", lis.Addr())
 	}
 	fmt.Printf("jbssupplierd: %s serving %s at %s\n", d.ID(), *mofDir, d.Addr())
 

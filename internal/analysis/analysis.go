@@ -114,8 +114,9 @@ type TestFileCheck interface {
 func DefaultScopes() map[string][]string {
 	return map[string][]string{
 		"goroutines": {"internal/core", "internal/transport", "internal/mapred",
-			"internal/registry", "internal/daemon"},
-		"errcheck":  {"internal/transport", "internal/mof", "internal/mapred"},
+			"internal/registry", "internal/daemon", "internal/autoscale"},
+		"errcheck": {"internal/transport", "internal/mof", "internal/mapred",
+			"internal/autoscale"},
 		"simclock":  {"internal/sim*", "internal/shuffle"},
 		"gaugepair": {"internal/core", "internal/flow"},
 		// testgoroutine runs everywhere tests run; the explicit entry is

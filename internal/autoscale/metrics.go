@@ -1,0 +1,28 @@
+package autoscale
+
+import "repro/internal/metrics"
+
+// Registry handles for the autoscaler. All control-plane: the loop
+// ticks at human timescales, never on the fetch hot path.
+var (
+	asFleet = metrics.Default().Gauge("jbs_autoscale_fleet", "suppliers",
+		"live (non-draining) suppliers observed at the last tick, pending launches included")
+	asDesired = metrics.Default().Gauge("jbs_autoscale_desired", "suppliers",
+		"fleet size the policy engine wants, clamped to [min, max]")
+	asShedRate = metrics.Default().Gauge("jbs_autoscale_shed_rate_milli", "sheds/s x1000",
+		"fleet-wide capacity-shed rate observed between the last two ticks, in millisheds/sec")
+	asQueueBytes = metrics.Default().Gauge("jbs_autoscale_queue_bytes", "bytes",
+		"fleet-wide admission queue depth (sum of supplier DRR tenant queues) at the last tick")
+	asEvaluations = metrics.Default().Counter("jbs_autoscale_evaluations_total", "ticks",
+		"autoscaler ticks executed (collect + policy evaluation)")
+	asScaleUps = metrics.Default().Counter("jbs_autoscale_scale_ups_total", "events",
+		"scale-up events (one event may launch several suppliers)")
+	asScaleDowns = metrics.Default().Counter("jbs_autoscale_scale_downs_total", "events",
+		"scale-down events (every retired supplier drained gracefully)")
+	asLaunchFailures = metrics.Default().Counter("jbs_autoscale_launch_failures_total", "errors",
+		"supplier launches that failed to start")
+	asRetireFailures = metrics.Default().Counter("jbs_autoscale_retire_failures_total", "errors",
+		"supplier retirements that did not drain to a clean exit")
+	asCollectFailures = metrics.Default().Counter("jbs_autoscale_collect_failures_total", "errors",
+		"ticks skipped because the fleet sample could not be collected")
+)

@@ -1,0 +1,98 @@
+package autoscale
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one scale action for the debug event ring.
+type Event struct {
+	// When is the tick time of the action.
+	When time.Time `json:"when"`
+	// Action is "up" or "down".
+	Action string `json:"action"`
+	// From and To are the fleet sizes before and after the action
+	// (counting only what this action actually launched or retired).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Reason is the winning policy's explanation.
+	Reason string `json:"reason"`
+	// Epoch is the registry ownership epoch observed at the tick; the
+	// resulting handoff bumps it.
+	Epoch uint64 `json:"epoch"`
+}
+
+// State is one autoscaler's snapshot for /debug/jbs/autoscale.
+type State struct {
+	// Name identifies the autoscaler.
+	Name string `json:"name"`
+	// Min and Max are the configured fleet bounds.
+	Min int `json:"min"`
+	Max int `json:"max"`
+	// Live, Pending and Desired describe the last tick: observed fleet
+	// (pending launches included), the pending subset, and the policy
+	// target.
+	Live    int `json:"live"`
+	Pending int `json:"pending,omitempty"`
+	Desired int `json:"desired"`
+	// ShedRate, QueuedBytes and Pressure are the last tick's signals.
+	ShedRate    float64 `json:"shed_rate"`
+	QueuedBytes int64   `json:"queued_bytes"`
+	Pressure    float64 `json:"pressure"`
+	// LastReason is the winning policy explanation of the last tick.
+	LastReason string `json:"last_reason,omitempty"`
+	// Managed lists the instance IDs this autoscaler launched and still
+	// owns, oldest first.
+	Managed []string `json:"managed,omitempty"`
+	// Events is the recent scale-event ring, oldest first.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Source is an autoscaler that can snapshot its state for the debug
+// endpoint.
+type Source interface {
+	AutoscaleState() State
+}
+
+// registration wraps a Source so unregistration can compare by token
+// pointer — Source dynamic types need not be comparable.
+type registration struct{ src Source }
+
+// sources is the process-wide registry behind Snapshot.
+var (
+	sourcesMu sync.Mutex
+	sources   []*registration
+)
+
+// Register adds an autoscaler to the process-wide debug registry and
+// returns a function that removes it (call it on Close).
+func Register(s Source) (unregister func()) {
+	r := &registration{src: s}
+	sourcesMu.Lock()
+	sources = append(sources, r)
+	sourcesMu.Unlock()
+	return func() {
+		sourcesMu.Lock()
+		defer sourcesMu.Unlock()
+		for i, v := range sources {
+			if v == r {
+				sources = append(sources[:i], sources[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Snapshot collects the State of every registered autoscaler, in
+// registration order.
+func Snapshot() []State {
+	sourcesMu.Lock()
+	regs := make([]*registration, len(sources))
+	copy(regs, sources)
+	sourcesMu.Unlock()
+	out := make([]State, 0, len(regs))
+	for _, r := range regs {
+		out = append(out, r.src.AutoscaleState())
+	}
+	return out
+}

@@ -123,11 +123,11 @@ func (p *mpProc) expectLine(want string) (string, error) {
 	return "", fmt.Errorf("%s exited before printing %q", p.name, want)
 }
 
-// buildDaemons compiles the three daemon binaries into dir and returns
+// buildDaemons compiles the named daemon binaries into dir and returns
 // their paths keyed by command name.
-func buildDaemons(dir string) (map[string]string, error) {
+func buildDaemons(dir string, names ...string) (map[string]string, error) {
 	bins := map[string]string{}
-	for _, name := range []string{"jbsregistryd", "jbssupplierd", "jbsmergerd"} {
+	for _, name := range names {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		if b, err := cmd.CombinedOutput(); err != nil {
@@ -138,23 +138,62 @@ func buildDaemons(dir string) (map[string]string, error) {
 	return bins, nil
 }
 
+// startRegistry spawns jbsregistryd on an ephemeral port and returns
+// the process plus the address parsed from its startup line.
+func startRegistry(logf func(string, ...any), bin string, leaseTTL time.Duration) (*mpProc, string, error) {
+	reg, err := startProc(logf, "jbsregistryd", bin,
+		"-addr", "127.0.0.1:0",
+		"-lease-ttl", leaseTTL.String(),
+		"-sweep", "50ms",
+		"-quiet")
+	if err != nil {
+		return nil, "", err
+	}
+	line, err := reg.expectLine("serving")
+	if err != nil {
+		reg.kill()
+		reg.wait()
+		return nil, "", err
+	}
+	addr := ""
+	fields := strings.Fields(line) // ... shards at <addr> (lease TTL ...)
+	for i, f := range fields {
+		if f == "at" && i+1 < len(fields) {
+			addr = fields[i+1]
+		}
+	}
+	if addr == "" {
+		reg.kill()
+		reg.wait()
+		return nil, "", fmt.Errorf("no registry address in startup line %q", line)
+	}
+	return reg, addr, nil
+}
+
+// liveSupplierCount returns how many non-draining suppliers hold live
+// registrations.
+func liveSupplierCount(c *registry.Client) (int, error) {
+	m, err := c.FetchMap()
+	if err != nil {
+		return 0, err
+	}
+	live := 0
+	for _, s := range m.Suppliers {
+		if !s.Draining {
+			live++
+		}
+	}
+	return live, nil
+}
+
 // waitLiveSuppliers polls the registry until want non-draining
 // suppliers hold live registrations.
 func waitLiveSuppliers(regAddr string, want int, deadline time.Time) error {
 	c := registry.NewClient(regAddr)
 	defer c.Close()
 	for {
-		m, err := c.FetchMap()
-		if err == nil {
-			live := 0
-			for _, s := range m.Suppliers {
-				if !s.Draining {
-					live++
-				}
-			}
-			if live == want {
-				return nil
-			}
+		if live, err := liveSupplierCount(c); err == nil && live == want {
+			return nil
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("registry never reached %d live suppliers", want)
@@ -182,7 +221,7 @@ func Multiproc(cfg MultiprocConfig) (*Report, error) {
 	defer os.RemoveAll(work)
 
 	buildStart := time.Now()
-	bins, err := buildDaemons(work)
+	bins, err := buildDaemons(work, "jbsregistryd", "jbssupplierd", "jbsmergerd")
 	if err != nil {
 		return nil, err
 	}
@@ -197,29 +236,11 @@ func Multiproc(cfg MultiprocConfig) (*Report, error) {
 	}
 
 	// Registry first: its ephemeral port comes from its startup line.
-	reg, err := startProc(logf, "jbsregistryd", bins["jbsregistryd"],
-		"-addr", "127.0.0.1:0",
-		"-lease-ttl", cfg.LeaseTTL.String(),
-		"-sweep", "50ms",
-		"-quiet")
+	reg, regAddr, err := startRegistry(logf, bins["jbsregistryd"], cfg.LeaseTTL)
 	if err != nil {
 		return nil, err
 	}
 	defer func() { reg.kill(); reg.wait() }()
-	line, err := reg.expectLine("serving")
-	if err != nil {
-		return nil, err
-	}
-	fields := strings.Fields(line) // ... shards at <addr> (lease TTL ...)
-	regAddr := ""
-	for i, f := range fields {
-		if f == "at" && i+1 < len(fields) {
-			regAddr = fields[i+1]
-		}
-	}
-	if regAddr == "" {
-		return nil, fmt.Errorf("no registry address in startup line %q", line)
-	}
 	if logf != nil {
 		logf("multiproc: registry at %s", regAddr)
 	}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"strings"
@@ -64,6 +65,12 @@ type SupplierConfig struct {
 	// HeartbeatInterval paces lease renewal. Zero means 500ms. It must
 	// stay comfortably under the registry's lease TTL.
 	HeartbeatInterval time.Duration
+	// DebugAddr, when set, is advertised to the registry as this
+	// supplier's /debug/jbs address; control-plane consumers (the
+	// autoscaler's collector) poll flow signals from it. The daemon
+	// does not serve the endpoint itself — cmd/jbssupplierd starts the
+	// debug listener and passes its bound address through here.
+	DebugAddr string
 	// Log, when set, receives one line per lifecycle event.
 	Log func(format string, args ...any)
 }
@@ -120,7 +127,7 @@ func StartSupplier(cfg SupplierConfig) (*Supplier, error) {
 		hbStop: make(chan struct{}),
 		hbDone: make(chan struct{}),
 	}
-	if err := d.reg.Register(id, sup.Addr(), cfg.Shards); err != nil {
+	if err := d.reg.RegisterSupplier(d.registration()); err != nil {
 		sup.Close()
 		d.reg.Close()
 		return nil, fmt.Errorf("daemon: register %s: %w", id, err)
@@ -136,6 +143,17 @@ func (d *Supplier) logf(format string, args ...any) {
 	}
 }
 
+// registration is the daemon's SupplierInfo as (re)sent to the
+// registry on startup and after a lease loss.
+func (d *Supplier) registration() registry.SupplierInfo {
+	return registry.SupplierInfo{
+		ID:        d.id,
+		Addr:      d.sup.Addr(),
+		Shards:    d.cfg.Shards,
+		DebugAddr: d.cfg.DebugAddr,
+	}
+}
+
 // ID returns the daemon's registry identity.
 func (d *Supplier) ID() string { return d.id }
 
@@ -145,33 +163,79 @@ func (d *Supplier) Addr() string { return d.sup.Addr() }
 // Stats exposes the underlying supplier's counters.
 func (d *Supplier) Stats() core.SupplierStats { return d.sup.Stats() }
 
+// maxHeartbeatBackoffFactor caps the failure backoff at this multiple
+// of the heartbeat interval. The cap must stay small enough that a
+// recovered registry sees the daemon within a few lease TTLs.
+const maxHeartbeatBackoffFactor = 8
+
+// heartbeatBackoff returns the wait before the next heartbeat attempt
+// after streak consecutive failures: exponential from the heartbeat
+// interval, capped at maxHeartbeatBackoffFactor times it, with equal
+// jitter (half fixed, half random via rnd in [0,1)) so a recovering
+// registry is not greeted by every daemon on the same tick. Pure in
+// (streak, interval, rnd) — the jitter source is injected for tests.
+func heartbeatBackoff(streak int, interval time.Duration, rnd float64) time.Duration {
+	limit := maxHeartbeatBackoffFactor * interval
+	base := interval
+	for i := 1; i < streak && base < limit; i++ {
+		base *= 2
+	}
+	if base > limit {
+		base = limit
+	}
+	return base/2 + time.Duration(rnd*float64(base/2))
+}
+
 // heartbeatLoop renews the lease; an unknown-lease answer (expired, or
 // the registry restarted) re-registers under the same identity — unless
 // the daemon is draining, in which case resurrecting the registration
-// would claw shards back mid-handoff.
+// would claw shards back mid-handoff. An unreachable registry backs the
+// attempts off exponentially (jittered, capped) instead of logging a
+// failure at every tick for as long as the outage lasts.
 func (d *Supplier) heartbeatLoop() {
 	defer close(d.hbDone)
 	ticker := time.NewTicker(d.cfg.HeartbeatInterval)
 	defer ticker.Stop()
+	var (
+		failStreak int
+		retryAt    time.Time
+	)
 	for {
 		select {
 		case <-d.hbStop:
 			return
-		case <-ticker.C:
+		case now := <-ticker.C:
+			if failStreak > 0 && now.Before(retryAt) {
+				continue // backing off; skip this tick without dialing
+			}
 		}
 		err := d.reg.Heartbeat(d.id)
 		if err == nil {
-			continue
-		}
-		if errors.Is(err, registry.ErrUnknownLease) && !d.sup.Draining() {
-			if rerr := d.reg.Register(d.id, d.sup.Addr(), d.cfg.Shards); rerr != nil {
-				d.logf("daemon: %s re-register failed: %v", d.id, rerr)
-			} else {
-				d.logf("daemon: %s lease was lost; re-registered", d.id)
+			if failStreak > 0 {
+				d.logf("daemon: %s registry reachable again (after %d failed heartbeats)", d.id, failStreak)
+				failStreak = 0
 			}
 			continue
 		}
-		d.logf("daemon: %s heartbeat failed: %v", d.id, err)
+		if errors.Is(err, registry.ErrUnknownLease) && !d.sup.Draining() {
+			if rerr := d.reg.RegisterSupplier(d.registration()); rerr == nil {
+				dmnReregisters.Inc()
+				d.logf("daemon: %s lease was lost; re-registered", d.id)
+				failStreak = 0
+				continue
+			} else {
+				// The registry answered the heartbeat but the re-register
+				// failed (restarting, or unreachable again): fall through
+				// to the failure accounting below.
+				err = rerr
+			}
+		}
+		failStreak++
+		dmnHeartbeatFailures.Inc()
+		backoff := heartbeatBackoff(failStreak, d.cfg.HeartbeatInterval, rand.Float64())
+		retryAt = time.Now().Add(backoff)
+		d.logf("daemon: %s heartbeat failed (streak %d, retry in %v): %v",
+			d.id, failStreak, backoff.Round(time.Millisecond), err)
 	}
 }
 

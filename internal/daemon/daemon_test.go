@@ -158,6 +158,35 @@ func TestDrainMidJobIsLossless(t *testing.T) {
 	}
 }
 
+// TestHeartbeatBackoff pins the failure-backoff shape deterministically:
+// exponential growth from the heartbeat interval, equal jitter bounded
+// to [base/2, base), and a hard cap at 8x the interval.
+func TestHeartbeatBackoff(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	for streak := 1; streak <= 10; streak++ {
+		base := interval << (streak - 1)
+		if limit := maxHeartbeatBackoffFactor * interval; base > limit {
+			base = limit
+		}
+		lo := heartbeatBackoff(streak, interval, 0)
+		hi := heartbeatBackoff(streak, interval, 0.999999)
+		if lo != base/2 {
+			t.Errorf("streak %d: rnd=0 backoff = %v, want %v", streak, lo, base/2)
+		}
+		if hi < lo || hi >= base {
+			t.Errorf("streak %d: rnd~1 backoff = %v, want in [%v, %v)", streak, hi, lo, base)
+		}
+	}
+	// Determinism: identical inputs produce identical outputs.
+	if a, b := heartbeatBackoff(3, interval, 0.5), heartbeatBackoff(3, interval, 0.5); a != b {
+		t.Errorf("backoff not deterministic: %v vs %v", a, b)
+	}
+	// The cap holds for absurd streaks (a long registry outage).
+	if got, want := heartbeatBackoff(1000, interval, 0), maxHeartbeatBackoffFactor*interval/2; got != want {
+		t.Errorf("streak 1000: backoff = %v, want capped %v", got, want)
+	}
+}
+
 // TestHeartbeatReregistersAfterLeaseLoss pins the daemon's recovery
 // from a lease collapse (GC pause, network partition): the next
 // heartbeat learns the lease is gone and re-registers the same ID.
@@ -185,6 +214,7 @@ func TestHeartbeatReregistersAfterLeaseLoss(t *testing.T) {
 	}
 	defer d.Close()
 
+	reregBefore := dmnReregisters.Load()
 	c := registry.NewClient(reg.Addr())
 	defer c.Close()
 	deadline := time.Now().Add(5 * time.Second)
@@ -204,6 +234,9 @@ func TestHeartbeatReregistersAfterLeaseLoss(t *testing.T) {
 	}
 	if !lost || !recovered {
 		t.Fatalf("lease loss/recovery not observed (lost=%v recovered=%v)", lost, recovered)
+	}
+	if got := dmnReregisters.Load(); got <= reregBefore {
+		t.Fatalf("jbs_daemon_reregister_total did not advance (%d -> %d)", reregBefore, got)
 	}
 	if len(d.ID()) == 0 || !strings.HasPrefix(d.ID(), "sup-") {
 		t.Fatalf("id = %q", d.ID())

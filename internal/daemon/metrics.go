@@ -1,0 +1,13 @@
+package daemon
+
+import "repro/internal/metrics"
+
+// Registry handles for the daemon lifecycle. All of this is
+// control-plane traffic (heartbeats, lease recovery); none of it is on
+// the fetch hot path.
+var (
+	dmnReregisters = metrics.Default().Counter("jbs_daemon_reregister_total", "ops",
+		"supplier lease re-registrations after the registry reported an unknown lease")
+	dmnHeartbeatFailures = metrics.Default().Counter("jbs_daemon_heartbeat_failures_total", "ops",
+		"heartbeat attempts that failed (registry unreachable or rejecting); attempts are paced by jittered backoff")
+)

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/autoscale"
 	"repro/internal/bufpool"
 	"repro/internal/flow"
 	"repro/internal/mapred"
@@ -30,6 +31,7 @@ import (
 //	/debug/jbs/bufpool  buffer pool size-class lease accounting
 //	/debug/jbs/flow     flow control plane: ledgers, windows, tenants
 //	/debug/jbs/registry discovery registry: membership, leases, shard map
+//	/debug/jbs/autoscale elastic fleet controller: signals, decisions, events
 func Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/jbs", handleIndex)
@@ -39,6 +41,7 @@ func Mux() *http.ServeMux {
 	mux.HandleFunc("/debug/jbs/bufpool", handleBufpool)
 	mux.HandleFunc("/debug/jbs/flow", handleFlow)
 	mux.HandleFunc("/debug/jbs/registry", handleRegistry)
+	mux.HandleFunc("/debug/jbs/autoscale", handleAutoscale)
 	return mux
 }
 
@@ -65,7 +68,8 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 		"  /debug/jbs/traces   slowest fetch traces (?n=N, ?enable=1, ?reset=1)\n"+
 		"  /debug/jbs/bufpool  buffer pool size-class lease accounting\n"+
 		"  /debug/jbs/flow     flow control plane: admission ledgers, AIMD windows, tenant queues\n"+
-		"  /debug/jbs/registry discovery registry: supplier membership, draining flags, shard ownership\n")
+		"  /debug/jbs/registry discovery registry: supplier membership, draining flags, shard ownership\n"+
+		"  /debug/jbs/autoscale elastic fleet controller: last signals, desired size, scale events\n")
 	if d, ok := mapred.LastWriterDecision(); ok {
 		fmt.Fprintf(w, "last writer decision: strategy=%s partitions=%d record-bytes=%d combine=%v override=%v (%s)\n",
 			d.Strategy, d.Partitions, d.RecordBytes, d.Combine, d.Override, d.Reason)
@@ -141,6 +145,24 @@ func handleFlow(w http.ResponseWriter, r *http.Request) {
 // point this at jbsregistryd's -debug address).
 func handleRegistry(w http.ResponseWriter, r *http.Request) {
 	states := registry.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if len(states) == 0 {
+		fmt.Fprint(w, "[]\n")
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(states)
+}
+
+// handleAutoscale dumps every in-process autoscaler's control state as
+// indented JSON — the signals it last saw (live fleet, shed rate, queue
+// depth, ledger pressure), the size its policies want and why, the
+// instances it manages, and the recent scale-event ring. Empty when
+// this process hosts no autoscaler (point this at jbsautoscalerd's
+// -debug address).
+func handleAutoscale(w http.ResponseWriter, r *http.Request) {
+	states := autoscale.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	if len(states) == 0 {
 		fmt.Fprint(w, "[]\n")

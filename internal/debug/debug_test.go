@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/autoscale"
 	"repro/internal/bufpool"
 	"repro/internal/flow"
 	"repro/internal/metrics"
@@ -163,5 +164,48 @@ func TestRegistryEndpoint(t *testing.T) {
 
 	if index := get(t, srv, "/debug/jbs"); !strings.Contains(index, "/debug/jbs/registry") {
 		t.Errorf("index missing /debug/jbs/registry:\n%s", index)
+	}
+}
+
+type fakeAutoscaleSource struct{ st autoscale.State }
+
+func (f fakeAutoscaleSource) AutoscaleState() autoscale.State { return f.st }
+
+func TestAutoscaleEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Mux())
+	defer srv.Close()
+
+	// With no autoscaler in-process the endpoint serves an empty list.
+	if body := get(t, srv, "/debug/jbs/autoscale"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("empty autoscale snapshot = %q, want []", body)
+	}
+
+	src := fakeAutoscaleSource{st: autoscale.State{
+		Name: "autoscaler", Min: 1, Max: 4,
+		Live: 3, Desired: 3, ShedRate: 12.5,
+		LastReason: "shed-target: shed rate 37.5/s = 12.5/supplier, target 10.0",
+		Managed:    []string{"auto-1", "auto-2"},
+		Events:     []autoscale.Event{{Action: "up", From: 1, To: 3, Reason: "seeded overload"}},
+	}}
+	unregister := autoscale.Register(src)
+	defer unregister()
+
+	body := get(t, srv, "/debug/jbs/autoscale")
+	var states []autoscale.State
+	if err := json.Unmarshal([]byte(body), &states); err != nil {
+		t.Fatalf("autoscale endpoint is not JSON: %v\n%s", err, body)
+	}
+	if len(states) != 1 || states[0].Live != 3 || states[0].ShedRate != 12.5 {
+		t.Fatalf("unexpected snapshot: %+v", states)
+	}
+	if len(states[0].Managed) != 2 || states[0].Managed[0] != "auto-1" {
+		t.Errorf("managed list lost in transit: %+v", states[0].Managed)
+	}
+	if len(states[0].Events) != 1 || states[0].Events[0].Action != "up" || states[0].Events[0].To != 3 {
+		t.Errorf("event ring lost in transit: %+v", states[0].Events)
+	}
+
+	if index := get(t, srv, "/debug/jbs"); !strings.Contains(index, "/debug/jbs/autoscale") {
+		t.Errorf("index missing /debug/jbs/autoscale:\n%s", index)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -20,6 +21,13 @@ var ErrUnknownLease = errors.New("registry: unknown lease")
 // registry restart is a transient error, not a stuck client.
 type Client struct {
 	addr string
+
+	// lastEpoch is the newest ownership epoch observed on any response
+	// (every op echoes the current epoch). A Resolver sharing this
+	// client compares its cached map against it, so an epoch bump seen
+	// by a heartbeat or register invalidates the cache immediately
+	// instead of after a full TTL.
+	lastEpoch atomic.Uint64
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -82,6 +90,7 @@ func (c *Client) do(req request) (response, error) {
 			}
 			return response{}, fmt.Errorf("registry: %s: %w", req.Op, err)
 		}
+		c.observeEpoch(resp.Epoch)
 		if resp.Err == errUnknownLease {
 			return resp, fmt.Errorf("%w (%s)", ErrUnknownLease, req.ID)
 		}
@@ -92,10 +101,31 @@ func (c *Client) do(req request) (response, error) {
 	}
 }
 
+// observeEpoch records the newest ownership epoch seen on any response.
+func (c *Client) observeEpoch(e uint64) {
+	for {
+		cur := c.lastEpoch.Load()
+		if e <= cur || c.lastEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// LastEpoch returns the newest ownership epoch this client has observed
+// on any response. Zero means no response carried an epoch yet.
+func (c *Client) LastEpoch() uint64 { return c.lastEpoch.Load() }
+
 // Register announces a supplier: id is its stable identity, addr its
 // fetch address, shards what it can serve (empty: everything).
 func (c *Client) Register(id, addr string, shards []int) error {
-	_, err := c.do(request{Op: "register", ID: id, Addr: addr, Shards: shards})
+	return c.RegisterSupplier(SupplierInfo{ID: id, Addr: addr, Shards: shards})
+}
+
+// RegisterSupplier announces a supplier from a full SupplierInfo,
+// including the optional debug address the autoscaler's collector polls.
+func (c *Client) RegisterSupplier(info SupplierInfo) error {
+	_, err := c.do(request{Op: "register", ID: info.ID, Addr: info.Addr,
+		Shards: info.Shards, Debug: info.DebugAddr})
 	return err
 }
 
@@ -182,6 +212,13 @@ func (r *Resolver) Resolve(task string) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	refetched := false
+	// A newer epoch observed by the shared client (on any op — a
+	// heartbeat, a register, another caller's map fetch) proves the
+	// cached map predates an ownership change; waiting out the TTL
+	// would serve the stale owner for its full duration.
+	if r.valid && r.m.Epoch < r.c.LastEpoch() {
+		r.valid = false
+	}
 	if !r.valid || time.Since(r.fetched) > r.ttl {
 		if err := r.refreshLocked(); err != nil {
 			return "", err

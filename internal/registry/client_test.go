@@ -72,6 +72,87 @@ func TestResolverFollowsHandoff(t *testing.T) {
 	}
 }
 
+// TestResolverInvalidatesOnNewerEpoch pins the epoch-staleness fix: a
+// TTL-cached map must be dropped as soon as the shared client observes
+// a newer ownership epoch on any response. Without the check, a merger
+// (or autoscaler) sharing the client would be routed to the drained
+// owner for a full TTL after the handoff.
+func TestResolverInvalidatesOnNewerEpoch(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	rc := NewClient(s.Addr())
+	defer rc.Close()
+	if err := rc.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(rc, time.Hour) // TTL alone would never refresh
+	if addr, err := r.Resolve("m-00000"); err != nil || addr != "a:1" {
+		t.Fatalf("resolve = %q, %v, want a:1", addr, err)
+	}
+	// Ownership moves: a peer joins and sup-a drains. The resolver's
+	// cached map still says a:1.
+	c2 := newTestClient(t, s)
+	if err := c2.Register("sup-b", "b:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Drain("sup-a"); err != nil {
+		t.Fatal(err)
+	}
+	// The shared client observes the bumped epoch on an unrelated op (a
+	// daemon heartbeating through the same client is the real-world
+	// shape); the resolver must notice without Invalidate or TTL expiry.
+	if err := rc.Heartbeat("sup-a"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.Resolve("m-00000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "b:1" {
+		t.Fatalf("resolve after epoch bump = %q, want b:1 (stale cache served)", addr)
+	}
+}
+
+// TestRegisterSupplierCarriesDebugAddr pins the debug-address
+// advertisement the autoscaler's collector depends on.
+func TestRegisterSupplierCarriesDebugAddr(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	c := newTestClient(t, s)
+	info := SupplierInfo{ID: "sup-a", Addr: "a:1", DebugAddr: "a:6061"}
+	if err := c.RegisterSupplier(info); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.FetchMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Suppliers) != 1 || m.Suppliers[0].DebugAddr != "a:6061" {
+		t.Fatalf("map suppliers = %+v, want one entry advertising a:6061", m.Suppliers)
+	}
+}
+
+// TestClientTracksEpoch pins LastEpoch's monotonic observation.
+func TestClientTracksEpoch(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	c := newTestClient(t, s)
+	if got := c.LastEpoch(); got != 0 {
+		t.Fatalf("fresh client LastEpoch = %d, want 0", got)
+	}
+	if err := c.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	after := c.LastEpoch()
+	if after == 0 {
+		t.Fatal("register response did not advance LastEpoch")
+	}
+	// A heartbeat carries the same epoch; LastEpoch must not regress.
+	if err := c.Heartbeat("sup-a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LastEpoch(); got != after {
+		t.Fatalf("LastEpoch moved %d -> %d without an ownership change", after, got)
+	}
+}
+
 // TestResolverRetriesUnownedShard pins the forced-refresh path: a
 // cached map with an unowned shard triggers one re-fetch before the
 // error surfaces, so a supplier registering between fetches is found

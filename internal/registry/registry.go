@@ -34,6 +34,10 @@ type SupplierInfo struct {
 	Addr string `json:"addr"`
 	// Shards lists the shards this supplier can serve; empty means all.
 	Shards []int `json:"shards,omitempty"`
+	// DebugAddr, when set, is the supplier's /debug/jbs HTTP address.
+	// Control-plane consumers (the autoscaler's collector) poll flow
+	// signals from it; the fetch data path never touches it.
+	DebugAddr string `json:"debug_addr,omitempty"`
 	// Draining marks a supplier shutting down gracefully: it keeps its
 	// lease but is excluded from ownership assignment.
 	Draining bool `json:"draining,omitempty"`
@@ -62,6 +66,8 @@ type request struct {
 	Addr   string `json:"addr,omitempty"`
 	Shards []int  `json:"shards,omitempty"`
 	Task   string `json:"task,omitempty"`
+	// Debug carries the supplier's /debug/jbs address on register.
+	Debug string `json:"debug,omitempty"`
 }
 
 type response struct {

@@ -209,7 +209,8 @@ func (s *Server) handle(req request, now time.Time) response {
 			s.logf("registry: %s registered at %s", req.ID, req.Addr)
 		}
 		s.leases[req.ID] = &lease{
-			info:    SupplierInfo{ID: req.ID, Addr: req.Addr, Shards: append([]int(nil), req.Shards...)},
+			info: SupplierInfo{ID: req.ID, Addr: req.Addr,
+				Shards: append([]int(nil), req.Shards...), DebugAddr: req.Debug},
 			expires: now.Add(s.cfg.LeaseTTL),
 		}
 		regRegistrations.Inc()
