@@ -6,8 +6,9 @@
 // queue depth, and launches or retires local jbssupplierd processes to
 // match. Retirement always goes through the supplier's own
 // SIGTERM -> drain -> handoff path, so scaling down loses no fetch.
-// On SIGTERM or SIGINT the controller retires every supplier it
-// launched (gracefully) and exits 0. See docs/DEPLOYMENT.md.
+// On SIGTERM or SIGINT the controller stops its control loop, then
+// retires every supplier it launched (gracefully) and exits 0. See
+// docs/DEPLOYMENT.md.
 //
 // Usage:
 //
@@ -130,17 +131,19 @@ func main() {
 
 	sig := <-sigs
 	fmt.Printf("jbsautoscalerd: %v, retiring managed fleet\n", sig)
-	// Bound the whole shutdown, not one retirement: a wedged drain must
-	// not leave the rest of the fleet running.
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	retireErr := a.RetireAll(ctx)
+	// Stop the control loop before retiring: a tick racing the drain
+	// would see the fleet fall below minimum (retired suppliers are
+	// already deregistered) and relaunch a supplier nobody ever retires.
 	if err := a.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "jbsautoscalerd:", err)
 		os.Exit(1)
 	}
-	if retireErr != nil {
-		fmt.Fprintln(os.Stderr, "jbsautoscalerd: retire:", retireErr)
+	// Bound the whole shutdown, not one retirement: a wedged drain must
+	// not leave the rest of the fleet running.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := a.RetireAll(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "jbsautoscalerd: retire:", err)
 		os.Exit(1)
 	}
 	fmt.Println("jbsautoscalerd: fleet retired, exiting")

@@ -117,10 +117,18 @@ type managedInstance struct {
 // Autoscaler runs the collect -> decide -> act loop. All mutation goes
 // through Tick, which Run paces on Config.Interval; tests drive Tick
 // directly with a scripted clock for deterministic decisions.
+//
+// Two locks split the loop from its observers: tickMu serializes whole
+// collect -> decide -> act cycles (and RetireAll), while mu guards only
+// the bookkeeping and is never held across blocking work — collects,
+// launches, and drains run outside it, so AutoscaleState and Managed
+// answer immediately even while a 30s drain is in flight.
 type Autoscaler struct {
 	cfg Config
 
-	mu      sync.Mutex
+	tickMu sync.Mutex // serializes Tick cycles and RetireAll
+
+	mu      sync.Mutex // bookkeeping only; never held across I/O
 	managed []*managedInstance // launch order; retires pop the newest
 	seq     int                // next instance ordinal
 	prev    Sample
@@ -144,8 +152,10 @@ const maxEvents = 64
 
 // New validates the config and returns an Autoscaler. Call Run to start
 // the loop (or Tick directly), and Close to stop it and release the
-// debug registration. Close does not retire the fleet; call RetireAll
-// first for a graceful exit.
+// debug registration. Close does not retire the fleet; for a graceful
+// exit call Close first and RetireAll after — stopping the loop first
+// means no tick can observe the shrinking fleet mid-drain and relaunch
+// a supplier nobody would ever retire.
 func New(cfg Config) (*Autoscaler, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
@@ -190,8 +200,9 @@ func (a *Autoscaler) runLoop() {
 }
 
 // Close stops the Run loop (if started) and removes the debug
-// registration. The managed fleet is left running unless RetireAll was
-// called first.
+// registration. The managed fleet is left running; call RetireAll
+// after Close for a graceful exit (Close first, so a queued tick
+// cannot relaunch suppliers the retirement just drained).
 func (a *Autoscaler) Close() error {
 	a.stopOnce.Do(func() {
 		close(a.runStop)
@@ -207,14 +218,19 @@ func (a *Autoscaler) Close() error {
 // but is normally called from one loop. Collection errors are counted
 // and returned; the fleet is left untouched on a failed collect.
 func (a *Autoscaler) Tick(now time.Time) error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.tickMu.Lock()
+	defer a.tickMu.Unlock()
 	asEvaluations.Inc()
+	// Collect before taking mu: the production collector polls every
+	// supplier's debug endpoint sequentially (2s timeout each when one
+	// is unreachable) and must not stall snapshot readers meanwhile.
 	sample, err := a.cfg.Collector.Collect()
 	if err != nil {
 		asCollectFailures.Inc()
 		return fmt.Errorf("autoscale: collect: %w", err)
 	}
+
+	a.mu.Lock()
 	sig := a.signalsLocked(sample, now)
 	a.lastSig = sig
 
@@ -242,16 +258,38 @@ func (a *Autoscaler) Tick(now time.Time) error {
 	asShedRate.Set(int64(sig.ShedRate * 1000))
 	asQueueBytes.Set(sig.QueuedBytes)
 
-	// Act. sig.Live already counts pending launches (grace window), so
-	// a slow-to-register instance is not launched twice.
+	// Plan the act phase while holding mu — reserve launch IDs, pop
+	// instances to retire — but perform it after releasing: launches
+	// spawn processes and retires block on drains (up to DrainTimeout).
+	// sig.Live already counts pending launches (grace window), so a
+	// slow-to-register instance is not launched twice.
+	var launchIDs []string
+	var toRetire []*managedInstance
 	switch {
 	case desired > sig.Live:
-		a.scaleUpLocked(now, sig.Live, desired, reason, sample.Epoch)
+		for i := sig.Live; i < desired; i++ {
+			a.seq++
+			launchIDs = append(launchIDs, fmt.Sprintf("%s-%d", a.cfg.IDPrefix, a.seq))
+		}
 	case desired < sig.Live:
-		a.scaleDownLocked(now, sig.Live, desired, reason, sample.Epoch)
+		for i := desired; i < sig.Live && len(a.managed) > 0; i++ {
+			m := a.managed[len(a.managed)-1]
+			a.managed = a.managed[:len(a.managed)-1]
+			toRetire = append(toRetire, m)
+		}
+		if len(toRetire) == 0 {
+			a.lastRsn = reason + " (held: no managed instance to retire)"
+		}
 	}
-
 	a.prev, a.prevAt, a.hasPrev = sample, now, true
+	a.mu.Unlock()
+
+	if len(launchIDs) > 0 {
+		a.scaleUp(now, sig.Live, launchIDs, reason, sample.Epoch)
+	}
+	if len(toRetire) > 0 {
+		a.scaleDown(now, sig.Live, toRetire, reason, sample.Epoch)
+	}
 	return nil
 }
 
@@ -301,54 +339,69 @@ func (a *Autoscaler) signalsLocked(s Sample, now time.Time) Signals {
 	return sig
 }
 
-// scaleUpLocked launches desired-live instances. Must hold mu.
-func (a *Autoscaler) scaleUpLocked(now time.Time, live, desired int, reason string, epoch uint64) {
-	launched := 0
-	for i := live; i < desired; i++ {
-		a.seq++
-		id := fmt.Sprintf("%s-%d", a.cfg.IDPrefix, a.seq)
+// scaleUp launches the reserved instance IDs. Called from Tick without
+// mu held (Launch spawns processes); tickMu serializes it against other
+// cycles.
+func (a *Autoscaler) scaleUp(now time.Time, live int, ids []string, reason string, epoch uint64) {
+	var launched []*managedInstance
+	for _, id := range ids {
 		inst, err := a.cfg.Launcher.Launch(id)
 		if err != nil {
 			asLaunchFailures.Inc()
 			a.logf("autoscale: launch %s failed: %v", id, err)
 			break
 		}
-		a.managed = append(a.managed, &managedInstance{inst: inst, launchedAt: now})
-		launched++
-		a.logf("autoscale: scale up %d -> %d: launched %s (%s)", live, live+launched, id, reason)
+		launched = append(launched, &managedInstance{inst: inst, launchedAt: now})
+		a.logf("autoscale: scale up %d -> %d: launched %s (%s)", live, live+len(launched), id, reason)
 	}
-	if launched > 0 {
-		asScaleUps.Inc()
-		a.recordEventLocked(Event{When: now, Action: "up", From: live, To: live + launched, Reason: reason, Epoch: epoch})
+	if len(launched) == 0 {
+		return
 	}
+	a.mu.Lock()
+	a.managed = append(a.managed, launched...)
+	a.recordEventLocked(Event{When: now, Action: "up", From: live, To: live + len(launched), Reason: reason, Epoch: epoch})
+	a.mu.Unlock()
+	asScaleUps.Inc()
 }
 
-// scaleDownLocked retires live-desired managed instances, newest first,
-// through the graceful drain path. Unmanaged suppliers (ones this
-// autoscaler did not launch) are never touched. Must hold mu.
-func (a *Autoscaler) scaleDownLocked(now time.Time, live, desired int, reason string, epoch uint64) {
+// scaleDown retires the popped instances (newest first) through the
+// graceful drain path. Unmanaged suppliers (ones this autoscaler did
+// not launch) are never handed to it. Called from Tick without mu held
+// — a drain may block up to DrainTimeout and snapshot readers must not
+// wait on it; tickMu serializes it against other cycles.
+func (a *Autoscaler) scaleDown(now time.Time, live int, toRetire []*managedInstance, reason string, epoch uint64) {
 	retired := 0
-	for i := desired; i < live && len(a.managed) > 0; i++ {
-		m := a.managed[len(a.managed)-1]
-		a.managed = a.managed[:len(a.managed)-1]
+	for _, m := range toRetire {
 		ctx, cancel := context.WithTimeout(context.Background(), a.cfg.DrainTimeout)
 		err := m.inst.Retire(ctx)
 		cancel()
 		if err != nil {
-			asRetireFailures.Inc()
-			a.logf("autoscale: retire %s failed: %v", m.inst.ID(), err)
+			a.retireFailed(m, err)
 			continue
 		}
 		retired++
 		a.logf("autoscale: scale down %d -> %d: retired %s (drained; %s)", live, live-retired, m.inst.ID(), reason)
 	}
 	if retired > 0 {
-		asScaleDowns.Inc()
+		a.mu.Lock()
 		a.recordEventLocked(Event{When: now, Action: "down", From: live, To: live - retired, Reason: reason, Epoch: epoch})
+		a.mu.Unlock()
+		asScaleDowns.Inc()
 	}
-	if retired == 0 && len(a.managed) == 0 {
-		a.lastRsn = reason + " (held: no managed instance to retire)"
+}
+
+// retireFailed handles a graceful retirement that did not complete:
+// the instance is already outside a.managed, so leaving it running
+// would orphan a supplier the autoscaler can never scale down again.
+// Kill is the last resort — the crash-adjacent path the merger's retry
+// machinery absorbs — and is idempotent on an already-dead process.
+func (a *Autoscaler) retireFailed(m *managedInstance, err error) {
+	asRetireFailures.Inc()
+	if kerr := m.inst.Kill(); kerr != nil {
+		a.logf("autoscale: retire %s failed: %v (kill fallback also failed: %v)", m.inst.ID(), err, kerr)
+		return
 	}
+	a.logf("autoscale: retire %s failed: %v (killed as last resort)", m.inst.ID(), err)
 }
 
 func (a *Autoscaler) recordEventLocked(e Event) {
@@ -371,18 +424,22 @@ func (a *Autoscaler) Managed() []string {
 }
 
 // RetireAll gracefully retires every managed instance, newest first —
-// the SIGTERM exit path for cmd/jbsautoscalerd. The first error is
-// returned; retirement continues past failures.
+// the SIGTERM exit path for cmd/jbsautoscalerd, called after Close has
+// stopped the control loop. The first error is returned; retirement
+// continues past failures, and an instance whose graceful drain fails
+// is killed rather than left running as an orphan.
 func (a *Autoscaler) RetireAll(ctx context.Context) error {
+	a.tickMu.Lock()
+	defer a.tickMu.Unlock()
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	toRetire := a.managed
+	a.managed = nil
+	a.mu.Unlock()
 	var firstErr error
-	for len(a.managed) > 0 {
-		m := a.managed[len(a.managed)-1]
-		a.managed = a.managed[:len(a.managed)-1]
+	for i := len(toRetire) - 1; i >= 0; i-- {
+		m := toRetire[i]
 		if err := m.inst.Retire(ctx); err != nil {
-			asRetireFailures.Inc()
-			a.logf("autoscale: retire %s failed: %v", m.inst.ID(), err)
+			a.retireFailed(m, err)
 			if firstErr == nil {
 				firstErr = err
 			}

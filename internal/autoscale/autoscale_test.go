@@ -9,11 +9,12 @@ import (
 	"time"
 )
 
-// fakeLauncher records launches and retirements.
+// fakeLauncher records launches, retirements, and kills.
 type fakeLauncher struct {
 	mu        sync.Mutex
 	launched  []string
 	retired   []string
+	killed    []string
 	launchErr error
 	retireErr error
 }
@@ -40,6 +41,12 @@ func (l *fakeLauncher) retiredIDs() []string {
 	return append([]string(nil), l.retired...)
 }
 
+func (l *fakeLauncher) killedIDs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.killed...)
+}
+
 type fakeInstance struct {
 	id string
 	l  *fakeLauncher
@@ -54,7 +61,12 @@ func (f *fakeInstance) Retire(ctx context.Context) error {
 	return f.l.retireErr
 }
 
-func (f *fakeInstance) Kill() error { return nil }
+func (f *fakeInstance) Kill() error {
+	f.l.mu.Lock()
+	defer f.l.mu.Unlock()
+	f.l.killed = append(f.l.killed, f.id)
+	return nil
+}
 
 // fakeCollector serves a scripted sample.
 type fakeCollector struct {
@@ -413,6 +425,143 @@ func TestRetireAllDrainsManagedFleet(t *testing.T) {
 	}
 	if got := a.Managed(); len(got) != 0 {
 		t.Fatalf("managed after RetireAll = %v", got)
+	}
+}
+
+// TestRetireFailureEscalatesToKill pins the orphan guard: an instance
+// already popped from the managed fleet whose graceful drain fails
+// must be killed, not left running where no later tick can reach it.
+func TestRetireFailureEscalatesToKill(t *testing.T) {
+	l := &fakeLauncher{retireErr: errors.New("sigterm delivery failed")}
+	col := &fakeCollector{}
+	pol := &fixedPolicy{desired: 2}
+	a := newTestAutoscaler(t, Config{
+		Collector: col,
+		Launcher:  l,
+		Policies:  []Policy{pol},
+		Min:       1, Max: 4,
+	})
+	if err := a.Tick(at(0)); err != nil {
+		t.Fatal(err)
+	}
+	col.set(supplierIDs("auto-1", "auto-2"))
+	pol.set(1)
+	if err := a.Tick(at(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.killedIDs(); len(got) != 1 || got[0] != "auto-2" {
+		t.Fatalf("killed = %v, want [auto-2] (failed drain escalated)", got)
+	}
+	if got := a.Managed(); len(got) != 1 || got[0] != "auto-1" {
+		t.Fatalf("managed = %v, want [auto-1]", got)
+	}
+	// A failed retire is not a graceful scale-down; no event records it.
+	for _, e := range a.AutoscaleState().Events {
+		if e.Action == "down" {
+			t.Fatalf("failed retire recorded a down event: %+v", e)
+		}
+	}
+}
+
+// TestRetireAllKillsOnFailure pins the same guard on the shutdown path:
+// RetireAll reports the failure but still tears the instance down.
+func TestRetireAllKillsOnFailure(t *testing.T) {
+	l := &fakeLauncher{retireErr: errors.New("drain wedged")}
+	a := newTestAutoscaler(t, Config{
+		Collector: &fakeCollector{},
+		Launcher:  l,
+		Policies:  []Policy{&fixedPolicy{desired: 2}},
+		Min:       1, Max: 4,
+	})
+	if err := a.Tick(at(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RetireAll(context.Background()); err == nil {
+		t.Fatal("RetireAll with failing drains returned nil")
+	}
+	if got := l.killedIDs(); len(got) != 2 {
+		t.Fatalf("killed = %v, want both instances torn down", got)
+	}
+	if got := a.Managed(); len(got) != 0 {
+		t.Fatalf("managed after RetireAll = %v, want none", got)
+	}
+}
+
+// blockingLauncher hands out instances whose Retire parks until
+// released, so a test can observe the autoscaler mid-drain.
+type blockingLauncher struct {
+	started chan string   // receives the instance id when a Retire begins
+	release chan struct{} // closed to let parked Retires finish
+}
+
+func (l *blockingLauncher) Launch(id string) (Instance, error) {
+	return &blockingInstance{id: id, l: l}, nil
+}
+
+type blockingInstance struct {
+	id string
+	l  *blockingLauncher
+}
+
+func (b *blockingInstance) ID() string { return b.id }
+
+func (b *blockingInstance) Retire(ctx context.Context) error {
+	b.l.started <- b.id
+	<-b.l.release
+	return nil
+}
+
+func (b *blockingInstance) Kill() error { return nil }
+
+// TestSnapshotNotBlockedByInflightDrain pins the lock split: a drain
+// may park for up to DrainTimeout (30s default), and the debug
+// endpoint's snapshot must not hang behind it.
+func TestSnapshotNotBlockedByInflightDrain(t *testing.T) {
+	l := &blockingLauncher{started: make(chan string, 1), release: make(chan struct{})}
+	col := &fakeCollector{}
+	pol := &fixedPolicy{desired: 2}
+	a := newTestAutoscaler(t, Config{
+		Collector: col,
+		Launcher:  l,
+		Policies:  []Policy{pol},
+		Min:       1, Max: 4,
+	})
+	if err := a.Tick(at(0)); err != nil {
+		t.Fatal(err)
+	}
+	col.set(supplierIDs("auto-1", "auto-2"))
+	pol.set(1)
+	tickDone := make(chan error, 1)
+	go func() { tickDone <- a.Tick(at(time.Minute)) }()
+	<-l.started // the drain is now parked inside the act phase
+
+	snapped := make(chan State, 1)
+	go func() { snapped <- a.AutoscaleState() }()
+	select {
+	case st := <-snapped:
+		if len(st.Managed) != 1 || st.Managed[0] != "auto-1" {
+			t.Errorf("mid-drain managed = %v, want [auto-1] (auto-2 already popped)", st.Managed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AutoscaleState blocked behind an in-flight drain")
+	}
+	if got := a.Managed(); len(got) != 1 {
+		t.Errorf("mid-drain Managed() = %v, want [auto-1]", got)
+	}
+
+	close(l.release)
+	if err := <-tickDone; err != nil {
+		t.Fatal(err)
+	}
+	st := a.AutoscaleState()
+	var down *Event
+	for i := range st.Events {
+		if st.Events[i].Action == "down" {
+			down = &st.Events[i]
+		}
+	}
+	if down == nil || down.From != 2 || down.To != 1 {
+		t.Fatalf("events after released drain = %+v, want a down 2->1", st.Events)
 	}
 }
 

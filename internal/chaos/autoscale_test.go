@@ -269,11 +269,13 @@ func TestChaosAutoscaleDrain(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := as.RetireAll(ctx); err != nil {
-		t.Errorf("retire surviving fleet: %v", err)
-	}
+	// Close-then-RetireAll is the documented shutdown order: the loop
+	// must stop before the fleet shrinks so no tick can relaunch.
 	if err := as.Close(); err != nil {
 		t.Errorf("autoscaler close: %v", err)
+	}
+	if err := as.RetireAll(ctx); err != nil {
+		t.Errorf("retire surviving fleet: %v", err)
 	}
 	if err := rc.Close(); err != nil {
 		t.Errorf("registry client close: %v", err)

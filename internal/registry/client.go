@@ -26,7 +26,10 @@ type Client struct {
 	// (every op echoes the current epoch). A Resolver sharing this
 	// client compares its cached map against it, so an epoch bump seen
 	// by a heartbeat or register invalidates the cache immediately
-	// instead of after a full TTL.
+	// instead of after a full TTL. It resets to zero whenever the
+	// connection drops: the server's epoch counter is in-memory, so a
+	// redial may reach a restarted registry whose epochs start over
+	// below everything observed on the old line.
 	lastEpoch atomic.Uint64
 
 	mu   sync.Mutex
@@ -52,6 +55,13 @@ func (c *Client) dropLocked() error {
 	}
 	err := c.conn.Close()
 	c.conn, c.enc, c.dec = nil, nil, nil
+	// Forget the observed epoch line along with the connection. Epochs
+	// are only comparable within one server lifetime; keeping a high
+	// pre-restart watermark would make every post-restart map look
+	// stale and force a Resolver re-fetch on every single lookup until
+	// the new counter caught up. The cost of forgetting is bounded: a
+	// Resolver trusts its cache for at most one TTL before re-fetching.
+	c.lastEpoch.Store(0)
 	return err
 }
 

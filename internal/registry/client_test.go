@@ -112,6 +112,73 @@ func TestResolverInvalidatesOnNewerEpoch(t *testing.T) {
 	}
 }
 
+// TestResolverSurvivesEpochResetAfterRestart pins the restart half of
+// the epoch-staleness fix: the server epoch counter is in-memory, so a
+// restarted registry hands out epochs far below a long-lived client's
+// watermark. The client must forget its observed epoch line on redial —
+// otherwise every post-restart map reads as stale and the Resolver
+// re-fetches on every single lookup (a FetchMap per parked-fetch retry
+// on the merger hot path) until the new counter surpasses the old one.
+func TestResolverSurvivesEpochResetAfterRestart(t *testing.T) {
+	s := newTestServer(t, ServerConfig{Shards: 4})
+	addr := s.Addr()
+	rc := NewClient(addr)
+	defer rc.Close()
+	// Pump the epoch well above where the restarted registry will start:
+	// each join/leave moves shard ownership and bumps it.
+	if err := rc.Register("base", "base:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := rc.Register("pump", "p:1", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := rc.Deregister("pump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	highWater := rc.LastEpoch()
+	if highWater < 10 {
+		t.Fatalf("epoch after churn = %d, want >= 10", highWater)
+	}
+	// Restart on the same address: leases, map, and epoch counter reset.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(ServerConfig{Addr: addr, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// The first op redials (dead cached connection) and must drop the
+	// pre-restart watermark along with it.
+	if err := rc.Register("sup-a", "a:1", nil); err != nil {
+		t.Fatalf("re-register after restart: %v", err)
+	}
+	if got := rc.LastEpoch(); got >= highWater {
+		t.Fatalf("LastEpoch after restart redial = %d, want the pre-restart watermark %d forgotten", got, highWater)
+	}
+	r := NewResolver(rc, time.Hour)
+	if addr, err := r.Resolve("m-00000"); err != nil || addr != "a:1" {
+		t.Fatalf("resolve = %q, %v, want a:1", addr, err)
+	}
+	// Ownership moves behind the client's back (a second client bumps
+	// the post-restart epoch, still far below the old watermark). Within
+	// the TTL the resolver must keep trusting its cache: with the bug,
+	// cachedEpoch < LastEpoch-watermark forces a re-fetch right here and
+	// the handoff shows through despite the 1h TTL.
+	c2 := newTestClient(t, s2)
+	if err := c2.Register("sup-b", "b:1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Drain("sup-a"); err != nil {
+		t.Fatal(err)
+	}
+	if addr, err := r.Resolve("m-00000"); err != nil || addr != "a:1" {
+		t.Fatalf("resolve inside TTL = %q, %v, want cached a:1 (cache thrashed)", addr, err)
+	}
+}
+
 // TestRegisterSupplierCarriesDebugAddr pins the debug-address
 // advertisement the autoscaler's collector depends on.
 func TestRegisterSupplierCarriesDebugAddr(t *testing.T) {
