@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet vet-fast race bench fuzz-smoke overload writer-matrix writer-matrix-short multiproc-smoke elastic-smoke
+.PHONY: all build test vet vet-fast race bench fuzz-smoke chaos-hedge overload writer-matrix writer-matrix-short multiproc-smoke elastic-smoke
 
 all: build vet test
 
@@ -49,7 +49,16 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameUnmarshal$$' -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzShedCreditFrame$$' -fuzztime 30s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzHedgeProtocolFrames$$' -fuzztime 30s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzMOFIndexConcat$$' -fuzztime 30s ./internal/mof
+
+# chaos-hedge: the speculative-fetch chaos suite under the race detector —
+# replicated-MOF topologies where a stalled or dead primary must be
+# rescued by the hedging controller (or the replica-rotation retry path)
+# with byte identity, hedge-ledger conservation, and zero goroutine
+# leaks. Failures print a one-command seeded reproduction line.
+chaos-hedge:
+	$(GO) test -race -run '^TestChaosHedgeScenarios$$' -short -v ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...

@@ -7,6 +7,7 @@
 //	jbsbench all                   # run every table and figure
 //	jbsbench functional            # run the real-engine comparison
 //	jbsbench overload              # run the multi-tenant flow-control scenario
+//	jbsbench hedge                 # hedged fetching tail-latency comparison
 //	jbsbench multiproc             # real daemon processes, SIGKILL + restart mid-job
 //	jbsbench elastic               # autoscaled supplier fleet under seeded overload
 //	jbsbench -dir d mof-fixture    # write a deterministic MOF grid for the daemons
@@ -60,6 +61,7 @@ func main() {
 		}
 		fmt.Printf("%-10s %s\n", "functional", "real-engine comparison on real sockets and files")
 		fmt.Printf("%-10s %s\n", "overload", "multi-tenant overload: flow control vs unmanaged pipeline")
+		fmt.Printf("%-10s %s\n", "hedge", "hedged fetching: tail latency and duplicate-byte cost, on vs off")
 		fmt.Printf("%-10s %s\n", "multiproc", "multi-process shuffle: real daemons, SIGKILL + restart mid-job")
 		fmt.Printf("%-10s %s\n", "elastic", "elastic fleet: autoscaler scales suppliers 1 -> 3 -> 1 under seeded overload")
 		fmt.Printf("%-10s %s\n", "mof-fixture", "write a deterministic MOF grid for the standalone daemons (-dir)")
@@ -105,6 +107,13 @@ func main() {
 			}
 		case "overload":
 			rep, err := bench.Overload(bench.DefaultOverloadConfig())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jbsbench:", err)
+				os.Exit(1)
+			}
+			emit(rep)
+		case "hedge":
+			rep, err := bench.HedgeTail(bench.DefaultHedgeTailConfig())
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "jbsbench:", err)
 				os.Exit(1)

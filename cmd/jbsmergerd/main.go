@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/daemon"
+	"repro/internal/flow"
 )
 
 func main() {
@@ -29,9 +30,11 @@ func main() {
 	out := flag.String("out", "", "directory to write fetched segments to (first round only)")
 	retries := flag.Int("retries", 8, "fetch retries on connection failure before the job fails")
 	resolverTTL := flag.Duration("resolver-ttl", 0, "ownership-map cache TTL; 0 = 200ms default")
+	hedge := flag.Bool("hedge", false, "speculatively re-fetch slow segments from replica suppliers (needs a registry running -replicas > 1)")
+	hedgeBaseline := flag.Duration("hedge-baseline", 0, "hedge threshold before enough RTT samples exist; 0 = wait for samples")
 	flag.Parse()
 
-	st, err := daemon.RunMergerJob(daemon.MergerJobConfig{
+	cfg := daemon.MergerJobConfig{
 		RegistryAddr: *registryAddr,
 		Tasks:        *tasks,
 		Parts:        *parts,
@@ -43,7 +46,11 @@ func main() {
 		Progress: func(format string, args ...any) {
 			fmt.Printf("jbsmergerd: "+format+"\n", args...)
 		},
-	})
+	}
+	if *hedge {
+		cfg.Hedge = &flow.HedgeConfig{Baseline: *hedgeBaseline}
+	}
+	st, err := daemon.RunMergerJob(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jbsmergerd:", err)
 		os.Exit(1)
@@ -52,6 +59,10 @@ func main() {
 	if *verify != "" {
 		verified = ", all verified"
 	}
-	fmt.Printf("jbsmergerd: done: %d segments, %d bytes, %d retries, %d sheds, %d rerouted%s\n",
-		st.Segments, st.Bytes, st.Retries, st.Sheds, st.Rerouted, verified)
+	hedged := ""
+	if *hedge {
+		hedged = fmt.Sprintf(", %d hedges (%d wins, %d duplicate bytes)", st.Hedges, st.HedgeWins, st.DupBytes)
+	}
+	fmt.Printf("jbsmergerd: done: %d segments, %d bytes, %d retries, %d sheds, %d rerouted%s%s\n",
+		st.Segments, st.Bytes, st.Retries, st.Sheds, st.Rerouted, hedged, verified)
 }

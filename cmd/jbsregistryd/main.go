@@ -27,6 +27,7 @@ func main() {
 	shards := flag.Int("shards", 16, "MOF shard count (a deployment constant; suppliers and mergers must agree)")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "supplier lease TTL; a supplier missing heartbeats this long is expired")
 	sweep := flag.Duration("sweep", 0, "expired-lease sweep interval; 0 = lease-ttl/4")
+	replicas := flag.Int("replicas", 1, "suppliers per shard (1 primary + N-1 backups); above 1 enables hedged fetching against replicas")
 	debugAddr := flag.String("debug", "", "serve /debug/jbs endpoints on this address (e.g. localhost:6060)")
 	quiet := flag.Bool("quiet", false, "suppress per-event membership logging")
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 		Shards:        *shards,
 		LeaseTTL:      *leaseTTL,
 		SweepInterval: *sweep,
+		Replicas:      *replicas,
 		Log:           logf,
 	})
 	if err != nil {

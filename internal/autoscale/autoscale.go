@@ -128,7 +128,7 @@ type Autoscaler struct {
 
 	tickMu sync.Mutex // serializes Tick cycles and RetireAll
 
-	mu      sync.Mutex // bookkeeping only; never held across I/O
+	mu      sync.Mutex         // bookkeeping only; never held across I/O
 	managed []*managedInstance // launch order; retires pop the newest
 	seq     int                // next instance ordinal
 	prev    Sample

@@ -155,11 +155,11 @@ func TestNewValidatesConfig(t *testing.T) {
 	l := &fakeLauncher{}
 	pol := []Policy{&fixedPolicy{}}
 	for name, cfg := range map[string]Config{
-		"nil collector":  {Launcher: l, Policies: pol},
-		"nil launcher":   {Collector: col, Policies: pol},
-		"no policies":    {Collector: col, Launcher: l},
-		"max below min":  {Collector: col, Launcher: l, Policies: pol, Min: 3, Max: 2},
-		"negative min":   {Collector: col, Launcher: l, Policies: pol, Min: -1},
+		"nil collector": {Launcher: l, Policies: pol},
+		"nil launcher":  {Collector: col, Policies: pol},
+		"no policies":   {Collector: col, Launcher: l},
+		"max below min": {Collector: col, Launcher: l, Policies: pol, Min: 3, Max: 2},
+		"negative min":  {Collector: col, Launcher: l, Policies: pol, Min: -1},
 	} {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("%s: config accepted", name)

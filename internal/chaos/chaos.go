@@ -69,9 +69,28 @@ type Scenario struct {
 	// Flow, when non-nil, enables supplier admission control and merger
 	// AIMD windows, so sheds mix into the fault soup.
 	Flow *flow.Config
+	// Suppliers is the fleet size. Every supplier serves the same fixture
+	// directory — the replicated-MOF topology speculative fetching needs —
+	// and with more than one the merger learns the full replica set for
+	// every spec (index 0 is the primary all fetches start on). Zero or
+	// one keeps the classic single-node shuffle.
+	Suppliers int
+	// Hedge arms the merger's speculative-fetch controller. Requires
+	// Suppliers > 1, so a hedge has a distinct replica to race.
+	Hedge *flow.HedgeConfig
 	// Faults installs the scenario's fault rules; addr is the supplier's
 	// bound address, for Node/Blackout scoping. Nil runs fault-free.
 	Faults func(addr string, sched *faultnet.Schedule)
+	// FaultsAll is Faults for a fleet: it receives every supplier address
+	// (primary first) so rules can be scoped per node. When set it is
+	// called instead of Faults.
+	FaultsAll func(addrs []string, sched *faultnet.Schedule)
+	// CloseAfter, when positive, hard-closes the supplier at index
+	// CloseSupplier that long into the faulted run — a mid-race drain.
+	// Attempts in flight against it die and must be absorbed by the
+	// hedge/retry machinery without breaking any invariant.
+	CloseAfter    time.Duration
+	CloseSupplier int
 	// WantCorrupt asserts the merger detected at least one corrupt frame
 	// (jbs_merger_corrupt_frames) — and, via byte identity, that the
 	// damaged segments were transparently re-fetched.
@@ -83,6 +102,12 @@ type Scenario struct {
 	// at least one must surface. Conservation and leak checks still
 	// apply in full.
 	WantErrors bool
+	// WantHedges asserts the hedging controller launched at least one
+	// speculative duplicate.
+	WantHedges bool
+	// WantRerouted asserts at least one parked fetch moved to a replica
+	// on retry (the failure-path rotation, as opposed to a hedge race).
+	WantRerouted bool
 	// MinFaults asserts the schedule actually injected at least this
 	// many faults in total, so a mis-scoped rule cannot silently turn a
 	// chaos scenario into a clean run.
@@ -101,6 +126,9 @@ func (sc *Scenario) applyDefaults() {
 	}
 	if sc.MaxRetries == 0 {
 		sc.MaxRetries = 6
+	}
+	if sc.Suppliers == 0 {
+		sc.Suppliers = 1
 	}
 }
 
@@ -138,46 +166,82 @@ func Run(t TB, sc Scenario) {
 	snap := leakcheck.Take()
 	tcp := transport.NewTCP()
 
-	// Fixture: Tasks MOFs × Parts partitions with seed-derived content.
+	// Fixture: Tasks MOFs × Parts partitions with seed-derived content,
+	// served by every supplier in the fleet (a shared directory is the
+	// replicated-MOF layout — each node holds a full copy).
 	dir := t.TempDir()
 	lookup, specs := buildFixture(t, dir, sc)
-	supplier, err := core.NewMOFSupplier(core.SupplierConfig{
-		Transport:      tcp,
-		Addr:           "127.0.0.1:0",
-		BufferSize:     fixtureBufferSize,
-		DataCacheBytes: 1 << 20,
-		Flow:           sc.Flow,
-	}, lookup)
-	if err != nil {
-		t.Fatalf("chaos %s: start supplier: %v", sc.Name, err)
+	suppliers := make([]*core.MOFSupplier, sc.Suppliers)
+	addrs := make([]string, sc.Suppliers)
+	for i := range suppliers {
+		s, err := core.NewMOFSupplier(core.SupplierConfig{
+			Transport:      tcp,
+			Addr:           "127.0.0.1:0",
+			BufferSize:     fixtureBufferSize,
+			DataCacheBytes: 1 << 20,
+			Flow:           sc.Flow,
+		}, lookup)
+		if err != nil {
+			t.Fatalf("chaos %s: start supplier %d: %v", sc.Name, i, err)
+		}
+		defer s.Close() // idempotent: a mid-run CloseAfter may get there first
+		suppliers[i], addrs[i] = s, s.Addr()
 	}
-	defer supplier.Close()
 	for i := range specs {
-		specs[i].Addr = supplier.Addr()
+		specs[i].Addr = addrs[0]
 	}
 
 	// Invariant 1 baseline: the fault-free run over the plain transport.
 	reference := referenceRun(t, sc, tcp, specs)
 
-	// The faulted run: same supplier, merger dialing through the seeded
+	// The faulted run: same suppliers, merger dialing through the seeded
 	// fault schedule.
 	sched := faultnet.NewSchedule(sc.Seed)
-	if sc.Faults != nil {
-		sc.Faults(supplier.Addr(), sched)
+	switch {
+	case sc.FaultsAll != nil:
+		sc.FaultsAll(addrs, sched)
+	case sc.Faults != nil:
+		sc.Faults(addrs[0], sched)
 	}
-	merger, err := core.NewNetMerger(core.MergerConfig{
+	mc := core.MergerConfig{
 		Transport:     faultnet.Wrap(tcp, sched),
 		WindowPerNode: 2,
 		MaxRetries:    sc.MaxRetries,
 		FetchTimeout:  sc.FetchTimeout,
 		RetryBackoff:  sc.RetryBackoff,
 		Flow:          sc.Flow,
-	})
+		Hedge:         sc.Hedge,
+	}
+	if len(addrs) > 1 {
+		replicaSet := append([]string(nil), addrs...)
+		mc.Replicas = func(core.FetchSpec) []string { return replicaSet }
+	}
+	merger, err := core.NewNetMerger(mc)
 	if err != nil {
 		t.Fatalf("chaos %s: start merger: %v", sc.Name, err)
 	}
+	var drainWG sync.WaitGroup
+	if sc.CloseAfter > 0 {
+		victim := suppliers[sc.CloseSupplier]
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			time.Sleep(sc.CloseAfter)
+			_ = victim.Close()
+		}()
+	}
 	outcomes := runFetches(merger, specs, 3)
+	drainWG.Wait()
 	stats := merger.Stats() // before Close: teardown must not inflate counters
+	if sc.Hedge != nil {
+		// A fetch's result can reach its caller a beat before the loser's
+		// bookkeeping lands, so let decided races settle before reading
+		// the hedge counters.
+		if err := awaitHedgeSettle(merger); err != nil {
+			fail("chaos %s: %v", sc.Name, err)
+		}
+		stats = merger.Stats()
+	}
 
 	// Invariant 1 — byte identity with the fault-free run.
 	var deliveredBytes int64
@@ -212,9 +276,24 @@ func Run(t TB, sc Scenario) {
 	if stats.Sheds != stats.ShedRetries {
 		fail("chaos %s: %d sheds but %d shed retries — a parked fetch was stranded", sc.Name, stats.Sheds, stats.ShedRetries)
 	}
+	// Hedge conservation: every speculative attempt launched terminated
+	// exactly once, and no duplicate is still racing after every fetch
+	// resolved. Asserted unconditionally — with hedging off every term
+	// must be zero.
+	if sum := stats.HedgeWins + stats.HedgeLosses + stats.HedgeSheds +
+		stats.HedgeFails + stats.HedgeErrors; stats.Hedges != sum {
+		fail("chaos %s: %d hedges launched but %d terminated (wins=%d losses=%d sheds=%d fails=%d errors=%d) — a speculative attempt leaked",
+			sc.Name, stats.Hedges, sum, stats.HedgeWins, stats.HedgeLosses,
+			stats.HedgeSheds, stats.HedgeFails, stats.HedgeErrors)
+	}
+	if out := merger.FlowState().HedgeOutstanding; out != 0 {
+		fail("chaos %s: %d hedge budget slots still held after every fetch resolved", sc.Name, out)
+	}
 	if sc.Flow != nil {
-		if err := awaitLedgerDrain(supplier); err != nil {
-			fail("chaos %s: %v", sc.Name, err)
+		for i, s := range suppliers {
+			if err := awaitLedgerDrain(s); err != nil {
+				fail("chaos %s: supplier %d: %v", sc.Name, i, err)
+			}
 		}
 	}
 
@@ -225,6 +304,12 @@ func Run(t TB, sc Scenario) {
 	if sc.WantDeadline && stats.DeadlineTrips == 0 {
 		fail("chaos %s: expected the fetch deadline to trip, counter is zero", sc.Name)
 	}
+	if sc.WantHedges && stats.Hedges == 0 {
+		fail("chaos %s: expected speculative duplicates to launch, hedge counter is zero", sc.Name)
+	}
+	if sc.WantRerouted && stats.Rerouted == 0 {
+		fail("chaos %s: expected retries to rotate to a replica, reroute counter is zero", sc.Name)
+	}
 	if total := totalFaults(sched.Stats()); total < sc.MinFaults {
 		fail("chaos %s: schedule injected %d faults, scenario requires >= %d (%+v)",
 			sc.Name, total, sc.MinFaults, sched.Stats())
@@ -234,17 +319,40 @@ func Run(t TB, sc Scenario) {
 	if err := merger.Close(); err != nil {
 		fail("chaos %s: merger close: %v", sc.Name, err)
 	}
-	if err := supplier.Close(); err != nil {
-		fail("chaos %s: supplier close: %v", sc.Name, err)
+	for i, s := range suppliers {
+		if err := s.Close(); err != nil {
+			fail("chaos %s: supplier %d close: %v", sc.Name, i, err)
+		}
 	}
 	if err := snap.Check(0); err != nil {
 		fail("chaos %s: %v", sc.Name, err)
 	}
 
 	if !failed {
-		t.Logf("chaos %s: seed=%d specs=%d retries=%d sheds=%d corrupt=%d deadline=%d faults=%+v",
+		t.Logf("chaos %s: seed=%d specs=%d retries=%d sheds=%d corrupt=%d deadline=%d hedges=%d/%dw rerouted=%d faults=%+v",
 			sc.Name, sc.Seed, len(specs), stats.Retries, stats.Sheds, stats.CorruptFrames,
-			stats.DeadlineTrips, sched.Stats())
+			stats.DeadlineTrips, stats.Hedges, stats.HedgeWins, stats.Rerouted, sched.Stats())
+	}
+}
+
+// awaitHedgeSettle waits for every launched speculative attempt to reach
+// a terminal state and every hedge budget slot to come home. Fetch
+// results are delivered before the race's loser is unwound, so a caller
+// returning from Fetch can observe the counters a beat early.
+func awaitHedgeSettle(m *core.NetMerger) error {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := m.Stats()
+		settled := st.Hedges == st.HedgeWins+st.HedgeLosses+st.HedgeSheds+st.HedgeFails+st.HedgeErrors
+		if settled && m.FlowState().HedgeOutstanding == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("hedge races never settled: %d launched, %d terminated, %d budget slots held",
+				st.Hedges, st.HedgeWins+st.HedgeLosses+st.HedgeSheds+st.HedgeFails+st.HedgeErrors,
+				m.FlowState().HedgeOutstanding)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 

@@ -77,3 +77,39 @@ func FuzzShedCreditFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzHedgeProtocolFrames drives the cancel-frame decoder — the wire
+// surface the hedging controller added. A CANCEL arrives on the
+// supplier's request path straight off the network, interleaved with
+// fetch requests, so a hostile frame must come back as ErrBadMessage or
+// ErrCorruptFrame, never a panic; a frame that decodes must re-encode
+// to the identical wire image; and no mutation may make one frame type
+// decode as another (a cancel misread as a fetch request would withdraw
+// the wrong segment).
+func FuzzHedgeProtocolFrames(f *testing.F) {
+	f.Add(appendCancel(nil, 42))
+	f.Add(appendCancel(nil, 0))
+	f.Add(appendCancel(nil, ^uint64(0)))
+	f.Add([]byte{msgCancel})
+	f.Add([]byte{msgCancel, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(encodeFetchRequest(fetchRequest{ID: 42, Partition: 1, MapTask: "m-00042"}))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		id, err := decodeCancel(raw)
+		switch {
+		case err == nil:
+			re := appendCancel(nil, id)
+			if !bytes.Equal(re, raw) {
+				t.Fatalf("cancel re-encode mismatch:\n in %x\nout %x", raw, re)
+			}
+			// Type confusion: a valid cancel must be rejected by every
+			// other decoder sharing the request path.
+			if _, rerr := decodeFetchRequest(raw); rerr == nil {
+				t.Fatalf("cancel frame %x also decodes as a fetch request", raw)
+			}
+		case errors.Is(err, ErrBadMessage), errors.Is(err, ErrCorruptFrame):
+			// Structured rejection is the contract for arbitrary input.
+		default:
+			t.Fatalf("cancel decode returned unexpected error class: %v", err)
+		}
+	})
+}

@@ -37,6 +37,8 @@ var (
 		"round-robin turns taken by the disk prefetch server")
 	supCorruptFrames = metrics.Default().Counter("jbs_supplier_corrupt_frames_total", "frames",
 		"fetch requests rejected by the CRC32C frame checksum")
+	supCancels = metrics.Default().Counter("jbs_supplier_cancels_total", "reqs",
+		"CANCEL frames received — a hedging merger withdrawing a fetch whose race is decided")
 
 	// Graceful drain (operator-initiated supplier shutdown).
 	supDrains = metrics.Default().Counter("jbs_supplier_drains_total", "drains",
@@ -69,6 +71,30 @@ var (
 		"connections failed by the per-fetch deadline watchdog (stalled reads)")
 	mrgRerouted = metrics.Default().Counter("jbs_merger_rerouted_total", "reqs",
 		"parked fetches whose owner changed on re-resolution (drain/failover handoff)")
+
+	// Hedging controller (speculative replica fetching).
+	mrgHedges = metrics.Default().Counter("jbs_merger_hedges_total", "reqs",
+		"speculative duplicate fetches launched against replica suppliers")
+	mrgHedgeWins = metrics.Default().Counter("jbs_merger_hedge_wins_total", "reqs",
+		"fetches whose speculative attempt delivered first")
+	mrgHedgeLosses = metrics.Default().Counter("jbs_merger_hedge_losses_total", "reqs",
+		"speculative attempts cancelled because the original delivered first")
+	mrgHedgeSheds = metrics.Default().Counter("jbs_merger_hedge_sheds_total", "reqs",
+		"hedged-pair attempts shed by their supplier and cancelled (never parked: the twin carries on)")
+	mrgHedgeFails = metrics.Default().Counter("jbs_merger_hedge_fails_total", "reqs",
+		"speculative attempts cancelled on a connection failure while the original still raced")
+	mrgHedgeErrors = metrics.Default().Counter("jbs_merger_hedge_errors_total", "reqs",
+		"speculative attempts that surfaced the fetch's error after adopting it (original already gone)")
+	mrgHedgeAdoptions = metrics.Default().Counter("jbs_merger_hedge_adoptions_total", "reqs",
+		"speculative attempts promoted to sole carrier after the original failed or was shed")
+	mrgHedgeDenials = metrics.Default().Counter("jbs_merger_hedge_budget_denied_total", "reqs",
+		"fetches past their hedge threshold left unhedged because the duplicate budget was exhausted")
+	mrgHedgeNoReplica = metrics.Default().Counter("jbs_merger_hedge_no_replica_total", "reqs",
+		"fetches past their hedge threshold with no distinct replica to race")
+	mrgHedgeDupBytes = metrics.Default().Counter("jbs_merger_hedge_duplicate_bytes_total", "bytes",
+		"payload bytes received for attempts that had already lost their race — the cost of hedging")
+	mrgHedgeOutstanding = metrics.Default().Gauge("jbs_merger_hedges_outstanding", "reqs",
+		"speculative duplicates currently racing (bounded by the hedge budget)")
 )
 
 // inflightGauge returns the per-remote-node in-flight gauge, registered

@@ -51,6 +51,19 @@ type MergerConfig struct {
 	// static addressing: empty-Addr specs fail, and retries stay on
 	// their original node.
 	Resolver func(spec FetchSpec) (string, error)
+	// Replicas maps a fetch spec to the full replica set of supplier
+	// addresses holding its MOF, primary first. The hedging controller
+	// races duplicates against the first distinct replica, and the
+	// failure-retry path rotates through the set so a dead primary does
+	// not eat the whole retry budget. The callback may block on
+	// registry I/O; it is only invoked off the merger lock, on cold
+	// paths (hedge launch, retry unpark). Nil disables both behaviors.
+	Replicas func(spec FetchSpec) []string
+	// Hedge enables speculative fetching: a fetch outliving its node's
+	// quantile-derived latency threshold is raced against a replica,
+	// the first CRC-clean response wins, and the loser is cancelled.
+	// Requires Replicas. Nil disables hedging.
+	Hedge *flow.HedgeConfig
 }
 
 func (c *MergerConfig) applyDefaults() error {
@@ -106,6 +119,16 @@ func (c *MergerConfig) applyDefaults() error {
 		}
 		c.Flow = &fc
 	}
+	if c.Hedge != nil {
+		if c.Replicas == nil {
+			return errors.New("core: merger Hedge requires Replicas (a hedge needs somewhere to race)")
+		}
+		hc := *c.Hedge
+		if err := hc.ApplyDefaults(); err != nil {
+			return err
+		}
+		c.Hedge = &hc
+	}
 	return nil
 }
 
@@ -121,6 +144,21 @@ type MergerStats struct {
 	CorruptFrames int64 // frames rejected by the CRC32C checksum
 	DeadlineTrips int64 // connections failed by the fetch deadline watchdog
 	Rerouted      int64 // parked fetches whose owner changed on re-resolution
+
+	// Hedging controller counters. Every speculative attempt launched
+	// terminates as exactly one of wins, losses, sheds, fails, or
+	// errors, so Hedges == HedgeWins + HedgeLosses + HedgeSheds +
+	// HedgeFails + HedgeErrors once all fetches have resolved — the
+	// conservation law the chaos harness asserts.
+	Hedges         int64 // speculative duplicate fetches launched
+	HedgeWins      int64 // fetches whose speculative attempt delivered first
+	HedgeLosses    int64 // speculative attempts cancelled: the original won
+	HedgeSheds     int64 // speculative attempts shed by the replica while the original raced
+	HedgeFails     int64 // speculative attempts lost to a connection failure while the original raced
+	HedgeErrors    int64 // speculative attempts that surfaced the fetch error after adoption
+	HedgeAdoptions int64 // speculative attempts promoted to sole carrier (original failed or was shed)
+	HedgeDenials   int64 // fetches past threshold left unhedged: duplicate budget exhausted
+	HedgeDupBytes  int64 // payload bytes received for attempts that had already lost
 }
 
 // fetchResult is one completed fetch.
@@ -149,6 +187,26 @@ type pendingFetch struct {
 	// unpark) from a failure-backoff park (already counted as a retry
 	// when parked). Guarded by m.mu.
 	shedPark bool
+
+	// Hedging state, all guarded by m.mu. twin links the two attempts
+	// of a hedged pair symmetrically; nil means this attempt races
+	// alone (either it was never hedged, or its twin already resolved).
+	// Exactly one attempt of a pair ever sends on result: the first
+	// clean finisher cancels the other under the lock, and an attempt
+	// that dies while its twin lives is cancelled quietly instead of
+	// retrying or surfacing an error.
+	twin *pendingFetch
+	// isHedge marks the speculative (duplicate) attempt of a pair.
+	isHedge bool
+	// hedged marks a fetch the controller already acted on (launched a
+	// hedge, or found no replica), so the scanner considers each fetch
+	// at most once.
+	hedged bool
+	// hedgeDenied dedupes the budget-denial counter per fetch.
+	hedgeDenied bool
+	// budgetHeld marks a speculative attempt currently charged against
+	// the hedge budget; cleared exactly once via the budget helpers.
+	budgetHeld bool
 }
 
 // nodeGroup holds the per-remote-node request queue, ordered by arrival
@@ -169,6 +227,9 @@ type nodeGroup struct {
 	// dropped, so one dead connection can never release in-flight slots
 	// twice or tear down its freshly dialed replacement. Guarded by m.mu.
 	epoch uint64
+	// rtt is the node's rolling RTT window feeding the hedge threshold;
+	// nil when hedging is disabled. Guarded by m.mu.
+	rtt *flow.RTTRing
 }
 
 // acquire charges one request to the group's in-flight window. Together
@@ -233,6 +294,24 @@ type NetMerger struct {
 	corruptFrames int64
 	deadlineTrips int64
 	rerouted      int64
+
+	// Hedging controller state, guarded by m.mu. hedgeOutstanding and
+	// its gauge only move inside the budget helpers, so the pair can
+	// never drift. loserIDs remembers cancelled in-flight attempts
+	// (id → node address) so their late chunks are counted as duplicate
+	// bytes instead of vanishing from the accounting; entries die on
+	// the supplier's terminal chunk or the connection's failure.
+	hedgeOutstanding int
+	loserIDs         map[uint64]string
+	hedges           int64
+	hedgeWins        int64
+	hedgeLosses      int64
+	hedgeSheds       int64
+	hedgeFails       int64
+	hedgeErrors      int64
+	hedgeAdoptions   int64
+	hedgeDenials     int64
+	hedgeDupBytes    int64
 }
 
 // NewNetMerger creates the node's consolidated fetch engine.
@@ -253,6 +332,11 @@ func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
 	if cfg.Flow != nil {
 		m.unregister = flow.Register(m)
 	}
+	if cfg.Hedge != nil {
+		m.loserIDs = make(map[uint64]string)
+		m.wg.Add(1)
+		go m.hedgeLoop()
+	}
 	m.wg.Add(1)
 	go m.injectLoop()
 	m.wg.Add(1)
@@ -265,7 +349,11 @@ func NewNetMerger(cfg MergerConfig) (*NetMerger, error) {
 func (m *NetMerger) FlowState() flow.State {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := flow.State{Name: "merger", Sheds: m.sheds, ShedRetries: m.shedRetries}
+	st := flow.State{
+		Name: "merger", Sheds: m.sheds, ShedRetries: m.shedRetries,
+		Hedges: m.hedges, HedgeWins: m.hedgeWins,
+		HedgeDupBytes: m.hedgeDupBytes, HedgeOutstanding: m.hedgeOutstanding,
+	}
 	for _, addr := range m.ring {
 		if g := m.groups[addr]; g.win != nil {
 			ws := g.win.State()
@@ -291,6 +379,16 @@ func (m *NetMerger) Stats() MergerStats {
 		CorruptFrames: m.corruptFrames,
 		DeadlineTrips: m.deadlineTrips,
 		Rerouted:      m.rerouted,
+
+		Hedges:         m.hedges,
+		HedgeWins:      m.hedgeWins,
+		HedgeLosses:    m.hedgeLosses,
+		HedgeSheds:     m.hedgeSheds,
+		HedgeFails:     m.hedgeFails,
+		HedgeErrors:    m.hedgeErrors,
+		HedgeAdoptions: m.hedgeAdoptions,
+		HedgeDenials:   m.hedgeDenials,
+		HedgeDupBytes:  m.hedgeDupBytes,
 	}
 }
 
@@ -302,15 +400,28 @@ func (m *NetMerger) Close() error {
 		return nil
 	}
 	m.closed = true
+	// A hedged pair holds two attempts for one logical fetch and one
+	// buffered result slot; collect with twin dedup so exactly one
+	// terminal result is sent per fetch.
+	seen := make(map[*pendingFetch]bool)
+	var outstanding []*pendingFetch
+	collect := func(p *pendingFetch) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if p.twin != nil {
+			seen[p.twin] = true
+		}
+		outstanding = append(outstanding, p)
+	}
 	for id, p := range m.pending {
 		delete(m.pending, id)
-		//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
-		p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
+		collect(p)
 	}
 	for _, g := range m.groups {
 		for _, p := range g.queue {
-			//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
-			p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
+			collect(p)
 		}
 		g.queue = nil
 	}
@@ -319,6 +430,14 @@ func (m *NetMerger) Close() error {
 		if p.backoff != nil {
 			p.backoff.Stop()
 		}
+		collect(p)
+	}
+	// Racing duplicates die with the merger; return their budget slots so
+	// the process-wide outstanding gauge reads zero after shutdown.
+	for p := range seen {
+		m.releaseHedgeBudgetLocked(p)
+	}
+	for _, p := range outstanding {
 		//jbsvet:ignore lockhygiene result channels are buffered for every outstanding fetch; this send cannot block
 		p.result <- fetchResult{spec: p.spec, err: transport.ErrConnClosed}
 	}
@@ -341,6 +460,9 @@ func (m *NetMerger) groupForLocked(addr string) *nodeGroup {
 		g = &nodeGroup{addr: addr, inflightG: inflightGauge(addr)}
 		if m.cfg.Flow != nil {
 			g.win = flow.NewWindow(*m.cfg.Flow, flow.WindowGauge(addr))
+		}
+		if m.cfg.Hedge != nil {
+			g.rtt = new(flow.RTTRing)
 		}
 		m.groups[addr] = g
 		m.ring = append(m.ring, addr)
@@ -598,7 +720,15 @@ func (m *NetMerger) readLoop(addr string, epoch uint64) {
 		m.mu.Lock()
 		p, ok := m.pending[chunk.ID]
 		if !ok {
-			// Response for a request that already failed; ignore.
+			// Response for a request that already failed — or for a
+			// cancelled hedge loser, whose late chunks are the price of
+			// the race and land in the duplicate-byte ledger.
+			if a, lost := m.loserIDs[chunk.ID]; lost && a == addr {
+				m.noteDupBytesLocked(int64(len(chunk.Payload)))
+				if chunk.Last || chunk.Failed {
+					delete(m.loserIDs, chunk.ID)
+				}
+			}
 			m.mu.Unlock()
 			l.Release()
 			continue
@@ -607,8 +737,22 @@ func (m *NetMerger) readLoop(addr string, epoch uint64) {
 			delete(m.pending, chunk.ID)
 			g := m.groups[addr]
 			g.release(1)
+			if p.twin != nil {
+				// One attempt of a live hedged pair hit a remote error;
+				// the twin still races, so the fetch neither fails nor
+				// retries here.
+				m.noteHedgeAttemptFailureLocked(p)
+				m.cond.Broadcast()
+				m.mu.Unlock()
+				l.Release()
+				continue
+			}
 			m.errCount++
 			mrgErrors.Inc()
+			if p.isHedge {
+				m.hedgeErrors++
+				mrgHedgeErrors.Inc()
+			}
 			m.cond.Broadcast()
 			m.mu.Unlock()
 			p.result <- fetchResult{spec: p.spec, err: fmt.Errorf("%w: %s", ErrRemote, chunk.Payload)}
@@ -637,10 +781,29 @@ func (m *NetMerger) readLoop(addr string, epoch uint64) {
 		}
 		m.bytes += int64(len(p.buf))
 		mrgBytes.Add(int64(len(p.buf)))
-		mrgRTT.Observe(time.Since(p.sentAt).Nanoseconds())
+		rtt := time.Since(p.sentAt).Nanoseconds()
+		mrgRTT.Observe(rtt)
+		if g.rtt != nil {
+			g.rtt.Add(rtt)
+		}
+		if p.isHedge {
+			// The speculative attempt delivered — whether it out-raced a
+			// live twin or carried the fetch alone after adoption.
+			m.hedgeWins++
+			mrgHedgeWins.Inc()
+			m.releaseHedgeBudgetLocked(p)
+		}
+		var cancelAddr string
+		var cancelID uint64
+		if p.twin != nil {
+			cancelAddr, cancelID = m.cancelLoserLocked(p.twin)
+		}
 		tracer.Mark(p.spec.MapTask, p.spec.Partition, metrics.StageDelivered)
 		m.cond.Broadcast()
 		m.mu.Unlock()
+		if cancelAddr != "" {
+			m.sendCancel(cancelAddr, cancelID)
+		}
 		p.result <- fetchResult{spec: p.spec, data: p.buf}
 		l.Release()
 	}
@@ -675,21 +838,54 @@ func (m *NetMerger) handleFlowFrame(addr string, b []byte) error {
 	defer m.mu.Unlock()
 	p, ok := m.pending[id]
 	if !ok {
-		return nil // the fetch already failed over to another attempt
+		// The fetch already failed over to another attempt — or it is a
+		// cancelled hedge loser (tracked in loserIDs until its terminal
+		// frame). Either way the frame must not touch any window: the
+		// loser's slot was already released, and shrinking the winner
+		// node's AIMD window for a race it won would be exactly the
+		// foreign-shed drift the owner guard below exists to stop.
+		return nil
 	}
 	if p.spec.Addr != addr {
 		// A supplier may only shed fetches it owns. Honoring a
 		// cross-node shed would decrement this node's inflight for a
 		// slot it never held (permanent window drift) while leaking the
 		// real owner's slot. Drop the frame; the owner's fetch runs its
-		// course.
+		// course. Hedge attempts carry their own distinct ids with the
+		// replica's address in spec.Addr, so the guard holds per
+		// attempt: a replica can only shed the attempt it serves, never
+		// its twin on the primary.
 		return nil
 	}
 	delete(m.pending, id)
 	g := m.groups[addr]
 	g.release(1)
 	if g.win != nil {
+		// The shedding node is genuinely overloaded; its own window
+		// collapses. The twin's node (if any) is untouched — the frame
+		// says nothing about that node's health.
 		g.win.OnShed()
+	}
+	if p.twin != nil {
+		// An attempt of a live hedged pair never parks on a shed: the
+		// twin already races the same bytes, so re-sending this attempt
+		// later would only add load to an overloaded node. Cancel it;
+		// the twin carries the fetch alone. Not counted in Sheds — the
+		// shed/retry conservation law (Sheds == ShedRetries at drain)
+		// only covers parked-and-retried sheds.
+		if p.isHedge {
+			m.hedgeSheds++
+			mrgHedgeSheds.Inc()
+			m.releaseHedgeBudgetLocked(p)
+			m.unlinkTwinLocked(p)
+		} else {
+			m.hedgeAdoptions++
+			mrgHedgeAdoptions.Inc()
+			m.releaseHedgeBudgetLocked(p.twin)
+			m.unlinkTwinLocked(p)
+		}
+		m.cond.Broadcast()
+		return nil
 	}
 	m.sheds++
 	mrgSheds.Inc()
@@ -726,7 +922,24 @@ func (m *NetMerger) unpark(id uint64) {
 		return // Close already failed it
 	}
 	addr := p.spec.Addr
-	if m.cfg.Resolver != nil {
+	if !p.shedPark && m.cfg.Replicas != nil {
+		// Failure-backoff park with a replica set available: rotate to
+		// the next replica instead of re-probing the address that just
+		// failed, so a dead or blacked-out primary costs one attempt,
+		// not the whole retry budget. Shed parks stay put — a shed is
+		// load, not death, and the retry-after hint belongs to the node
+		// that issued it. Resolve outside the lock (registry I/O may
+		// block); p stays in parked meanwhile — recheck below.
+		spec := p.spec
+		m.mu.Unlock()
+		addr = nextReplica(m.cfg.Replicas(spec), spec.Addr)
+		m.mu.Lock()
+		p, ok = m.parked[id]
+		if !ok || m.closed {
+			m.mu.Unlock()
+			return
+		}
+	} else if m.cfg.Resolver != nil {
 		// Resolve outside the lock (registry I/O may block); p stays in
 		// parked meanwhile, so only Close can touch it — recheck below.
 		spec := p.spec
@@ -767,6 +980,15 @@ const maxRetryBackoff = 500 * time.Millisecond
 // retry budget is spent, surfaces the error. Must be called with m.mu
 // held.
 func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) {
+	if p.twin != nil {
+		// One attempt of a live hedged pair died (connection failure,
+		// deadline trip, failed send). The twin still races the same
+		// bytes, so this attempt is cancelled quietly: no retry budget
+		// burned, no error surfaced. If the twin dies too it inherits
+		// the full retry semantics alone.
+		m.noteHedgeAttemptFailureLocked(p)
+		return
+	}
 	p.attempts++
 	p.buf = nil // discard partial chunks from the dead connection
 	if g != nil && p.attempts <= m.cfg.MaxRetries {
@@ -785,6 +1007,12 @@ func (m *NetMerger) failOrRetryLocked(g *nodeGroup, p *pendingFetch, err error) 
 	}
 	m.errCount++
 	mrgErrors.Inc()
+	if p.isHedge {
+		// An adopted speculative attempt exhausted the budget it
+		// inherited: its terminal state for the hedge conservation law.
+		m.hedgeErrors++
+		mrgHedgeErrors.Inc()
+	}
 	p.result <- fetchResult{spec: p.spec, err: err}
 }
 
@@ -815,6 +1043,13 @@ func (m *NetMerger) failConn(addr string, epoch uint64, conn transport.Conn, err
 	}
 	g.epoch++
 	m.readers[addr] = false
+	// Cancelled losers on this connection can send no more late chunks;
+	// drop their duplicate-byte tracking entries.
+	for id, a := range m.loserIDs {
+		if a == addr {
+			delete(m.loserIDs, id)
+		}
+	}
 	var interrupted []*pendingFetch
 	for id, p := range m.pending {
 		if p.spec.Addr == addr {
@@ -891,4 +1126,288 @@ func (m *NetMerger) watchdog() {
 			m.failConn(s.addr, s.epoch, conn, errFetchStalled)
 		}
 	}
+}
+
+// --- Hedging controller (speculative replica fetching) ---
+//
+// A fetch that outlives its node's quantile-derived latency threshold is
+// raced against a replica supplier: a duplicate request with its own id
+// goes to the first distinct address in the replica set, the first
+// CRC-clean response wins, and the loser is cancelled — removed from
+// every queue and map, its inflight slot released exactly once, no AIMD
+// signal fired (a decided race says nothing about congestion), and a
+// best-effort CANCEL frame sent so the supplier stops transmitting. A
+// budget caps concurrently racing duplicates; at the cap hedging
+// degrades to the plain retry/watchdog path instead of amplifying an
+// overload.
+
+// hedgeCandidate is one fetch the scanner decided to hedge, captured
+// under the lock so the replica resolution can happen outside it.
+type hedgeCandidate struct {
+	id   uint64
+	spec FetchSpec
+}
+
+// hedgeLoop drives the controller: a periodic scan of in-flight fetches
+// instead of a per-fetch timer, so an armed-but-never-tripped hedge
+// costs the hot path nothing (no timer allocation, no extra goroutine
+// per fetch) at the price of up to one ScanInterval of firing slack.
+func (m *NetMerger) hedgeLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.Hedge.ScanInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.watchStop:
+			return
+		case <-ticker.C:
+		}
+		for _, c := range m.hedgeCandidates() {
+			m.launchHedge(c.id, c.spec)
+		}
+	}
+}
+
+// hedgeCandidates scans in-flight fetches for ones past their node's
+// hedge threshold with budget room, at most one hedge per fetch ever.
+func (m *NetMerger) hedgeCandidates() []hedgeCandidate {
+	now := time.Now()
+	var cands []hedgeCandidate
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	free := m.cfg.Hedge.MaxOutstanding - m.hedgeOutstanding
+	for _, p := range m.pending {
+		if p.twin != nil || p.hedged {
+			continue // already raced (or racing)
+		}
+		g := m.groups[p.spec.Addr]
+		if g == nil {
+			continue
+		}
+		thr := m.cfg.Hedge.Threshold(g.rtt)
+		if thr <= 0 || now.Sub(p.sentAt) < thr {
+			continue
+		}
+		if len(cands) >= free {
+			// Budget exhausted: leave the fetch unhedged — the retry
+			// backoff and deadline watchdog still cover it — and count
+			// the denial once per fetch.
+			if !p.hedgeDenied {
+				p.hedgeDenied = true
+				m.hedgeDenials++
+				mrgHedgeDenials.Inc()
+			}
+			continue
+		}
+		cands = append(cands, hedgeCandidate{p.id, p.spec})
+	}
+	return cands
+}
+
+// launchHedge races a duplicate of fetch id against the first distinct
+// replica. Replica resolution happens outside the lock (the callback
+// may block on registry I/O), so the fetch is re-checked after
+// re-locking: it may have completed, failed over, or been hedged by a
+// shed/retry path meanwhile.
+func (m *NetMerger) launchHedge(id uint64, spec FetchSpec) {
+	var target string
+	for _, a := range m.cfg.Replicas(spec) {
+		if a != "" && a != spec.Addr {
+			target = a
+			break
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pending[id]
+	if !ok || m.closed || p.twin != nil || p.hedged {
+		return
+	}
+	if target == "" {
+		// No distinct replica to race. Mark the fetch so the scanner
+		// stops re-resolving it every tick; the watchdog remains its
+		// backstop.
+		p.hedged = true
+		mrgHedgeNoReplica.Inc()
+		return
+	}
+	if m.hedgeOutstanding >= m.cfg.Hedge.MaxOutstanding {
+		if !p.hedgeDenied {
+			p.hedgeDenied = true
+			m.hedgeDenials++
+			mrgHedgeDenials.Inc()
+		}
+		return
+	}
+	m.nextID++
+	h := &pendingFetch{
+		id:     m.nextID,
+		spec:   FetchSpec{Addr: target, MapTask: spec.MapTask, Partition: spec.Partition},
+		result: p.result,
+		// The pair shares one retry budget: hedging trades duplicate
+		// bytes for tail latency, not doubled failure tolerance.
+		attempts: p.attempts,
+		isHedge:  true,
+		hedged:   true,
+		twin:     p,
+	}
+	p.hedged = true
+	p.twin = h
+	m.acquireHedgeBudgetLocked(h)
+	m.hedges++
+	mrgHedges.Inc()
+	g := m.groupForLocked(target)
+	// Head of the replica's queue: the pair is already past its
+	// threshold, so every request ahead of it would add straggler
+	// latency to a fetch that is late by definition.
+	g.queue = append(g.queue, nil)
+	copy(g.queue[1:], g.queue)
+	g.queue[0] = h
+	m.cond.Broadcast()
+}
+
+// cancelLoserLocked withdraws the losing attempt of a hedged pair after
+// its twin delivered. The loser may be anywhere in its lifecycle:
+// in-flight (remove from pending, release its node's slot, remember its
+// id so late chunks land in the duplicate-byte ledger, and tell its
+// supplier to stop), queued (remove; it holds no slot yet), or — only
+// possible transiently — parked. No AIMD signal fires: a decided race
+// says nothing about either node's congestion. Returns the address and
+// id for a best-effort CANCEL frame when the loser's request may be on
+// the wire. Must be called with m.mu held.
+func (m *NetMerger) cancelLoserLocked(t *pendingFetch) (cancelAddr string, cancelID uint64) {
+	m.unlinkTwinLocked(t)
+	if t.isHedge {
+		m.hedgeLosses++
+		mrgHedgeLosses.Inc()
+		m.releaseHedgeBudgetLocked(t)
+	}
+	if _, ok := m.pending[t.id]; ok {
+		delete(m.pending, t.id)
+		g := m.groups[t.spec.Addr]
+		g.release(1)
+		m.noteDupBytesLocked(int64(len(t.buf)))
+		t.buf = nil
+		if m.loserIDs != nil {
+			m.loserIDs[t.id] = t.spec.Addr
+		}
+		m.cond.Broadcast() // the freed slot may admit a queued fetch
+		return t.spec.Addr, t.id
+	}
+	if _, ok := m.parked[t.id]; ok {
+		delete(m.parked, t.id)
+		if t.backoff != nil {
+			t.backoff.Stop()
+		}
+		return "", 0
+	}
+	if g := m.groups[t.spec.Addr]; g != nil {
+		for i, q := range g.queue {
+			if q == t {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	return "", 0
+}
+
+// noteHedgeAttemptFailureLocked records the death of one attempt of a
+// live hedged pair (remote error, connection failure, deadline trip,
+// shed-free failed send). The caller has already removed the attempt
+// from pending and released its slot; here it is unlinked so the twin
+// carries the fetch alone with full retry semantics. Must be called
+// with m.mu held.
+func (m *NetMerger) noteHedgeAttemptFailureLocked(p *pendingFetch) {
+	if p.isHedge {
+		m.hedgeFails++
+		mrgHedgeFails.Inc()
+		m.releaseHedgeBudgetLocked(p)
+	} else {
+		// The original died; the speculative attempt adopts the fetch.
+		// Its budget slot frees now — an adopted attempt is the only
+		// copy racing, not a duplicate.
+		m.hedgeAdoptions++
+		mrgHedgeAdoptions.Inc()
+		m.releaseHedgeBudgetLocked(p.twin)
+	}
+	m.noteDupBytesLocked(int64(len(p.buf)))
+	p.buf = nil
+	m.unlinkTwinLocked(p)
+}
+
+// unlinkTwinLocked severs a hedged pair symmetrically. Must be called
+// with m.mu held.
+func (m *NetMerger) unlinkTwinLocked(p *pendingFetch) {
+	if p.twin != nil {
+		p.twin.twin = nil
+		p.twin = nil
+	}
+}
+
+// acquireHedgeBudgetLocked charges one racing duplicate to the hedge
+// budget. With releaseHedgeBudgetLocked it is the only place
+// hedgeOutstanding and its gauge move, so the two can never drift.
+// Must be called with m.mu held.
+func (m *NetMerger) acquireHedgeBudgetLocked(h *pendingFetch) {
+	h.budgetHeld = true
+	m.hedgeOutstanding++
+	mrgHedgeOutstanding.Add(1)
+}
+
+// releaseHedgeBudgetLocked returns a speculative attempt's budget slot
+// on its terminal transition (win, loss, shed, failure, adoption);
+// budgetHeld makes the release idempotent. Must be called with m.mu
+// held.
+func (m *NetMerger) releaseHedgeBudgetLocked(h *pendingFetch) {
+	if h != nil && h.budgetHeld {
+		h.budgetHeld = false
+		m.hedgeOutstanding--
+		mrgHedgeOutstanding.Add(-1)
+	}
+}
+
+// noteDupBytesLocked adds n payload bytes to the duplicate-byte ledger:
+// data received for an attempt that had already lost its race. Must be
+// called with m.mu held.
+func (m *NetMerger) noteDupBytesLocked(n int64) {
+	if n > 0 {
+		m.hedgeDupBytes += n
+		mrgHedgeDupBytes.Add(n)
+	}
+}
+
+// sendCancel tells addr's supplier, best-effort, to stop serving fetch
+// id: the race is decided and every further chunk is a wasted
+// duplicate byte. Peek, don't Get — a missing cached connection means
+// nothing is in flight to cancel. A send failure is ignored: the frame
+// is advisory, and connection health belongs to the normal
+// invalidation paths.
+func (m *NetMerger) sendCancel(addr string, id uint64) {
+	conn, ok := m.cache.Peek(addr)
+	if !ok || conn == nil {
+		return
+	}
+	l := bufpool.Default().Get(cancelFrameLen)
+	//jbsvet:ignore errcheck best-effort advisory frame; the reader owns this connection's failure handling
+	_ = conn.Send(appendCancel(l.Bytes()[:0], id))
+	l.Release()
+}
+
+// nextReplica returns the replica after cur in the set (wrapping), cur
+// itself when it is absent or alone, and "" only for an empty set whose
+// caller keeps its current address.
+func nextReplica(replicas []string, cur string) string {
+	for i, a := range replicas {
+		if a == cur {
+			return replicas[(i+1)%len(replicas)]
+		}
+	}
+	if len(replicas) > 0 && replicas[0] != "" {
+		return replicas[0]
+	}
+	return cur
 }

@@ -41,6 +41,12 @@ const (
 	// ledger recovers from a shedding episode: each credit widens the
 	// receiving merger's AIMD window toward this node by one slot.
 	msgCredit byte = 4
+	// msgCancel is a merger's best-effort withdrawal of one fetch
+	// request: the hedging controller sends it on the losing side of a
+	// speculative race so the supplier stops staging and transmitting a
+	// segment nobody will use. It is advisory — a supplier that already
+	// sent the data costs only duplicate bytes, never correctness.
+	msgCancel byte = 5
 )
 
 // Every frame shares one layout prefix: [type:1][crc32c:4][body...].
@@ -296,6 +302,33 @@ func decodeCredit(buf []byte) (uint32, error) {
 		return 0, err
 	}
 	return binary.BigEndian.Uint32(buf[frameBodyOff:]), nil
+}
+
+// cancelFrameLen is the size of a cancel frame (type + crc + id).
+const cancelFrameLen = frameBodyOff + 8
+
+// appendCancel marshals a cancel frame onto dst and returns the
+// extended slice. The merger appends into a pooled buffer, so
+// cancelling a hedge loser performs no allocation.
+func appendCancel(dst []byte, id uint64) []byte {
+	start := len(dst)
+	var frame [cancelFrameLen]byte
+	frame[0] = msgCancel
+	binary.BigEndian.PutUint64(frame[frameBodyOff:], id)
+	dst = append(dst, frame[:]...)
+	patchFrameCRC(dst[start:])
+	return dst
+}
+
+// decodeCancel unmarshals a cancel frame.
+func decodeCancel(buf []byte) (uint64, error) {
+	if len(buf) != cancelFrameLen || buf[0] != msgCancel {
+		return 0, fmt.Errorf("%w: short or mistyped cancel frame (%d bytes)", ErrBadMessage, len(buf))
+	}
+	if err := checkFrameCRC(buf); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(buf[frameBodyOff:]), nil
 }
 
 // decodeDataChunk unmarshals a chunk. The payload aliases buf.

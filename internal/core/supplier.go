@@ -114,6 +114,7 @@ type SupplierStats struct {
 	GroupTurns  int64
 	Errors      int64
 	DrainSheds  int64 // requests rejected because the supplier is draining
+	Cancels     int64 // CANCEL frames received (merger withdrew a hedged fetch)
 }
 
 // supplierReq is one resolved fetch request in flight through the pipeline.
@@ -150,7 +151,70 @@ type supplierConn struct {
 	sendMu sync.Mutex
 	hdr    [sizedChunkHeaderLen]byte // sendMu-guarded header scratch
 	vecs   [][]byte                  // sendMu-guarded gather scratch
+
+	// Fetch ids withdrawn by merger CANCEL frames, consumed at the next
+	// pipeline checkpoint (stage, transmit entry, or between chunks).
+	// nCancelled mirrors len(cancelled) so the per-chunk transmit check
+	// costs one atomic load — not a lock — while no cancel is pending.
+	cancelMu   sync.Mutex
+	cancelled  map[uint64]struct{}
+	nCancelled atomic.Int64
 }
+
+// maxCancelledIDs caps the per-connection cancelled-id set. A merger
+// cancelling faster than its fetches terminate is misbehaving; past the
+// cap the set is cleared — serving an already-decided fetch costs only
+// duplicate bytes, never correctness.
+const maxCancelledIDs = 1024
+
+// markCancelled records a merger's withdrawal of fetch id. The mark
+// outlives a request that already terminated (cancel raced the last
+// chunk) until the cap clears it — bounded garbage, not a leak.
+func (sc *supplierConn) markCancelled(id uint64) {
+	sc.cancelMu.Lock()
+	if sc.cancelled == nil {
+		sc.cancelled = make(map[uint64]struct{})
+	} else if len(sc.cancelled) >= maxCancelledIDs {
+		clear(sc.cancelled)
+	}
+	sc.cancelled[id] = struct{}{}
+	sc.nCancelled.Store(int64(len(sc.cancelled)))
+	sc.cancelMu.Unlock()
+}
+
+// takeCancelled reports whether fetch id was withdrawn, consuming the
+// mark on a hit.
+func (sc *supplierConn) takeCancelled(id uint64) bool {
+	if sc.nCancelled.Load() == 0 {
+		return false
+	}
+	sc.cancelMu.Lock()
+	_, ok := sc.cancelled[id]
+	if ok {
+		delete(sc.cancelled, id)
+		sc.nCancelled.Store(int64(len(sc.cancelled)))
+	}
+	sc.cancelMu.Unlock()
+	return ok
+}
+
+// isCancelled reports whether fetch id is withdrawn without consuming
+// the mark — the between-chunks transmit check, where the consuming
+// cleanup belongs to the caller's abort path.
+func (sc *supplierConn) isCancelled(id uint64) bool {
+	if sc.nCancelled.Load() == 0 {
+		return false
+	}
+	sc.cancelMu.Lock()
+	_, ok := sc.cancelled[id]
+	sc.cancelMu.Unlock()
+	return ok
+}
+
+// errXmitCancelled reports a transmission aborted between chunks by a
+// CANCEL frame. Internal to the transmit path — the merger sees a
+// truncated stream followed by the terminal cancelled ack.
+var errXmitCancelled = errors.New("transmit cancelled")
 
 func (sc *supplierConn) sendChunks(id uint64, data []byte, bufSize int) error {
 	sc.sendMu.Lock()
@@ -158,6 +222,12 @@ func (sc *supplierConn) sendChunks(id uint64, data []byte, bufSize int) error {
 	rest := data
 	first := true
 	for {
+		if !first && sc.isCancelled(id) {
+			// A CANCEL landed mid-stream: stop here. The merger already
+			// retired this id, so a truncated stream is fine — the
+			// caller's terminal ack is what closes its tracking.
+			return errXmitCancelled
+		}
 		chunk := rest
 		if len(chunk) > bufSize {
 			chunk = chunk[:bufSize]
@@ -254,6 +324,7 @@ type MOFSupplier struct {
 	groupTurns  atomic.Int64
 	errCount    atomic.Int64
 	drainSheds  atomic.Int64
+	cancels     atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -312,6 +383,7 @@ func (s *MOFSupplier) Stats() SupplierStats {
 		GroupTurns:  s.groupTurns.Load(),
 		Errors:      s.errCount.Load(),
 		DrainSheds:  s.drainSheds.Load(),
+		Cancels:     s.cancels.Load(),
 	}
 }
 
@@ -524,6 +596,25 @@ func (s *MOFSupplier) connLoop(sc *supplierConn) {
 		l, err := transport.RecvBuf(conn)
 		if err != nil {
 			return
+		}
+		if b := l.Bytes(); len(b) > 0 && b[0] == msgCancel {
+			// A hedging merger withdrawing a fetch whose race is decided.
+			// Handled here, ahead of the request decoder (which treats
+			// any non-request frame as a protocol violation).
+			id, cerr := decodeCancel(b)
+			l.Release()
+			if cerr != nil {
+				if errors.Is(cerr, ErrCorruptFrame) {
+					supCorruptFrames.Inc()
+				}
+				s.errCount.Add(1)
+				supErrors.Inc()
+				return // protocol violation: drop the connection
+			}
+			sc.markCancelled(id)
+			s.cancels.Add(1)
+			supCancels.Inc()
+			continue
 		}
 		req, err := decodeFetchRequestInterned(l.Bytes(), intern)
 		l.Release() // the decoder copies (or interns) what it keeps
@@ -796,8 +887,29 @@ func (s *MOFSupplier) prefetchLoop() {
 	}
 }
 
+// errFetchCancelled is the terminal ack for a fetch withdrawn by a
+// CANCEL frame. The merger's pending entry is already gone; the ack's
+// only job is to retire its late-chunk (duplicate byte) tracking.
+var errFetchCancelled = errors.New("cancelled by merger")
+
+// ackCancelled retires a request withdrawn by a CANCEL frame: skip the
+// remaining work, send the terminal ack, and exit through finish so
+// ledger and drain conservation hold. The ack is best-effort — if the
+// send fails the connection is dying and the merger's conn-failure path
+// cleans its tracking instead.
+func (s *MOFSupplier) ackCancelled(r *supplierReq) {
+	r.conn.sendError(r.id, errFetchCancelled)
+	s.finish(r)
+}
+
 // stage reads one segment (or hits the DataCache) and queues transmission.
 func (s *MOFSupplier) stage(r *supplierReq) {
+	if r.conn.takeCancelled(r.id) {
+		// Withdrawn before the disk read — the whole point of CANCEL:
+		// the loser of a hedge race costs no I/O at all.
+		s.ackCancelled(r)
+		return
+	}
 	if _, ok := s.dcache.Pin(r.task, r.part); ok {
 		s.cacheHits.Add(1)
 	} else {
@@ -828,6 +940,14 @@ func (s *MOFSupplier) xmitLoop() {
 	for {
 		select {
 		case r := <-s.xmitCh:
+			if r.conn.takeCancelled(r.id) {
+				// Withdrawn while staged: drop the staging pin and ack
+				// without touching the wire.
+				s.dcache.Unpin(r.task, r.part)
+				supXmitDepth.Add(-1)
+				s.ackCancelled(r)
+				continue
+			}
 			data, ok := s.dcache.Pin(r.task, r.part)
 			if !ok {
 				// The staging pin guarantees residency; a miss here is a
@@ -843,10 +963,16 @@ func (s *MOFSupplier) xmitLoop() {
 			err := r.conn.sendChunks(r.id, data, s.cfg.BufferSize)
 			s.dcache.Unpin(r.task, r.part) // xmit pin
 			s.dcache.Unpin(r.task, r.part) // staging pin
-			if err == nil {
+			switch {
+			case err == nil:
 				s.bytesServed.Add(int64(len(data)))
 				supBytes.Add(int64(len(data)))
-			} else {
+			case errors.Is(err, errXmitCancelled):
+				// Aborted between chunks by a CANCEL; not an error. The
+				// terminal ack closes the truncated stream for the merger.
+				r.conn.takeCancelled(r.id)
+				r.conn.sendError(r.id, errFetchCancelled)
+			default:
 				s.errCount.Add(1)
 				supErrors.Inc()
 			}

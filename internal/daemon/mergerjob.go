@@ -34,6 +34,12 @@ type MergerJobConfig struct {
 	MaxRetries  int
 	ResolverTTL time.Duration
 	Flow        *flow.Config
+	// Hedge, when set, arms the merger's speculative-fetch controller.
+	// Replica sets come from the registry (ResolveReplicas), so it only
+	// pays off when the registry runs with a replica count above 1 —
+	// with single placement every hedge attempt finds no distinct
+	// replica and falls back to plain retry.
+	Hedge *flow.HedgeConfig
 	// Progress, when set, receives one line per round — the hook the
 	// multi-process chaos driver keys its kill timing off.
 	Progress func(format string, args ...any)
@@ -41,12 +47,15 @@ type MergerJobConfig struct {
 
 // JobStats summarizes a completed merger job.
 type JobStats struct {
-	Segments int64 // segments delivered
-	Bytes    int64 // payload bytes delivered
-	Retries  int64 // merger retry count (connection failures)
-	Sheds    int64 // shed responses observed (drain or overload)
-	Rerouted int64 // fetches that followed an ownership handoff
-	Errors   int64 // fetches that surfaced an error
+	Segments  int64 // segments delivered
+	Bytes     int64 // payload bytes delivered
+	Retries   int64 // merger retry count (connection failures)
+	Sheds     int64 // shed responses observed (drain or overload)
+	Rerouted  int64 // fetches that followed an ownership handoff
+	Errors    int64 // fetches that surfaced an error
+	Hedges    int64 // speculative duplicate fetches launched
+	HedgeWins int64 // fetches won by the speculative attempt
+	DupBytes  int64 // duplicate payload bytes — the hedging cost
 }
 
 // RunMergerJob fetches the full task×partition grid for each round,
@@ -68,14 +77,25 @@ func RunMergerJob(cfg MergerJobConfig) (JobStats, error) {
 	rc := registry.NewClient(cfg.RegistryAddr)
 	defer rc.Close()
 	resolver := registry.NewResolver(rc, cfg.ResolverTTL)
-	m, err := core.NewNetMerger(core.MergerConfig{
+	mc := core.MergerConfig{
 		Transport:  transport.NewTCP(),
 		MaxRetries: cfg.MaxRetries,
 		Flow:       cfg.Flow,
+		Hedge:      cfg.Hedge,
 		Resolver: func(spec core.FetchSpec) (string, error) {
 			return resolver.Resolve(spec.MapTask)
 		},
-	})
+	}
+	if cfg.Hedge != nil {
+		mc.Replicas = func(spec core.FetchSpec) []string {
+			set, err := resolver.ResolveReplicas(spec.MapTask)
+			if err != nil {
+				return nil // no replicas known: the hedge just doesn't launch
+			}
+			return set
+		}
+	}
+	m, err := core.NewNetMerger(mc)
 	if err != nil {
 		return st, err
 	}
@@ -120,6 +140,7 @@ func RunMergerJob(cfg MergerJobConfig) (JobStats, error) {
 		})
 		ms := m.Stats()
 		st.Retries, st.Sheds, st.Rerouted, st.Errors = ms.Retries, ms.Sheds, ms.Rerouted, ms.Errors
+		st.Hedges, st.HedgeWins, st.DupBytes = ms.Hedges, ms.HedgeWins, ms.HedgeDupBytes
 		if err != nil {
 			return st, fmt.Errorf("daemon: round %d: %w", round, err)
 		}

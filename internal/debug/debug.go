@@ -76,6 +76,20 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 	} else {
 		fmt.Fprint(w, "last writer decision: none yet (no job has started)\n")
 	}
+	// One-line hedging summary across every in-process merger; the full
+	// jbs_merger_hedge_* family lives in /debug/jbs/metrics.
+	var hedges, wins, dupBytes int64
+	var outstanding int
+	for _, st := range flow.Snapshot() {
+		hedges += st.Hedges
+		wins += st.HedgeWins
+		dupBytes += st.HedgeDupBytes
+		outstanding += st.HedgeOutstanding
+	}
+	if hedges > 0 || outstanding > 0 {
+		fmt.Fprintf(w, "hedged fetches: %d launched, %d wins, %d duplicate bytes, %d racing now\n",
+			hedges, wins, dupBytes, outstanding)
+	}
 }
 
 func handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,139 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRTTRingQuantile(t *testing.T) {
+	var r RTTRing
+	if got := r.Quantile(0.95); got != 0 {
+		t.Fatalf("empty ring quantile = %d, want 0", got)
+	}
+	for i := int64(1); i <= 64; i++ {
+		r.Add(i)
+	}
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+	// Rank ⌈q·n⌉ over 1..64: p50 → rank 32, p95 → rank 61, p100 → 64.
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.5, 32}, {0.95, 61}, {1.0, 64}} {
+		if got := r.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestRTTRingRolls(t *testing.T) {
+	var r RTTRing
+	for i := int64(1); i <= 200; i++ {
+		r.Add(i)
+	}
+	if r.Len() != rttRingSize {
+		t.Fatalf("Len = %d, want %d", r.Len(), rttRingSize)
+	}
+	// Only the newest 64 samples (137..200) remain: the minimum must
+	// have rolled past the old ones.
+	if got := r.Quantile(0.0001); got < 137 {
+		t.Errorf("oldest retained sample = %d, want >= 137 (ring must forget)", got)
+	}
+	if got := r.Quantile(1); got != 200 {
+		t.Errorf("max = %d, want 200", got)
+	}
+}
+
+func TestHedgeConfigDefaults(t *testing.T) {
+	var c HedgeConfig
+	if err := c.ApplyDefaults(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if c.Quantile != DefaultHedgeQuantile || c.Multiplier != DefaultHedgeMultiplier ||
+		c.MinDelay != DefaultHedgeMinDelay || c.MinSamples != DefaultHedgeMinSamples ||
+		c.MaxOutstanding != DefaultHedgeMaxOutstanding || c.ScanInterval != DefaultHedgeScanInterval {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if c.Baseline != 0 || c.MaxDelay != 0 {
+		t.Fatalf("Baseline/MaxDelay should stay zero (meaningful zeros): %+v", c)
+	}
+}
+
+func TestHedgeConfigRejectsByName(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  HedgeConfig
+		want string
+	}{
+		{"quantile", HedgeConfig{Quantile: 1.5}, "Quantile"},
+		{"multiplier", HedgeConfig{Multiplier: -1}, "Multiplier"},
+		{"mindelay", HedgeConfig{MinDelay: -time.Millisecond}, "MinDelay"},
+		{"maxdelay", HedgeConfig{MaxDelay: -time.Millisecond}, "MaxDelay"},
+		{"baseline", HedgeConfig{Baseline: -time.Millisecond}, "Baseline"},
+		{"minsamples", HedgeConfig{MinSamples: -1}, "MinSamples"},
+		{"maxoutstanding", HedgeConfig{MaxOutstanding: -1}, "MaxOutstanding"},
+		{"scaninterval", HedgeConfig{ScanInterval: -time.Second}, "ScanInterval"},
+		{"inverted-clamp", HedgeConfig{MinDelay: 10 * time.Millisecond, MaxDelay: time.Millisecond}, "MaxDelay"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.ApplyDefaults()
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestHedgeThreshold(t *testing.T) {
+	cfg := HedgeConfig{
+		Quantile:   1.0,
+		Multiplier: 2.0,
+		MinDelay:   time.Millisecond,
+		MaxDelay:   100 * time.Millisecond,
+		MinSamples: 4,
+		Baseline:   7 * time.Millisecond,
+	}
+	if err := cfg.ApplyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	var ring RTTRing
+	// Below MinSamples: the Baseline applies.
+	ring.Add(int64(time.Millisecond))
+	if got := cfg.Threshold(&ring); got != 7*time.Millisecond {
+		t.Fatalf("cold threshold = %v, want Baseline 7ms", got)
+	}
+	// Exact: 4 samples with max 10ms → 2 × 10ms = 20ms.
+	for _, ms := range []int64{2, 5, 10} {
+		ring.Add(ms * int64(time.Millisecond))
+	}
+	if got := cfg.Threshold(&ring); got != 20*time.Millisecond {
+		t.Fatalf("threshold = %v, want 20ms (2 × max RTT)", got)
+	}
+	// Floor: microsecond RTTs clamp up to MinDelay.
+	var fast RTTRing
+	for i := 0; i < 8; i++ {
+		fast.Add(int64(10 * time.Microsecond))
+	}
+	if got := cfg.Threshold(&fast); got != time.Millisecond {
+		t.Fatalf("floored threshold = %v, want MinDelay 1ms", got)
+	}
+	// Ceiling: second-long RTTs clamp down to MaxDelay.
+	var slow RTTRing
+	for i := 0; i < 8; i++ {
+		slow.Add(int64(time.Second))
+	}
+	if got := cfg.Threshold(&slow); got != 100*time.Millisecond {
+		t.Fatalf("capped threshold = %v, want MaxDelay 100ms", got)
+	}
+	// Zero Baseline with too few samples: disarmed.
+	cfg.Baseline = 0
+	var cold RTTRing
+	if got := cfg.Threshold(&cold); got != 0 {
+		t.Fatalf("cold threshold without Baseline = %v, want 0 (disarmed)", got)
+	}
+}

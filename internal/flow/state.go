@@ -55,6 +55,19 @@ type State struct {
 	// ShedRetries counts parked fetches re-queued after their
 	// retry-after backoff (mergers only).
 	ShedRetries int64 `json:"shed_retries,omitempty"`
+	// Hedges counts speculative duplicate fetches launched by the
+	// hedging controller (mergers only).
+	Hedges int64 `json:"hedges,omitempty"`
+	// HedgeWins counts fetches whose speculative attempt delivered
+	// first (mergers only).
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	// HedgeDupBytes counts payload bytes received for attempts that had
+	// already lost their race — the price paid for hedging (mergers
+	// only).
+	HedgeDupBytes int64 `json:"hedge_dup_bytes,omitempty"`
+	// HedgeOutstanding is the number of duplicate attempts currently
+	// racing (mergers only).
+	HedgeOutstanding int `json:"hedge_outstanding,omitempty"`
 }
 
 // Source is a flow participant that can snapshot its control-plane

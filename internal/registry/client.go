@@ -169,6 +169,19 @@ func (c *Client) Lookup(task string) (string, error) {
 	return resp.Addr, nil
 }
 
+// LookupReplicas resolves a map task to its shard's full replica set,
+// primary first. With a replica count of 1 the set has one element.
+func (c *Client) LookupReplicas(task string) ([]string, error) {
+	resp, err := c.do(request{Op: "lookup", Task: task})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Addrs) > 0 {
+		return resp.Addrs, nil
+	}
+	return []string{resp.Addr}, nil
+}
+
 // FetchMap retrieves the full ownership map.
 func (c *Client) FetchMap() (Map, error) {
 	resp, err := c.do(request{Op: "map"})
@@ -245,6 +258,51 @@ func (r *Resolver) Resolve(task string) (string, error) {
 		addr, err = r.lookupLocked(task)
 	}
 	return addr, err
+}
+
+// ResolveReplicas returns the full replica set of the supplier group
+// serving task's shard, primary first. With a replica count of 1 (or a
+// map predating replica support) the set is just the owner. It shares
+// Resolve's cache and staleness rules, so it is cheap enough for a
+// hedging merger to consult on every speculative launch.
+func (r *Resolver) ResolveReplicas(task string) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	refetched := false
+	if r.valid && r.m.Epoch < r.c.LastEpoch() {
+		r.valid = false
+	}
+	if !r.valid || time.Since(r.fetched) > r.ttl {
+		if err := r.refreshLocked(); err != nil {
+			return nil, err
+		}
+		refetched = true
+	}
+	set, err := r.replicasLocked(task)
+	if err != nil && !refetched {
+		if rerr := r.refreshLocked(); rerr != nil {
+			return nil, rerr
+		}
+		set, err = r.replicasLocked(task)
+	}
+	return set, err
+}
+
+// replicasLocked answers a replica-set query from the cached map.
+func (r *Resolver) replicasLocked(task string) ([]string, error) {
+	if len(r.m.Shards) == 0 {
+		return nil, errors.New("registry: ownership map is empty (no suppliers registered)")
+	}
+	shard := ShardOf(task, len(r.m.Shards))
+	if shard < len(r.m.Replicas) && len(r.m.Replicas[shard]) > 0 {
+		// Copy: the cached map is shared and replaced on refresh.
+		return append([]string(nil), r.m.Replicas[shard]...), nil
+	}
+	addr := r.m.Shards[shard]
+	if addr == "" {
+		return nil, fmt.Errorf("registry: shard %d (task %s) unowned", shard, task)
+	}
+	return []string{addr}, nil
 }
 
 func (r *Resolver) refreshLocked() error {

@@ -51,6 +51,11 @@ type Map struct {
 	// Shards maps shard index to the owning supplier's fetch address
 	// (empty string: unowned, no eligible supplier advertises it).
 	Shards []string `json:"shards"`
+	// Replicas maps shard index to its replica set — the primary's
+	// address first, then up to Replicas-1 backup suppliers holding the
+	// same MOFs. Nil when the registry runs with a replica count of 1.
+	// Hedging mergers race their speculative duplicates at the backups.
+	Replicas [][]string `json:"replicas,omitempty"`
 	// Suppliers lists every live registration.
 	Suppliers []SupplierInfo `json:"suppliers,omitempty"`
 }
@@ -77,6 +82,9 @@ type response struct {
 	Err string `json:"err,omitempty"`
 	// Addr answers a lookup.
 	Addr string `json:"addr,omitempty"`
+	// Addrs answers a lookup with the full replica set, primary first.
+	// Present only when the registry runs with a replica count above 1.
+	Addrs []string `json:"addrs,omitempty"`
 	// Epoch is the ownership epoch after the op.
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Map answers a map request.

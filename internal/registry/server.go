@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -23,6 +24,13 @@ type ServerConfig struct {
 	// SweepInterval is how often expired leases are collected. Zero
 	// means LeaseTTL/4.
 	SweepInterval time.Duration
+	// Replicas is how many suppliers each shard is placed on: one
+	// primary plus Replicas-1 backups, all distinct, all advertising the
+	// shard. Backups serve the same replicated MOF directories; hedging
+	// mergers race speculative duplicates at them. Zero means 1 (no
+	// replication). With fewer eligible suppliers than Replicas a shard
+	// simply carries fewer backups — never a duplicate.
+	Replicas int
 	// Log, when set, receives one line per membership event (register,
 	// expire, drain, deregister, reassignment).
 	Log func(format string, args ...any)
@@ -38,6 +46,9 @@ func (c *ServerConfig) applyDefaults() error {
 	if c.SweepInterval < 0 {
 		return fmt.Errorf("registry: SweepInterval %v must not be negative", c.SweepInterval)
 	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("registry: Replicas %d must not be negative", c.Replicas)
+	}
 	if c.Shards == 0 {
 		c.Shards = 16
 	}
@@ -46,6 +57,9 @@ func (c *ServerConfig) applyDefaults() error {
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = c.LeaseTTL / 4
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
 	}
 	return nil
 }
@@ -79,6 +93,7 @@ type Server struct {
 	mu        sync.Mutex
 	leases    map[string]*lease // supplier id -> lease
 	owners    []string          // shard -> owning supplier id ("" unowned)
+	backups   [][]string        // shard -> backup supplier ids (≤ Replicas-1, distinct from owner)
 	epoch     uint64
 	connsMu   sync.Mutex
 	conns     map[net.Conn]bool
@@ -102,12 +117,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("registry: listen: %w", err)
 	}
 	s := &Server{
-		cfg:    cfg,
-		lis:    lis,
-		leases: make(map[string]*lease),
-		owners: make([]string, cfg.Shards),
-		conns:  make(map[net.Conn]bool),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		lis:     lis,
+		leases:  make(map[string]*lease),
+		owners:  make([]string, cfg.Shards),
+		backups: make([][]string, cfg.Shards),
+		conns:   make(map[net.Conn]bool),
+		done:    make(chan struct{}),
 	}
 	s.unregister = RegisterSource(s)
 	s.wg.Add(1)
@@ -251,7 +267,14 @@ func (s *Server) handle(req request, now time.Time) response {
 		if owner == "" {
 			return response{Err: fmt.Sprintf("shard %d unowned", shard)}
 		}
-		return response{OK: true, Addr: s.leases[owner].info.Addr, Epoch: s.epoch}
+		resp := response{OK: true, Addr: s.leases[owner].info.Addr, Epoch: s.epoch}
+		if len(s.backups[shard]) > 0 {
+			resp.Addrs = append(resp.Addrs, resp.Addr)
+			for _, id := range s.backups[shard] {
+				resp.Addrs = append(resp.Addrs, s.leases[id].info.Addr)
+			}
+		}
+		return resp
 	case "map":
 		return response{OK: true, Epoch: s.epoch, Map: s.mapLocked()}
 	}
@@ -264,6 +287,20 @@ func (s *Server) mapLocked() *Map {
 	for i, id := range s.owners {
 		if id != "" {
 			m.Shards[i] = s.leases[id].info.Addr
+		}
+	}
+	if s.cfg.Replicas > 1 {
+		m.Replicas = make([][]string, len(s.owners))
+		for i, id := range s.owners {
+			if id == "" {
+				continue
+			}
+			set := make([]string, 0, 1+len(s.backups[i]))
+			set = append(set, s.leases[id].info.Addr)
+			for _, b := range s.backups[i] {
+				set = append(set, s.leases[b].info.Addr)
+			}
+			m.Replicas[i] = set
 		}
 	}
 	for _, id := range s.sortedIDsLocked() {
@@ -341,6 +378,11 @@ func (s *Server) rebalanceLocked() {
 			}
 		}
 	}
+	if s.cfg.Replicas > 1 {
+		if s.rebalanceBackupsLocked(eligible) {
+			changed = true
+		}
+	}
 	if changed {
 		s.epoch++
 		regReassignments.Inc()
@@ -348,6 +390,74 @@ func (s *Server) rebalanceLocked() {
 		s.logf("registry: ownership epoch %d (%d suppliers eligible)", s.epoch, len(eligible))
 	}
 	s.setMembershipGaugesLocked()
+}
+
+// rebalanceBackupsLocked re-places each shard's backup replicas after
+// primary ownership settles: up to Replicas-1 suppliers per shard,
+// distinct from the primary and each other, every one eligible and
+// advertising the shard. Sticky like primary placement — surviving
+// backups keep their slots so churn moves the minimum number of replica
+// assignments — with open slots going to the least-loaded eligible
+// advertiser. Returns whether any replica set changed (an epoch bump:
+// cached maps carry the replica sets too). Must be called with mu held.
+func (s *Server) rebalanceBackupsLocked(eligible []string) bool {
+	changed := false
+	want := s.cfg.Replicas - 1
+	isEligible := make(map[string]bool, len(eligible))
+	for _, id := range eligible {
+		isEligible[id] = true
+	}
+	load := make(map[string]int, len(eligible))
+	// Pass 1: sticky — keep surviving backups (shard still owned, backup
+	// still eligible, still advertising, still distinct from the owner).
+	// A filtered slice either equals the original or is shorter, so a
+	// length comparison detects every drop.
+	for i := range s.backups {
+		owner := s.owners[i]
+		kept := s.backups[i][:0]
+		if owner != "" {
+			for _, id := range s.backups[i] {
+				if len(kept) >= want {
+					break
+				}
+				if id != owner && isEligible[id] && s.leases[id].advertises(i) && !slices.Contains(kept, id) {
+					kept = append(kept, id)
+					load[id]++
+				}
+			}
+		}
+		if len(kept) != len(s.backups[i]) {
+			changed = true
+		}
+		s.backups[i] = kept
+	}
+	// Pass 2: fill open slots with the least-loaded eligible advertiser
+	// not already serving the shard. Fewer advertisers than slots just
+	// means a thinner replica set — never a duplicate placement.
+	for i := range s.backups {
+		owner := s.owners[i]
+		if owner == "" {
+			continue
+		}
+		for len(s.backups[i]) < want {
+			best := ""
+			for _, id := range eligible {
+				if id == owner || !s.leases[id].advertises(i) || slices.Contains(s.backups[i], id) {
+					continue
+				}
+				if best == "" || load[id] < load[best] {
+					best = id
+				}
+			}
+			if best == "" {
+				break
+			}
+			s.backups[i] = append(s.backups[i], best)
+			load[best]++
+			changed = true
+		}
+	}
+	return changed
 }
 
 // setMembershipGaugesLocked refreshes the membership gauges. Must be
@@ -406,6 +516,12 @@ func (s *Server) RegistryState() State {
 		Epoch:  s.epoch,
 		Shards: s.cfg.Shards,
 		Owners: append([]string(nil), s.owners...),
+	}
+	if s.cfg.Replicas > 1 {
+		st.Backups = make([][]string, len(s.backups))
+		for i, b := range s.backups {
+			st.Backups[i] = append([]string(nil), b...)
+		}
 	}
 	for _, id := range s.sortedIDsLocked() {
 		st.Suppliers = append(st.Suppliers, s.leases[id].info)

@@ -13,6 +13,9 @@ type State struct {
 	Shards int `json:"shards"`
 	// Owners maps shard index to owning supplier id ("" unowned).
 	Owners []string `json:"owners"`
+	// Backups maps shard index to its backup replica supplier ids
+	// (primary excluded). Nil when the replica count is 1.
+	Backups [][]string `json:"backups,omitempty"`
 	// Suppliers lists live registrations, draining included.
 	Suppliers []SupplierInfo `json:"suppliers,omitempty"`
 }
